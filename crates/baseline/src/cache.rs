@@ -1,0 +1,308 @@
+//! Automatic prefix caching for the vLLM-like engine.
+//!
+//! vLLM hashes KV blocks and reuses any block chain that prefixes a new
+//! prompt, evicting unreferenced blocks LRU under allocation pressure. This
+//! implementation keeps the same observable behaviour at file granularity:
+//! cache entries are block-aligned prompt prefixes; lookup finds the entry
+//! with the longest common block-aligned prefix of an incoming prompt; and
+//! insertion *converges* entries sharing a prefix to that shared prefix (so
+//! per-query tails do not pollute the cache). Eviction is LRU and only
+//! triggered by the engine when page allocation fails — exactly the
+//! "system-wide policy, not application-aware" behaviour §2.1 critiques.
+
+use std::collections::HashMap;
+
+use symphony_kvfs::{FileId, KvStore, OwnerId};
+use symphony_model::TokenId;
+
+/// One cached prefix.
+#[derive(Debug, Clone)]
+struct Entry {
+    file: FileId,
+    tokens: Vec<TokenId>,
+    last_used: u64,
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheHit {
+    /// The cached file to fork.
+    pub file: FileId,
+    /// How many prompt tokens the cached file covers (block-aligned; may be
+    /// shorter than the file if only a prefix matches).
+    pub covered: usize,
+}
+
+/// The prefix cache. All cached files are owned by the engine's owner ID.
+#[derive(Debug)]
+pub struct PrefixCache {
+    /// Buckets keyed by a hash of the first block of tokens.
+    buckets: HashMap<u64, Vec<Entry>>,
+    block: usize,
+    clock: u64,
+    owner: OwnerId,
+    evictions: u64,
+}
+
+fn hash_block(tokens: &[TokenId]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &t in tokens {
+        h ^= t as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn common_prefix_len(a: &[TokenId], b: &[TokenId]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+impl PrefixCache {
+    /// Creates a cache with the given block (page) size.
+    pub fn new(block: usize, owner: OwnerId) -> Self {
+        assert!(block > 0);
+        PrefixCache {
+            buckets: HashMap::new(),
+            block,
+            clock: 0,
+            owner,
+            evictions: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// Returns `true` when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Finds the entry with the longest block-aligned common prefix of
+    /// `prompt` (at least one block), bumping its LRU stamp.
+    pub fn lookup(&mut self, prompt: &[TokenId]) -> Option<CacheHit> {
+        if prompt.len() < self.block {
+            return None;
+        }
+        let key = hash_block(&prompt[..self.block]);
+        let bucket = self.buckets.get_mut(&key)?;
+        let mut best: Option<(usize, usize)> = None; // (covered, index)
+        for (i, e) in bucket.iter().enumerate() {
+            let common = common_prefix_len(&e.tokens, prompt);
+            let covered = (common / self.block) * self.block;
+            if covered >= self.block && best.map_or(true, |(c, _)| covered > c) {
+                best = Some((covered, i));
+            }
+        }
+        let (covered, i) = best?;
+        self.clock += 1;
+        bucket[i].last_used = self.clock;
+        Some(CacheHit {
+            file: bucket[i].file,
+            covered,
+        })
+    }
+
+    /// Inserts a finished prompt's KV file (already truncated by the caller
+    /// to the prompt; this method truncates further to block alignment and
+    /// converges overlapping entries to their shared prefix).
+    ///
+    /// Takes ownership of `file`: on any path where it is not retained, it
+    /// is removed from the store.
+    pub fn insert(&mut self, store: &mut KvStore, file: FileId, prompt: &[TokenId]) {
+        let aligned = (prompt.len() / self.block) * self.block;
+        if aligned == 0 {
+            let _ = store.remove(file, self.owner);
+            return;
+        }
+        if store.truncate(file, self.owner, aligned).is_err() {
+            let _ = store.remove(file, self.owner);
+            return;
+        }
+        let tokens = prompt[..aligned].to_vec();
+        let key = hash_block(&tokens[..self.block]);
+        let bucket = self.buckets.entry(key).or_default();
+        // Converge with an overlapping entry when the shared prefix is the
+        // bulk of both (the "same document, different query tail" case).
+        // Entries that merely share a few leading blocks stay separate, as
+        // they would under true block-granular caching.
+        for e in bucket.iter_mut() {
+            let common = common_prefix_len(&e.tokens, &tokens);
+            let covered = (common / self.block) * self.block;
+            let shorter = e.tokens.len().min(tokens.len());
+            if covered >= self.block && covered * 2 >= shorter {
+                if covered < e.tokens.len() {
+                    // Shrink the existing entry to the shared prefix.
+                    if store.truncate(e.file, self.owner, covered).is_ok() {
+                        e.tokens.truncate(covered);
+                    }
+                }
+                // The new file adds nothing beyond the shared prefix.
+                let _ = store.remove(file, self.owner);
+                self.clock += 1;
+                e.last_used = self.clock;
+                return;
+            }
+        }
+        self.clock += 1;
+        bucket.push(Entry {
+            file,
+            tokens,
+            last_used: self.clock,
+        });
+    }
+
+    /// Evicts the least-recently-used entry, freeing its pages. Returns
+    /// `true` if something was evicted. The engine calls this in a loop when
+    /// page allocation fails.
+    pub fn evict_lru(&mut self, store: &mut KvStore) -> bool {
+        let mut victim: Option<(u64, u64)> = None; // (last_used, bucket key)
+        for (&key, bucket) in &self.buckets {
+            for e in bucket {
+                if victim.map_or(true, |(lu, _)| e.last_used < lu) {
+                    victim = Some((e.last_used, key));
+                }
+            }
+        }
+        let Some((lu, key)) = victim else {
+            return false;
+        };
+        let bucket = self.buckets.get_mut(&key).expect("victim bucket");
+        let idx = bucket
+            .iter()
+            .position(|e| e.last_used == lu)
+            .expect("victim entry");
+        let entry = bucket.remove(idx);
+        if bucket.is_empty() {
+            self.buckets.remove(&key);
+        }
+        let _ = store.remove(entry.file, self.owner);
+        self.evictions += 1;
+        true
+    }
+
+    /// Removes every entry (end-of-run cleanup).
+    pub fn clear(&mut self, store: &mut KvStore) {
+        for (_, bucket) in std::mem::take(&mut self.buckets) {
+            for e in bucket {
+                let _ = store.remove(e.file, self.owner);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symphony_kvfs::{KvEntry, KvStoreConfig};
+    use symphony_model::CtxFingerprint;
+
+    const OWNER: OwnerId = OwnerId(99);
+
+    fn store() -> KvStore {
+        KvStore::new(KvStoreConfig {
+            page_tokens: 4,
+            gpu_pages: 256,
+            cpu_pages: 0,
+            bytes_per_token: 1,
+        })
+    }
+
+    fn file_with(store: &mut KvStore, tokens: &[TokenId]) -> FileId {
+        let f = store.create(OWNER).unwrap();
+        let entries: Vec<KvEntry> = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| KvEntry::new(t, i as u32, CtxFingerprint(t as u64)))
+            .collect();
+        store.append(f, OWNER, &entries).unwrap();
+        f
+    }
+
+    #[test]
+    fn miss_then_hit_after_insert() {
+        let mut s = store();
+        let mut c = PrefixCache::new(4, OWNER);
+        let doc: Vec<TokenId> = (100..120).collect(); // 20 tokens = 5 blocks
+        let mut prompt = doc.clone();
+        prompt.extend([1, 2]); // query tail
+        assert_eq!(c.lookup(&prompt), None);
+        let f = file_with(&mut s, &prompt);
+        c.insert(&mut s, f, &prompt);
+        // Same doc, different query.
+        let mut p2 = doc.clone();
+        p2.extend([7, 8, 9]);
+        let hit = c.lookup(&p2).unwrap();
+        assert_eq!(hit.covered, 20, "block-aligned doc prefix");
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn entries_converge_to_shared_prefix() {
+        let mut s = store();
+        let mut c = PrefixCache::new(4, OWNER);
+        let doc: Vec<TokenId> = (100..116).collect(); // 4 blocks
+        let mut p1 = doc.clone();
+        p1.extend([1, 2, 3, 4]); // one extra block
+        let f1 = file_with(&mut s, &p1);
+        c.insert(&mut s, f1, &p1);
+        assert_eq!(c.len(), 1);
+        let mut p2 = doc.clone();
+        p2.extend([9, 9, 9, 9]);
+        let f2 = file_with(&mut s, &p2);
+        c.insert(&mut s, f2, &p2);
+        // Converged: one entry covering just the doc.
+        assert_eq!(c.len(), 1);
+        let hit = c.lookup(&p2).unwrap();
+        assert_eq!(hit.covered, 16);
+        assert_eq!(s.len(hit.file).unwrap(), 16);
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn short_prompts_are_not_cached() {
+        let mut s = store();
+        let mut c = PrefixCache::new(8, OWNER);
+        let f = file_with(&mut s, &[1, 2, 3]);
+        c.insert(&mut s, f, &[1, 2, 3]);
+        assert!(c.is_empty());
+        assert_eq!(s.gpu_pages_used(), 0, "file must be reclaimed");
+        assert_eq!(c.lookup(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut s = store();
+        let mut c = PrefixCache::new(4, OWNER);
+        let a: Vec<TokenId> = (0..8).collect();
+        let b: Vec<TokenId> = (50..58).collect();
+        let fa = file_with(&mut s, &a);
+        c.insert(&mut s, fa, &a);
+        let fb = file_with(&mut s, &b);
+        c.insert(&mut s, fb, &b);
+        // Touch a so b becomes LRU.
+        c.lookup(&a).unwrap();
+        assert!(c.evict_lru(&mut s));
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup(&a).is_some(), "a survived");
+        assert!(c.lookup(&b).is_none(), "b evicted");
+        assert_eq!(c.evictions(), 1);
+        c.clear(&mut s);
+        assert_eq!(s.gpu_pages_used(), 0);
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn evict_on_empty_cache_is_false() {
+        let mut s = store();
+        let mut c = PrefixCache::new(4, OWNER);
+        assert!(!c.evict_lru(&mut s));
+    }
+}

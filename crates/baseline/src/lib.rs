@@ -1,0 +1,27 @@
+//! Prompt-serving baselines: vLLM-like and TGI-like engines.
+//!
+//! The paper compares Symphony against vLLM and TGI (§5). These baselines are
+//! re-implemented on the *same* substrate — the same surrogate model, GPU
+//! cost model and paged KV store — so that Figure 3's comparison isolates the
+//! architectural difference the paper is about: *who* controls KV cache
+//! policy.
+//!
+//! Both engines are classic prompt servers with iteration-level continuous
+//! batching. The vLLM-like configuration adds automatic prefix caching
+//! (block-aligned longest-common-prefix reuse with LRU eviction under
+//! allocation pressure) and preemption-by-recompute; the TGI-like
+//! configuration has neither.
+//!
+//! The engines are deliberately *good* baselines: they batch aggressively
+//! and reuse what their system-level policy can see. What they cannot do is
+//! exploit application knowledge — pin the 20 documents the application
+//! knows are hot, or skip caching one-off topics — which is precisely the
+//! gap LIPs close.
+
+pub mod api;
+pub mod cache;
+pub mod engine;
+
+pub use api::{Completion, PromptRequest, RunStats};
+pub use cache::PrefixCache;
+pub use engine::{Engine, EngineConfig};

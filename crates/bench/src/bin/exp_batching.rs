@@ -1,0 +1,137 @@
+//! E1 — §4.4 batch-scheduling policy ablation.
+//!
+//! Decode loops batch themselves (the pool refills while the GPU runs), so
+//! the policies only separate on workloads of *independent, single-`pred`*
+//! requests — classification-style calls that run one forward pass over a
+//! short prompt and read the distribution. There, launching eagerly wastes
+//! a full weight-stream per tiny batch:
+//!
+//! - `immediate` is work-conserving: lowest latency at low load, but
+//!   batch≈1 costs one 13 ms weight read per request (saturates early).
+//! - `fixed-window` waits up to `max_wait`, amortising weights across the
+//!   window at a constant latency tax.
+//! - `adaptive` estimates the `pred` arrival rate and waits only as long as
+//!   filling a batch plausibly takes: it tracks immediate at low load and
+//!   fixed-window at high load — the §4.4 design.
+//!
+//! Run: `cargo run -p symphony-bench --release --bin exp_batching`
+
+use serde::Serialize;
+use symphony::{BatchPolicy, Kernel, KernelConfig, SimDuration, SimTime, SysError};
+use symphony_bench::{write_json, Table};
+use symphony_sim::{PoissonProcess, Rng};
+
+const PROMPT_TOKENS: usize = 48;
+const REQUESTS: usize = 300;
+
+#[derive(Debug, Clone, Serialize)]
+struct Point {
+    policy: String,
+    load_rps: f64,
+    mean_latency_ms: f64,
+    p95_latency_ms: f64,
+    throughput_req_s: f64,
+    mean_batch_size: f64,
+    gpu_util: f64,
+}
+
+fn run_point(policy: BatchPolicy, policy_name: &str, load: f64) -> Point {
+    let mut cfg = KernelConfig::paper_setup();
+    cfg.batch_policy = policy;
+    cfg.max_batch = 64;
+    cfg.trace = false;
+    let mut kernel = Kernel::new(cfg);
+
+    let mut rng = Rng::new(0xE1);
+    let arrivals = PoissonProcess::new(load);
+    let mut at = SimTime::ZERO;
+    let mut pids = Vec::new();
+    for i in 0..REQUESTS {
+        at += arrivals.next_gap(&mut rng);
+        let args = format!("classify this input snippet number {i} into a label");
+        pids.push(kernel.schedule_process(at, &format!("p{i}"), &args, |ctx| {
+            // Classification-style request: ONE pred, read the distribution,
+            // emit the verdict. No decode loop.
+            let mut prompt = ctx.tokenize(&ctx.args())?;
+            prompt.truncate(PROMPT_TOKENS);
+            let kv = ctx.kv_create()?;
+            let dist = ctx
+                .pred_positions(kv, &prompt, 0)?
+                .pop()
+                .ok_or(SysError::BadArgument)?;
+            ctx.emit(if dist.entropy() > 2.0 { "uncertain" } else { "confident" })?;
+            ctx.kv_remove(kv)?;
+            Ok(())
+        }));
+    }
+    kernel.run();
+
+    let mut lat = symphony_sim::Series::new();
+    let mut makespan = SimTime::ZERO;
+    for &pid in &pids {
+        let rec = kernel.record(pid).expect("record");
+        assert!(rec.status.is_ok(), "{policy_name}: {:?}", rec.status);
+        let exit = rec.exited_at.expect("completed");
+        makespan = makespan.max(exit);
+        lat.add(exit.duration_since(rec.spawned_at).as_millis_f64());
+    }
+    let gm = kernel.gpu_metrics();
+    let span = makespan.as_secs_f64().max(1e-9);
+    Point {
+        policy: policy_name.to_string(),
+        load_rps: load,
+        mean_latency_ms: lat.mean(),
+        p95_latency_ms: lat.percentile(0.95).unwrap_or(0.0),
+        throughput_req_s: REQUESTS as f64 / span,
+        mean_batch_size: gm.requests_ok as f64 / gm.batches.max(1) as f64,
+        gpu_util: gm.busy.as_secs_f64() / span,
+    }
+}
+
+fn main() {
+    let policies: Vec<(&str, BatchPolicy)> = vec![
+        ("immediate", BatchPolicy::Immediate),
+        (
+            "fixed-20ms",
+            BatchPolicy::FixedWindow {
+                max_wait: SimDuration::from_millis(20),
+                max_batch: 32,
+            },
+        ),
+        (
+            "adaptive",
+            BatchPolicy::Adaptive {
+                target_batch: 32,
+                max_wait: SimDuration::from_millis(20),
+            },
+        ),
+    ];
+    let loads = [10.0, 40.0, 150.0, 600.0];
+
+    let mut results = Vec::new();
+    let mut table = Table::new(
+        "E1 — batch policy ablation on single-pred classification requests",
+        &["policy", "load(rps)", "mean lat", "p95 lat", "req/s", "batch size", "gpu%"],
+    );
+    for &(name, policy) in &policies {
+        for &load in &loads {
+            eprintln!("E1: {name} @ {load} rps ...");
+            let p = run_point(policy, name, load);
+            table.row(vec![
+                p.policy.clone(),
+                format!("{load}"),
+                format!("{:.1}ms", p.mean_latency_ms),
+                format!("{:.1}ms", p.p95_latency_ms),
+                format!("{:.0}", p.throughput_req_s),
+                format!("{:.1}", p.mean_batch_size),
+                format!("{:.0}%", p.gpu_util * 100.0),
+            ]);
+            results.push(p);
+        }
+    }
+    table.print();
+    println!("\nShape check: immediate wins at low load (no wait tax) but saturates at");
+    println!("batch≈1; the window amortises weight reads at high load; adaptive tracks");
+    println!("whichever is better for the observed arrival rate.");
+    write_json("exp_batching", &results);
+}

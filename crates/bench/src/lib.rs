@@ -1,0 +1,11 @@
+//! Experiment harness: regenerates every figure in the paper plus the
+//! extension experiments listed in `DESIGN.md`.
+//!
+//! Each `src/bin/` binary prints the rows/series of one figure or
+//! experiment and writes a JSON dump next to it (under `results/`) so
+//! `EXPERIMENTS.md` numbers are regenerable.
+
+pub mod fig3;
+pub mod report;
+
+pub use report::{write_json, Table};

@@ -1,0 +1,1042 @@
+//! The Symphony kernel: process table, event loop, syscall dispatch, the
+//! two-level scheduler, and I/O with KV offload.
+//!
+//! # Determinism
+//!
+//! LIPs run on real OS threads, but the kernel is the only scheduler: it
+//! delivers one reply, then blocks until *that* thread's next syscall (or
+//! exit) arrives before touching anything else. Combined with the virtual
+//! clock and seeded RNG streams, a whole serving run replays bit-identically
+//! — the integration tests compare trace fingerprints across runs.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use symphony_gpu::{DeviceSpec, ExecError, GpuExecutor, GpuMetrics, PredRequest};
+use symphony_kvfs::{FileId, KvStats, KvStore, KvStoreConfig, Mode, OwnerId, Residency};
+use symphony_model::{ModelConfig, Surrogate, TokenId};
+use symphony_model::surrogate::VocabInfo;
+use symphony_sim::{EventQueue, Rng, SimDuration, SimTime, Trace};
+use symphony_tokenizer::Bpe;
+
+use crate::sched::{BatchPolicy, Decision, InferScheduler};
+use crate::syscall::{thread_main, Ctx, LipFn, SysReply, Syscall, UpCall};
+use crate::tools::{ToolOutcome, ToolRegistry, ToolSpec};
+use crate::types::{ExitStatus, Limits, Pid, ProcessRecord, ProcessUsage, SysError, Tid};
+
+/// Kernel construction parameters.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Served model shape (drives cost and KV footprint).
+    pub model: ModelConfig,
+    /// Seed of the surrogate model's behaviour.
+    pub model_seed: u64,
+    /// Simulated accelerator.
+    pub device: DeviceSpec,
+    /// Batch inference scheduling policy (§4.4).
+    pub batch_policy: BatchPolicy,
+    /// Global cap on requests per GPU batch.
+    pub max_batch: usize,
+    /// Tokens per KVFS page.
+    pub page_tokens: usize,
+    /// Host-memory KV swap space in bytes.
+    pub cpu_swap_bytes: u64,
+    /// Overrides the device-derived GPU KV budget (tests use tiny pools).
+    pub gpu_kv_bytes_override: Option<u64>,
+    /// Virtual CPU cost charged per system call.
+    pub syscall_cost: SimDuration,
+    /// Offload a process's KV files to host memory while it waits on I/O.
+    pub offload_on_io_wait: bool,
+    /// Only offload for tool calls at least this slow.
+    pub offload_min_latency: SimDuration,
+    /// Kernel RNG seed (tool latencies, LIP thread RNG streams).
+    pub seed: u64,
+    /// Default per-process limits.
+    pub default_limits: Limits,
+    /// Record a structured trace (disable for long benchmark runs).
+    pub trace: bool,
+}
+
+impl KernelConfig {
+    /// Small, fast configuration for unit tests: tiny model, test device,
+    /// immediate batching, zero syscall cost.
+    pub fn for_tests() -> Self {
+        KernelConfig {
+            model: ModelConfig::tiny(),
+            model_seed: 7,
+            device: DeviceSpec::test_device(),
+            batch_policy: BatchPolicy::Immediate,
+            max_batch: 64,
+            page_tokens: 4,
+            cpu_swap_bytes: 4_000_000,
+            gpu_kv_bytes_override: None,
+            syscall_cost: SimDuration::ZERO,
+            offload_on_io_wait: false,
+            offload_min_latency: SimDuration::from_millis(10),
+            seed: 42,
+            default_limits: Limits::default(),
+            trace: true,
+        }
+    }
+
+    /// The paper's evaluation setup: Llama-13B on an A100-80G with adaptive
+    /// batching.
+    pub fn paper_setup() -> Self {
+        KernelConfig {
+            model: ModelConfig::llama_13b(),
+            model_seed: 13,
+            device: DeviceSpec::a100_80g(),
+            batch_policy: BatchPolicy::Adaptive {
+                target_batch: 16,
+                max_wait: SimDuration::from_millis(10),
+            },
+            max_batch: 64,
+            page_tokens: 16,
+            cpu_swap_bytes: 256_000_000_000,
+            gpu_kv_bytes_override: None,
+            syscall_cost: SimDuration::from_micros(2),
+            offload_on_io_wait: true,
+            offload_min_latency: SimDuration::from_millis(20),
+            seed: 42,
+            default_limits: Limits::default(),
+            trace: false,
+        }
+    }
+}
+
+/// Kernel events on the virtual clock.
+enum Event {
+    /// Deliver a reply to a parked thread.
+    Resume(Tid, SysReply),
+    /// A GPU batch finished.
+    BatchDone { batch_id: u64 },
+    /// An I/O (tool) completion.
+    IoDone {
+        tid: Tid,
+        result: Result<String, SysError>,
+    },
+    /// Re-evaluate the batch scheduler.
+    BatchTimer,
+    /// A scheduled program arrival.
+    SpawnProgram {
+        pid: Pid,
+        args: String,
+        f: LipFn,
+    },
+}
+
+struct ThreadState {
+    pid: Pid,
+    reply_tx: Sender<SysReply>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    status: Option<ExitStatus>,
+    join_waiters: Vec<Tid>,
+}
+
+struct Proc {
+    main_tid: Tid,
+    args: String,
+    live_threads: u32,
+    mailbox: VecDeque<(Pid, String)>,
+    recv_waiters: VecDeque<Tid>,
+    limits: Limits,
+    io_waiting: u32,
+    offloaded: Vec<FileId>,
+    finished: bool,
+}
+
+struct PendingPred {
+    tid: Tid,
+    req: PredRequest,
+}
+
+/// Ensure LIP-thread panics (crash tests, shutdown unwinds) do not spam
+/// stderr: the hook suppresses output for threads named `lip-*`.
+fn install_quiet_lip_panics() {
+    use std::sync::OnceLock;
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let is_lip = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("lip-"));
+            if !is_lip {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// The Symphony kernel.
+pub struct Kernel {
+    // Substrate.
+    store: KvStore,
+    gpu: GpuExecutor,
+    tokenizer: &'static Bpe,
+    tools: ToolRegistry,
+    // Scheduling.
+    events: EventQueue<Event>,
+    ready: VecDeque<(Tid, SysReply)>,
+    sched: InferScheduler<PendingPred>,
+    gpu_busy: bool,
+    pending_batches: BTreeMap<u64, Vec<(Tid, SysReply)>>,
+    next_batch: u64,
+    timer_armed_until: Option<SimTime>,
+    // Processes and threads.
+    threads: BTreeMap<u64, ThreadState>,
+    next_tid: u64,
+    procs: BTreeMap<u64, Proc>,
+    next_pid: u64,
+    records: BTreeMap<u64, ProcessRecord>,
+    names: BTreeMap<String, Pid>,
+    live_threads: usize,
+    // Plumbing.
+    up_tx: Sender<UpCall>,
+    up_rx: Receiver<UpCall>,
+    rng: Rng,
+    trace: Trace,
+    // Config extracts.
+    syscall_cost: SimDuration,
+    offload_on_io_wait: bool,
+    offload_min_latency: SimDuration,
+    default_limits: Limits,
+}
+
+impl Kernel {
+    /// Builds a kernel from a configuration.
+    pub fn new(config: KernelConfig) -> Self {
+        install_quiet_lip_panics();
+        let tokenizer = Bpe::default_tokenizer();
+        let model = Surrogate::new(config.model, config.model_seed)
+            .with_vocab(VocabInfo::from_tokenizer(tokenizer));
+        let gpu_kv_bytes = config
+            .gpu_kv_bytes_override
+            .unwrap_or_else(|| config.device.kv_budget_bytes(&config.model));
+        let store = KvStore::new(KvStoreConfig::from_bytes(
+            gpu_kv_bytes,
+            config.cpu_swap_bytes,
+            config.model.kv_bytes_per_token(),
+            config.page_tokens,
+        ));
+        let (up_tx, up_rx) = unbounded();
+        Kernel {
+            store,
+            gpu: GpuExecutor::new(config.device, model),
+            tokenizer,
+            tools: ToolRegistry::new(),
+            events: EventQueue::new(),
+            ready: VecDeque::new(),
+            sched: InferScheduler::new(config.batch_policy, config.max_batch),
+            gpu_busy: false,
+            pending_batches: BTreeMap::new(),
+            next_batch: 0,
+            timer_armed_until: None,
+            threads: BTreeMap::new(),
+            next_tid: 1,
+            procs: BTreeMap::new(),
+            next_pid: 1,
+            records: BTreeMap::new(),
+            names: BTreeMap::new(),
+            live_threads: 0,
+            up_tx,
+            up_rx,
+            rng: Rng::new(config.seed),
+            trace: if config.trace {
+                Trace::new()
+            } else {
+                Trace::disabled()
+            },
+            syscall_cost: config.syscall_cost,
+            offload_on_io_wait: config.offload_on_io_wait,
+            offload_min_latency: config.offload_min_latency,
+            default_limits: config.default_limits,
+        }
+    }
+
+    // ---- setup API ------------------------------------------------------------
+
+    /// Registers a server-side tool.
+    pub fn register_tool(&mut self, name: &str, spec: ToolSpec) {
+        self.tools.register(name, spec);
+    }
+
+    /// Preloads a KV file under `path` as the admin (e.g. a shared system
+    /// prompt), computing its fingerprint chain without charging GPU time —
+    /// the moral equivalent of shipping precomputed KV with the deployment.
+    pub fn preload_kv(
+        &mut self,
+        path: &str,
+        tokens: &[TokenId],
+        mode: Mode,
+        pinned: bool,
+    ) -> Result<FileId, SysError> {
+        let fpr = self.gpu.model().fingerprinter();
+        let mut fp = fpr.origin();
+        let entries: Vec<symphony_kvfs::KvEntry> = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                fp = fpr.advance(fp, t, i as u32);
+                symphony_kvfs::KvEntry::new(t, i as u32, fp)
+            })
+            .collect();
+        let f = self.store.create(OwnerId::ADMIN)?;
+        self.store.append(f, OwnerId::ADMIN, &entries)?;
+        self.store.chmod(f, OwnerId::ADMIN, mode)?;
+        if pinned {
+            self.store.pin(f, OwnerId::ADMIN)?;
+        }
+        self.store.link(f, path, OwnerId::ADMIN)?;
+        Ok(f)
+    }
+
+    /// Spawns a LIP immediately (at the current virtual time) with the
+    /// default limits.
+    pub fn spawn_process<F>(&mut self, name: &str, args: &str, f: F) -> Pid
+    where
+        F: FnOnce(&mut Ctx) -> Result<(), SysError> + Send + 'static,
+    {
+        self.spawn_process_with_limits(name, args, self.default_limits, f)
+    }
+
+    /// Spawns a LIP immediately with explicit limits.
+    pub fn spawn_process_with_limits<F>(
+        &mut self,
+        name: &str,
+        args: &str,
+        limits: Limits,
+        f: F,
+    ) -> Pid
+    where
+        F: FnOnce(&mut Ctx) -> Result<(), SysError> + Send + 'static,
+    {
+        let pid = self.alloc_pid(name, self.events.now(), limits);
+        self.start_process(pid, args.to_string(), Box::new(f));
+        pid
+    }
+
+    /// Schedules a LIP to arrive at a future virtual time (workload driving).
+    pub fn schedule_process<F>(&mut self, at: SimTime, name: &str, args: &str, f: F) -> Pid
+    where
+        F: FnOnce(&mut Ctx) -> Result<(), SysError> + Send + 'static,
+    {
+        let pid = self.alloc_pid(name, at, self.default_limits);
+        self.events.schedule(
+            at,
+            Event::SpawnProgram {
+                pid,
+                args: args.to_string(),
+                f: Box::new(f),
+            },
+        );
+        pid
+    }
+
+    fn alloc_pid(&mut self, name: &str, spawned_at: SimTime, limits: Limits) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.records.insert(
+            pid.0,
+            ProcessRecord {
+                pid,
+                name: name.to_string(),
+                spawned_at,
+                exited_at: None,
+                status: ExitStatus::Ok,
+                output: String::new(),
+                usage: ProcessUsage::default(),
+            },
+        );
+        self.names.insert(name.to_string(), pid);
+        if let Some(q) = limits.kv_quota_pages {
+            self.store.set_quota(OwnerId(pid.0), Some(q));
+        }
+        self.procs.insert(
+            pid.0,
+            Proc {
+                main_tid: Tid(0),
+                args: String::new(),
+                live_threads: 0,
+                mailbox: VecDeque::new(),
+                recv_waiters: VecDeque::new(),
+                limits,
+                io_waiting: 0,
+                offloaded: Vec::new(),
+                finished: false,
+            },
+        );
+        pid
+    }
+
+    fn start_process(&mut self, pid: Pid, args: String, f: LipFn) {
+        self.procs.get_mut(&pid.0).expect("proc exists").args = args.clone();
+        let tid = self.spawn_thread(pid, args, f);
+        let proc = self.procs.get_mut(&pid.0).expect("proc exists");
+        proc.main_tid = tid;
+        self.trace.record(
+            self.events.now(),
+            "kernel",
+            format!("spawn pid={} tid={}", pid.0, tid.0),
+        );
+    }
+
+    fn spawn_thread(&mut self, pid: Pid, args: String, f: LipFn) -> Tid {
+        let tid = Tid(self.next_tid);
+        self.next_tid += 1;
+        let (reply_tx, reply_rx) = unbounded();
+        let ctx = Ctx::new(
+            tid,
+            pid,
+            args,
+            self.up_tx.clone(),
+            reply_rx,
+            self.rng.fork(tid.0),
+            self.tokenizer.specials(),
+        );
+        let handle = std::thread::Builder::new()
+            .name(format!("lip-{}", tid.0))
+            .stack_size(512 * 1024)
+            .spawn(move || thread_main(ctx, f))
+            .expect("spawn LIP thread");
+        self.threads.insert(
+            tid.0,
+            ThreadState {
+                pid,
+                reply_tx,
+                handle: Some(handle),
+                status: None,
+                join_waiters: Vec::new(),
+            },
+        );
+        let proc = self.procs.get_mut(&pid.0).expect("proc exists");
+        proc.live_threads += 1;
+        if let Some(r) = self.records.get_mut(&pid.0) {
+            r.usage.threads_spawned += 1;
+        }
+        self.live_threads += 1;
+        self.ready.push_back((tid, SysReply::Start));
+        tid
+    }
+
+    // ---- introspection ----------------------------------------------------------
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// The record for a process (live or exited).
+    pub fn record(&self, pid: Pid) -> Option<&ProcessRecord> {
+        self.records.get(&pid.0)
+    }
+
+    /// All process records, in PID order.
+    pub fn records(&self) -> impl Iterator<Item = &ProcessRecord> {
+        self.records.values()
+    }
+
+    /// GPU executor metrics.
+    pub fn gpu_metrics(&self) -> GpuMetrics {
+        self.gpu.metrics()
+    }
+
+    /// KV store statistics.
+    pub fn kv_stats(&self) -> KvStats {
+        self.store.stats()
+    }
+
+    /// Read access to the KV store (tests and harnesses).
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+
+    /// Admin access to the KV store for setup/inspection.
+    pub fn store_mut(&mut self) -> &mut KvStore {
+        &mut self.store
+    }
+
+    /// The run trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// LIP threads that are still alive (blocked or runnable).
+    pub fn live_threads(&self) -> usize {
+        self.live_threads
+    }
+
+    /// The tokenizer used by this kernel.
+    pub fn tokenizer(&self) -> &'static Bpe {
+        self.tokenizer
+    }
+
+    // ---- main loop -------------------------------------------------------------
+
+    /// Runs the kernel until no thread is runnable and no event is pending.
+    ///
+    /// Returns the number of processes that exited during the run. If
+    /// [`Kernel::live_threads`] is non-zero afterwards, the remaining threads
+    /// are deadlocked (e.g. blocked in `recv_msg` with no sender).
+    pub fn run(&mut self) -> usize {
+        let before: usize = self
+            .records
+            .values()
+            .filter(|r| r.exited_at.is_some())
+            .count();
+        loop {
+            while let Some((tid, reply)) = self.ready.pop_front() {
+                self.resume(tid, reply);
+            }
+            self.maybe_launch_batch();
+            if !self.ready.is_empty() {
+                continue;
+            }
+            match self.events.pop() {
+                Some((_, ev)) => self.handle_event(ev),
+                None => break,
+            }
+        }
+        let after: usize = self
+            .records
+            .values()
+            .filter(|r| r.exited_at.is_some())
+            .count();
+        after - before
+    }
+
+    fn resume(&mut self, tid: Tid, reply: SysReply) {
+        let Some(ts) = self.threads.get(&tid.0) else {
+            return;
+        };
+        if ts.status.is_some() {
+            return; // Thread already exited (e.g. killed reply raced).
+        }
+        if ts.reply_tx.send(reply).is_err() {
+            return;
+        }
+        let up = self
+            .up_rx
+            .recv()
+            .expect("a resumed LIP thread must issue a syscall or exit");
+        match up {
+            UpCall::Syscall { tid, call } => self.handle_syscall(tid, call),
+            UpCall::Exited { tid, status } => self.handle_exit(tid, status),
+        }
+    }
+
+    fn handle_event(&mut self, ev: Event) {
+        match ev {
+            Event::Resume(tid, reply) => self.ready.push_back((tid, reply)),
+            Event::BatchDone { batch_id } => {
+                self.gpu_busy = false;
+                let results = self
+                    .pending_batches
+                    .remove(&batch_id)
+                    .expect("batch results recorded at launch");
+                self.trace.record(
+                    self.events.now(),
+                    "infer_sched",
+                    format!("batch_done id={batch_id} n={}", results.len()),
+                );
+                for (tid, reply) in results {
+                    self.ready.push_back((tid, reply));
+                }
+            }
+            Event::IoDone { tid, result } => self.finish_io(tid, result),
+            Event::BatchTimer => {
+                self.timer_armed_until = None;
+            }
+            Event::SpawnProgram { pid, args, f } => {
+                self.start_process(pid, args, f);
+            }
+        }
+    }
+
+    // ---- batch scheduling --------------------------------------------------------
+
+    fn maybe_launch_batch(&mut self) {
+        match self.sched.decide(self.events.now(), !self.gpu_busy) {
+            Decision::LaunchNow => self.launch_batch(),
+            Decision::WaitUntil(t) => {
+                let already = self.timer_armed_until.is_some_and(|a| a <= t);
+                if !already {
+                    self.events.schedule(t, Event::BatchTimer);
+                    self.timer_armed_until = Some(t);
+                }
+            }
+            Decision::Idle => {}
+        }
+    }
+
+    fn launch_batch(&mut self) {
+        let pending = self.sched.take_batch();
+        debug_assert!(!pending.is_empty());
+        let tids: Vec<Tid> = pending.iter().map(|p| p.tid).collect();
+        let requests: Vec<PredRequest> = pending.into_iter().map(|p| p.req).collect();
+        let (results, report) = self.gpu.execute_batch(&mut self.store, &requests);
+        let batch_id = self.next_batch;
+        self.next_batch += 1;
+        let replies: Vec<(Tid, SysReply)> = tids
+            .into_iter()
+            .zip(results)
+            .map(|(tid, res)| {
+                let reply = match res {
+                    Ok(r) => SysReply::Dists(r.dists),
+                    Err(ExecError::Kv(e)) => SysReply::Err(SysError::Kv(e)),
+                    Err(ExecError::NotResident) => {
+                        SysReply::Err(SysError::Kv(symphony_kvfs::KvError::NotResident))
+                    }
+                    Err(ExecError::EmptyRequest) => SysReply::Err(SysError::BadArgument),
+                };
+                (tid, reply)
+            })
+            .collect();
+        self.trace.record(
+            self.events.now(),
+            "infer_sched",
+            format!(
+                "batch_launch id={batch_id} n={} new_tokens={} dur={}",
+                report.requests, report.new_tokens, report.duration
+            ),
+        );
+        self.pending_batches.insert(batch_id, replies);
+        self.gpu_busy = true;
+        self.events.schedule(
+            self.events.now() + report.duration,
+            Event::BatchDone { batch_id },
+        );
+    }
+
+    // ---- syscall dispatch -----------------------------------------------------------
+
+    /// Schedules a reply after the per-syscall CPU charge.
+    fn complete(&mut self, tid: Tid, reply: SysReply) {
+        let at = self.events.now() + self.syscall_cost;
+        self.events.schedule(at, Event::Resume(tid, reply));
+    }
+
+    fn owner_of(&self, tid: Tid) -> (Pid, OwnerId) {
+        let pid = self.threads.get(&tid.0).expect("live thread").pid;
+        (pid, OwnerId(pid.0))
+    }
+
+    fn handle_syscall(&mut self, tid: Tid, call: Syscall) {
+        let (pid, owner) = self.owner_of(tid);
+        // Global syscall accounting and limit.
+        let (syscalls_so_far, max_syscalls) = {
+            let rec = self.records.get_mut(&pid.0).expect("record");
+            rec.usage.syscalls += 1;
+            (
+                rec.usage.syscalls,
+                self.procs[&pid.0].limits.max_syscalls,
+            )
+        };
+        if let Some(max) = max_syscalls {
+            if syscalls_so_far > max {
+                self.complete(tid, SysReply::Err(SysError::LimitExceeded("syscalls")));
+                return;
+            }
+        }
+
+        macro_rules! kv {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(e) => {
+                        self.complete(tid, SysReply::Err(SysError::Kv(e)));
+                        return;
+                    }
+                }
+            };
+        }
+
+        match call {
+            Syscall::Pred { kv, tokens } => {
+                if tokens.is_empty() {
+                    self.complete(tid, SysReply::Err(SysError::BadArgument));
+                    return;
+                }
+                let limit = self.procs[&pid.0].limits.max_pred_tokens;
+                let rec = self.records.get_mut(&pid.0).expect("record");
+                rec.usage.pred_calls += 1;
+                rec.usage.pred_tokens += tokens.len() as u64;
+                if let Some(max) = limit {
+                    if rec.usage.pred_tokens > max {
+                        self.complete(tid, SysReply::Err(SysError::LimitExceeded("pred_tokens")));
+                        return;
+                    }
+                }
+                self.trace.record(
+                    self.events.now(),
+                    "kernel",
+                    format!("pred tid={} n={}", tid.0, tokens.len()),
+                );
+                self.sched.on_arrival(
+                    self.events.now(),
+                    PendingPred {
+                        tid,
+                        req: PredRequest {
+                            file: kv,
+                            owner,
+                            tokens,
+                        },
+                    },
+                );
+                // Thread stays parked; the batch scheduler will resume it.
+            }
+            Syscall::KvCreate => {
+                let f = kv!(self.store.create(owner));
+                self.complete(tid, SysReply::Handle(f));
+            }
+            Syscall::KvOpen { path } => {
+                let f = kv!(self.store.open(&path, owner));
+                self.complete(tid, SysReply::Handle(f));
+            }
+            Syscall::KvLink { kv, path } => {
+                kv!(self.store.link(kv, &path, owner));
+                self.complete(tid, SysReply::Unit);
+            }
+            Syscall::KvUnlink { path } => {
+                kv!(self.store.unlink(&path, owner));
+                self.complete(tid, SysReply::Unit);
+            }
+            Syscall::KvFork { kv } => {
+                let f = kv!(self.store.fork(kv, owner));
+                self.complete(tid, SysReply::Handle(f));
+            }
+            Syscall::KvRemove { kv } => {
+                kv!(self.store.remove(kv, owner));
+                self.complete(tid, SysReply::Unit);
+            }
+            Syscall::KvLen { kv } => {
+                let n = kv!(self.store.len(kv));
+                self.complete(tid, SysReply::Len(n));
+            }
+            Syscall::KvNextPos { kv } => {
+                let p = kv!(self.store.next_position(kv));
+                self.complete(tid, SysReply::Pos(p));
+            }
+            Syscall::KvTruncate { kv, len } => {
+                kv!(self.store.truncate(kv, owner, len));
+                self.complete(tid, SysReply::Unit);
+            }
+            Syscall::KvExtract { kv, ranges } => {
+                let f = kv!(self.store.extract(kv, owner, &ranges));
+                self.complete(tid, SysReply::Handle(f));
+            }
+            Syscall::KvMerge { kvs } => {
+                let f = kv!(self.store.merge(&kvs, owner));
+                self.complete(tid, SysReply::Handle(f));
+            }
+            Syscall::KvRead { kv, start, count } => {
+                let e = kv!(self.store.read(kv, owner, start, count));
+                self.complete(tid, SysReply::Entries(e));
+            }
+            Syscall::KvPin { kv } => {
+                kv!(self.store.pin(kv, owner));
+                self.complete(tid, SysReply::Unit);
+            }
+            Syscall::KvUnpin { kv } => {
+                kv!(self.store.unpin(kv, owner));
+                self.complete(tid, SysReply::Unit);
+            }
+            Syscall::KvLock { kv } => {
+                kv!(self.store.lock(kv, owner));
+                self.complete(tid, SysReply::Unit);
+            }
+            Syscall::KvUnlock { kv } => {
+                kv!(self.store.unlock(kv, owner));
+                self.complete(tid, SysReply::Unit);
+            }
+            Syscall::KvChmod { kv, mode } => {
+                kv!(self.store.chmod(kv, owner, mode));
+                self.complete(tid, SysReply::Unit);
+            }
+            Syscall::KvStat { kv } => {
+                let s = kv!(self.store.stat(kv));
+                self.complete(tid, SysReply::Stat(Box::new(s)));
+            }
+            Syscall::KvSwapOut { kv } => {
+                let tokens = kv!(self.store.swap_out(kv, owner));
+                let cost = self
+                    .gpu
+                    .swap_time(tokens as u64, self.store.bytes_per_token());
+                let at = self.events.now() + self.syscall_cost + cost;
+                self.events.schedule(at, Event::Resume(tid, SysReply::Unit));
+            }
+            Syscall::KvSwapIn { kv } => {
+                let tokens = kv!(self.store.swap_in(kv, owner));
+                let cost = self
+                    .gpu
+                    .swap_time(tokens as u64, self.store.bytes_per_token());
+                let at = self.events.now() + self.syscall_cost + cost;
+                self.events.schedule(at, Event::Resume(tid, SysReply::Unit));
+            }
+            Syscall::Spawn { f } => {
+                let proc = &self.procs[&pid.0];
+                if let Some(max) = proc.limits.max_threads {
+                    if proc.live_threads >= max {
+                        self.complete(tid, SysReply::Err(SysError::LimitExceeded("threads")));
+                        return;
+                    }
+                }
+                // Sibling threads inherit the process's args string.
+                let args = self.procs[&pid.0].args.clone();
+                let new_tid = self.spawn_thread(pid, args, f);
+                self.complete(tid, SysReply::NewTid(new_tid));
+            }
+            Syscall::Join { tid: target } => match self.threads.get_mut(&target.0) {
+                None => self.complete(tid, SysReply::Err(SysError::NotFound)),
+                Some(ts) => match &ts.status {
+                    Some(status) => {
+                        let s = status.clone();
+                        self.complete(tid, SysReply::Joined(s));
+                    }
+                    None => ts.join_waiters.push(tid),
+                },
+            },
+            Syscall::CallTool { name, args } => {
+                let proc = self.procs.get_mut(&pid.0).expect("proc");
+                if let Some(max) = proc.limits.max_tool_calls {
+                    if self.records[&pid.0].usage.tool_calls >= max {
+                        self.complete(tid, SysReply::Err(SysError::LimitExceeded("tool_calls")));
+                        return;
+                    }
+                }
+                self.records.get_mut(&pid.0).expect("record").usage.tool_calls += 1;
+                match self.tools.invoke(&name, &args, &mut self.rng) {
+                    None => self.complete(tid, SysReply::Err(SysError::NotFound)),
+                    Some((latency, outcome)) => {
+                        let result = match outcome {
+                            ToolOutcome::Ok(s) => Ok(s),
+                            ToolOutcome::Failed(msg) => Err(SysError::ToolFailed(msg)),
+                        };
+                        self.trace.record(
+                            self.events.now(),
+                            "io",
+                            format!("tool={} tid={} latency={}", name, tid.0, latency),
+                        );
+                        self.begin_io(pid, latency);
+                        self.events.schedule(
+                            self.events.now() + latency,
+                            Event::IoDone { tid, result },
+                        );
+                    }
+                }
+            }
+            Syscall::SendMsg { to, data } => {
+                if !self.procs.contains_key(&to.0)
+                    || self.procs[&to.0].finished
+                {
+                    self.complete(tid, SysReply::Err(SysError::NotFound));
+                    return;
+                }
+                let target = self.procs.get_mut(&to.0).expect("checked");
+                if let Some(waiter) = target.recv_waiters.pop_front() {
+                    self.complete(waiter, SysReply::Msg { from: pid, data });
+                } else {
+                    target.mailbox.push_back((pid, data));
+                }
+                self.complete(tid, SysReply::Unit);
+            }
+            Syscall::Recv => {
+                let proc = self.procs.get_mut(&pid.0).expect("proc");
+                if let Some((from, data)) = proc.mailbox.pop_front() {
+                    self.complete(tid, SysReply::Msg { from, data });
+                } else {
+                    proc.recv_waiters.push_back(tid);
+                }
+            }
+            Syscall::LookupProcess { name } => {
+                let found = self
+                    .names
+                    .get(&name)
+                    .copied()
+                    .filter(|p| self.procs.get(&p.0).is_some_and(|pr| !pr.finished));
+                self.complete(tid, SysReply::MaybePid(found));
+            }
+            Syscall::Sleep { dur } => {
+                let at = self.events.now() + dur;
+                self.events.schedule(at, Event::Resume(tid, SysReply::Unit));
+            }
+            Syscall::Emit { text } => {
+                self.records
+                    .get_mut(&pid.0)
+                    .expect("record")
+                    .output
+                    .push_str(&text);
+                self.complete(tid, SysReply::Unit);
+            }
+            Syscall::EmitTokens { tokens } => {
+                let text = self.tokenizer.decode(&tokens);
+                let rec = self.records.get_mut(&pid.0).expect("record");
+                rec.output.push_str(&text);
+                rec.usage.emitted_tokens += tokens.len() as u64;
+                self.complete(tid, SysReply::Unit);
+            }
+            Syscall::Tokenize { text } => {
+                let tokens = self.tokenizer.encode(&text);
+                self.complete(tid, SysReply::Tokens(tokens));
+            }
+            Syscall::Detokenize { tokens } => {
+                let text = self.tokenizer.decode(&tokens);
+                self.complete(tid, SysReply::Text(text));
+            }
+            Syscall::Now => {
+                let t = self.events.now();
+                self.complete(tid, SysReply::Time(t));
+            }
+        }
+    }
+
+    // ---- I/O with KV offload (§4.3) ------------------------------------------------
+
+    fn begin_io(&mut self, pid: Pid, latency: SimDuration) {
+        let proc = self.procs.get_mut(&pid.0).expect("proc");
+        proc.io_waiting += 1;
+        if !self.offload_on_io_wait || latency < self.offload_min_latency {
+            return;
+        }
+        // Offload the process's GPU-resident, unpinned files to host memory.
+        let owner = OwnerId(pid.0);
+        let victims: Vec<FileId> = self
+            .store
+            .list_files()
+            .into_iter()
+            .filter(|s| s.owner == owner && !s.pinned && s.residency == Residency::Gpu)
+            .map(|s| s.id)
+            .collect();
+        for f in victims {
+            if self.store.swap_out(f, owner).is_ok() {
+                self.procs
+                    .get_mut(&pid.0)
+                    .expect("proc")
+                    .offloaded
+                    .push(f);
+                self.trace.record(
+                    self.events.now(),
+                    "io",
+                    format!("offload pid={} file={}", pid.0, f.0),
+                );
+            }
+        }
+    }
+
+    fn finish_io(&mut self, tid: Tid, result: Result<String, SysError>) {
+        let Some(ts) = self.threads.get(&tid.0) else {
+            return;
+        };
+        let pid = ts.pid;
+        let proc = self.procs.get_mut(&pid.0).expect("proc");
+        proc.io_waiting = proc.io_waiting.saturating_sub(1);
+        let mut restore_tokens = 0usize;
+        if proc.io_waiting == 0 && !proc.offloaded.is_empty() {
+            let files = std::mem::take(&mut proc.offloaded);
+            let owner = OwnerId(pid.0);
+            for f in files {
+                if let Ok(moved) = self.store.swap_in(f, owner) {
+                    restore_tokens += moved;
+                }
+            }
+        }
+        let reply = match result {
+            Ok(s) => SysReply::Text(s),
+            Err(e) => SysReply::Err(e),
+        };
+        if restore_tokens > 0 {
+            // The thread pays the PCIe restore time before resuming.
+            let cost = self
+                .gpu
+                .swap_time(restore_tokens as u64, self.store.bytes_per_token());
+            self.trace.record(
+                self.events.now(),
+                "io",
+                format!("restore pid={} tokens={restore_tokens}", pid.0),
+            );
+            self.events
+                .schedule(self.events.now() + cost, Event::Resume(tid, reply));
+        } else {
+            self.ready.push_back((tid, reply));
+        }
+    }
+
+    // ---- exit and cleanup --------------------------------------------------------
+
+    fn handle_exit(&mut self, tid: Tid, status: ExitStatus) {
+        self.live_threads -= 1;
+        let (pid, waiters, handle) = {
+            let ts = self.threads.get_mut(&tid.0).expect("thread exists");
+            ts.status = Some(status.clone());
+            (
+                ts.pid,
+                std::mem::take(&mut ts.join_waiters),
+                ts.handle.take(),
+            )
+        };
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+        for w in waiters {
+            self.complete(w, SysReply::Joined(status.clone()));
+        }
+        let proc = self.procs.get_mut(&pid.0).expect("proc exists");
+        proc.live_threads -= 1;
+        let is_main = proc.main_tid == tid;
+        let process_done = proc.live_threads == 0;
+        if is_main {
+            self.records.get_mut(&pid.0).expect("record").status = status.clone();
+        }
+        self.trace.record(
+            self.events.now(),
+            "kernel",
+            format!("exit tid={} pid={} ok={}", tid.0, pid.0, status.is_ok()),
+        );
+        if process_done {
+            self.finalize_process(pid);
+        }
+    }
+
+    /// Reclaims a finished process's resources: releases its locks and
+    /// removes its *unnamed* KV files. Files published under a path persist
+    /// beyond the process lifetime (§4.2).
+    fn finalize_process(&mut self, pid: Pid) {
+        let owner = OwnerId(pid.0);
+        self.store.release_locks(owner);
+        let victims: Vec<FileId> = self
+            .store
+            .list_files()
+            .into_iter()
+            .filter(|s| s.owner == owner && s.links == 0)
+            .map(|s| s.id)
+            .collect();
+        for f in victims {
+            let _ = self.store.remove(f, OwnerId::ADMIN);
+        }
+        let proc = self.procs.get_mut(&pid.0).expect("proc exists");
+        proc.finished = true;
+        proc.mailbox.clear();
+        let now = self.events.now();
+        self.records.get_mut(&pid.0).expect("record").exited_at = Some(now);
+        self.trace
+            .record(now, "kernel", format!("reap pid={}", pid.0));
+    }
+}
+
+impl Drop for Kernel {
+    fn drop(&mut self) {
+        // Unblock every parked LIP thread (their recv fails once the reply
+        // sender drops), then join the OS threads.
+        let threads = std::mem::take(&mut self.threads);
+        let mut handles = Vec::new();
+        for (_, ts) in threads {
+            drop(ts.reply_tx);
+            if let Some(h) = ts.handle {
+                handles.push(h);
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}

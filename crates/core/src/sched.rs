@@ -1,0 +1,318 @@
+//! The batch inference scheduler (§4.4).
+//!
+//! `pred` system calls park their threads in the *inference pool*; this
+//! scheduler decides **when** to close a pool snapshot into a GPU batch.
+//! "Executing the batch prematurely can result in underutilized GPU
+//! resources ... delaying it excessively can increase wait times": the
+//! [`BatchPolicy`] spans that trade-off, including the paper's adaptive
+//! policy that sizes the wait from the observed `pred` arrival rate
+//! (a Poisson-process view of syscall arrivals).
+
+use std::collections::VecDeque;
+
+use symphony_sim::{SimDuration, SimTime};
+
+/// When to launch a pooled batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// Launch whenever the GPU is idle and the pool is non-empty.
+    Immediate,
+    /// Wait until `max_batch` calls pooled or `max_wait` elapsed since the
+    /// oldest pooled call.
+    FixedWindow {
+        /// Longest time the oldest call may wait.
+        max_wait: SimDuration,
+        /// Launch as soon as this many calls are pooled.
+        max_batch: usize,
+    },
+    /// Estimate the `pred` arrival rate with an EWMA over inter-arrival
+    /// gaps and wait just long enough to plausibly reach `target_batch`,
+    /// capped by `max_wait`.
+    Adaptive {
+        /// Batch size worth waiting for.
+        target_batch: usize,
+        /// Hard cap on the oldest call's wait.
+        max_wait: SimDuration,
+    },
+}
+
+/// Scheduler verdict for the current state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Close the pool into a batch now.
+    LaunchNow,
+    /// Re-evaluate at this time (the kernel arms a timer).
+    WaitUntil(SimTime),
+    /// Nothing to do (empty pool or busy GPU).
+    Idle,
+}
+
+/// EWMA weight for inter-arrival gaps.
+const GAP_ALPHA: f64 = 0.2;
+
+/// The inference pool plus launch policy.
+#[derive(Debug)]
+pub struct InferScheduler<T> {
+    policy: BatchPolicy,
+    max_batch: usize,
+    pool: VecDeque<(SimTime, T)>,
+    last_arrival: Option<SimTime>,
+    ewma_gap: Option<f64>,
+}
+
+impl<T> InferScheduler<T> {
+    /// Creates a scheduler with a policy and a global batch-size cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0`.
+    pub fn new(policy: BatchPolicy, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "max_batch must be positive");
+        InferScheduler {
+            policy,
+            max_batch,
+            pool: VecDeque::new(),
+            last_arrival: None,
+            ewma_gap: None,
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Pending `pred` calls.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Returns `true` when no calls are pooled.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+
+    /// Current arrival-rate estimate in calls/second (`None` before two
+    /// arrivals).
+    pub fn estimated_rate(&self) -> Option<f64> {
+        self.ewma_gap.map(|g| 1.0 / g.max(1e-9))
+    }
+
+    /// Records a `pred` arrival.
+    pub fn on_arrival(&mut self, now: SimTime, entry: T) {
+        if let Some(last) = self.last_arrival {
+            let gap = now.duration_since(last).as_secs_f64();
+            self.ewma_gap = Some(match self.ewma_gap {
+                Some(e) => e * (1.0 - GAP_ALPHA) + gap * GAP_ALPHA,
+                None => gap,
+            });
+        }
+        self.last_arrival = Some(now);
+        self.pool.push_back((now, entry));
+    }
+
+    /// Decides what to do given the GPU's state. Idempotent: safe to call
+    /// after every kernel state change and on stale timers.
+    pub fn decide(&self, now: SimTime, gpu_idle: bool) -> Decision {
+        if !gpu_idle || self.pool.is_empty() {
+            return Decision::Idle;
+        }
+        let oldest = self.pool.front().expect("non-empty").0;
+        match self.policy {
+            BatchPolicy::Immediate => Decision::LaunchNow,
+            BatchPolicy::FixedWindow {
+                max_wait,
+                max_batch,
+            } => {
+                if self.pool.len() >= max_batch.min(self.max_batch) {
+                    return Decision::LaunchNow;
+                }
+                let deadline = oldest + max_wait;
+                if now >= deadline {
+                    Decision::LaunchNow
+                } else {
+                    Decision::WaitUntil(deadline)
+                }
+            }
+            BatchPolicy::Adaptive {
+                target_batch,
+                max_wait,
+            } => {
+                let target = target_batch.min(self.max_batch);
+                if self.pool.len() >= target {
+                    return Decision::LaunchNow;
+                }
+                // Expected time to fill the rest of the batch at the
+                // observed rate; with no estimate yet, launch immediately
+                // rather than guess.
+                let Some(gap) = self.ewma_gap else {
+                    return Decision::LaunchNow;
+                };
+                // If not even one more call is expected within the wait cap,
+                // waiting cannot grow the batch: be work-conserving.
+                if SimDuration::from_secs_f64(gap) >= max_wait {
+                    return Decision::LaunchNow;
+                }
+                let need = (target - self.pool.len()) as f64;
+                let fill = SimDuration::from_secs_f64(need * gap);
+                let deadline = oldest + fill.min(max_wait);
+                if now >= deadline {
+                    Decision::LaunchNow
+                } else {
+                    Decision::WaitUntil(deadline)
+                }
+            }
+        }
+    }
+
+    /// Removes up to the batch-size cap of oldest entries.
+    pub fn take_batch(&mut self) -> Vec<T> {
+        let n = self.pool.len().min(self.max_batch);
+        self.pool.drain(..n).map(|(_, e)| e).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn immediate_launches_when_idle_and_nonempty() {
+        let mut s = InferScheduler::new(BatchPolicy::Immediate, 8);
+        assert_eq!(s.decide(at(0), true), Decision::Idle);
+        s.on_arrival(at(1), "a");
+        assert_eq!(s.decide(at(1), true), Decision::LaunchNow);
+        assert_eq!(s.decide(at(1), false), Decision::Idle, "GPU busy");
+    }
+
+    #[test]
+    fn fixed_window_waits_then_fires() {
+        let mut s = InferScheduler::new(
+            BatchPolicy::FixedWindow {
+                max_wait: SimDuration::from_millis(10),
+                max_batch: 4,
+            },
+            8,
+        );
+        s.on_arrival(at(5), 1);
+        assert_eq!(s.decide(at(5), true), Decision::WaitUntil(at(15)));
+        assert_eq!(s.decide(at(15), true), Decision::LaunchNow);
+    }
+
+    #[test]
+    fn fixed_window_fires_on_full_batch() {
+        let mut s = InferScheduler::new(
+            BatchPolicy::FixedWindow {
+                max_wait: SimDuration::from_secs(1),
+                max_batch: 3,
+            },
+            8,
+        );
+        for i in 0..3 {
+            s.on_arrival(at(i), i);
+        }
+        assert_eq!(s.decide(at(2), true), Decision::LaunchNow);
+    }
+
+    #[test]
+    fn adaptive_launches_without_rate_estimate() {
+        let mut s = InferScheduler::new(
+            BatchPolicy::Adaptive {
+                target_batch: 8,
+                max_wait: SimDuration::from_millis(50),
+            },
+            8,
+        );
+        s.on_arrival(at(0), ());
+        assert_eq!(s.decide(at(0), true), Decision::LaunchNow);
+    }
+
+    #[test]
+    fn adaptive_waits_proportionally_to_rate() {
+        let mut s = InferScheduler::new(
+            BatchPolicy::Adaptive {
+                target_batch: 4,
+                max_wait: SimDuration::from_millis(100),
+            },
+            8,
+        );
+        // Arrivals every 2 ms -> gap estimate 2 ms.
+        s.on_arrival(at(0), ());
+        s.on_arrival(at(2), ());
+        match s.decide(at(2), true) {
+            Decision::WaitUntil(t) => {
+                // Needs 2 more at ~2 ms each: deadline ≈ oldest + 4 ms.
+                assert!(t > at(2) && t <= at(0) + SimDuration::from_millis(10), "t={t}");
+            }
+            other => panic!("expected WaitUntil, got {other:?}"),
+        }
+        // Target reached -> launch.
+        s.on_arrival(at(3), ());
+        s.on_arrival(at(4), ());
+        assert_eq!(s.decide(at(4), true), Decision::LaunchNow);
+    }
+
+    #[test]
+    fn adaptive_is_work_conserving_at_low_rate() {
+        let mut s = InferScheduler::new(
+            BatchPolicy::Adaptive {
+                target_batch: 64,
+                max_wait: SimDuration::from_millis(5),
+            },
+            64,
+        );
+        // Slow arrivals: 1 per 100 ms — no further call can land within the
+        // 5 ms window, so waiting would be pure latency tax.
+        s.on_arrival(at(0), ());
+        s.on_arrival(at(100), ());
+        assert_eq!(s.decide(at(100), true), Decision::LaunchNow);
+    }
+
+    #[test]
+    fn adaptive_waits_when_rate_justifies_it() {
+        let mut s = InferScheduler::new(
+            BatchPolicy::Adaptive {
+                target_batch: 64,
+                max_wait: SimDuration::from_millis(5),
+            },
+            64,
+        );
+        // Fast arrivals: 1 per ms — the window can accumulate ~5 calls.
+        s.on_arrival(at(0), ());
+        s.on_arrival(at(1), ());
+        match s.decide(at(1), true) {
+            Decision::WaitUntil(t) => assert_eq!(t, at(0) + SimDuration::from_millis(5)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn take_batch_respects_cap_and_order() {
+        let mut s = InferScheduler::new(BatchPolicy::Immediate, 3);
+        for i in 0..5 {
+            s.on_arrival(at(i), i);
+        }
+        assert_eq!(s.take_batch(), vec![0, 1, 2]);
+        assert_eq!(s.pool_len(), 2);
+        assert_eq!(s.take_batch(), vec![3, 4]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn rate_estimate_converges() {
+        let mut s: InferScheduler<()> = InferScheduler::new(BatchPolicy::Immediate, 8);
+        assert_eq!(s.estimated_rate(), None);
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            s.on_arrival(t, ());
+            s.take_batch();
+            t += SimDuration::from_millis(10);
+        }
+        let rate = s.estimated_rate().unwrap();
+        assert!((rate - 100.0).abs() < 5.0, "rate={rate}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Kernel-level identifiers, errors, limits and per-process records.
+
+use symphony_kvfs::KvError;
+use symphony_sim::SimTime;
+
+/// Process identifier. Each LIP runs as one process owning its KV files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u64);
+
+/// Thread identifier; a process has one main thread and may spawn more.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tid(pub u64);
+
+/// Errors surfaced to LIPs by system calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SysError {
+    /// A KVFS operation failed.
+    Kv(KvError),
+    /// Unknown KV handle, thread, process or tool name.
+    NotFound,
+    /// A syscall argument was malformed (e.g. empty `pred` token list).
+    BadArgument,
+    /// The joined thread crashed or exited with an error.
+    ThreadFailed,
+    /// The tool reported an application-level failure.
+    ToolFailed(String),
+    /// A per-process resource limit was exceeded.
+    LimitExceeded(&'static str),
+    /// The kernel is shutting down (the process is being torn down).
+    Shutdown,
+}
+
+impl From<KvError> for SysError {
+    fn from(e: KvError) -> Self {
+        SysError::Kv(e)
+    }
+}
+
+impl core::fmt::Display for SysError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SysError::Kv(e) => write!(f, "kv: {e}"),
+            SysError::NotFound => write!(f, "not found"),
+            SysError::BadArgument => write!(f, "bad argument"),
+            SysError::ThreadFailed => write!(f, "joined thread failed"),
+            SysError::ToolFailed(msg) => write!(f, "tool failed: {msg}"),
+            SysError::LimitExceeded(what) => write!(f, "limit exceeded: {what}"),
+            SysError::Shutdown => write!(f, "kernel shutdown"),
+        }
+    }
+}
+
+impl std::error::Error for SysError {}
+
+/// How a thread (and ultimately a process) finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExitStatus {
+    /// Returned `Ok(())`.
+    Ok,
+    /// Returned an error.
+    Error(SysError),
+    /// Panicked; the kernel reclaimed its resources.
+    Crashed,
+}
+
+impl ExitStatus {
+    /// Returns `true` for a clean exit.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ExitStatus::Ok)
+    }
+}
+
+/// Per-process resource limits (§6 "Security implications": resource
+/// accounting for user-supplied code). `None` means unlimited.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Limits {
+    /// Maximum system calls across all threads.
+    pub max_syscalls: Option<u64>,
+    /// Maximum tokens run through `pred`.
+    pub max_pred_tokens: Option<u64>,
+    /// Maximum tool invocations.
+    pub max_tool_calls: Option<u64>,
+    /// Maximum live threads.
+    pub max_threads: Option<u32>,
+    /// KVFS page quota (enforced by the store).
+    pub kv_quota_pages: Option<usize>,
+}
+
+/// Cumulative per-process accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProcessUsage {
+    /// System calls issued.
+    pub syscalls: u64,
+    /// `pred` invocations.
+    pub pred_calls: u64,
+    /// Tokens run through `pred`.
+    pub pred_tokens: u64,
+    /// Tokens emitted to the client.
+    pub emitted_tokens: u64,
+    /// Tool invocations.
+    pub tool_calls: u64,
+    /// Threads ever spawned (including the main thread).
+    pub threads_spawned: u32,
+}
+
+/// The kernel's record of one process, kept after exit for the harness.
+#[derive(Debug, Clone)]
+pub struct ProcessRecord {
+    /// Process ID.
+    pub pid: Pid,
+    /// Name given at spawn (for traces and lookup).
+    pub name: String,
+    /// Virtual arrival/spawn time.
+    pub spawned_at: SimTime,
+    /// Virtual exit time of the last thread (`None` while running).
+    pub exited_at: Option<SimTime>,
+    /// Exit status of the *main* thread.
+    pub status: ExitStatus,
+    /// Concatenated `emit`/`emit_tokens` output.
+    pub output: String,
+    /// Resource usage.
+    pub usage: ProcessUsage,
+}
+
+impl ProcessRecord {
+    /// End-to-end latency, if the process has exited.
+    pub fn latency(&self) -> Option<symphony_sim::SimDuration> {
+        self.exited_at.map(|t| t.duration_since(self.spawned_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sys_error_display() {
+        assert_eq!(SysError::NotFound.to_string(), "not found");
+        assert_eq!(
+            SysError::Kv(KvError::NoGpuMemory).to_string(),
+            "kv: out of GPU pages"
+        );
+        assert_eq!(
+            SysError::LimitExceeded("syscalls").to_string(),
+            "limit exceeded: syscalls"
+        );
+    }
+
+    #[test]
+    fn exit_status_predicates() {
+        assert!(ExitStatus::Ok.is_ok());
+        assert!(!ExitStatus::Crashed.is_ok());
+        assert!(!ExitStatus::Error(SysError::NotFound).is_ok());
+    }
+
+    #[test]
+    fn record_latency() {
+        let mut r = ProcessRecord {
+            pid: Pid(1),
+            name: "x".into(),
+            spawned_at: SimTime::from_nanos(100),
+            exited_at: None,
+            status: ExitStatus::Ok,
+            output: String::new(),
+            usage: ProcessUsage::default(),
+        };
+        assert!(r.latency().is_none());
+        r.exited_at = Some(SimTime::from_nanos(250));
+        assert_eq!(r.latency().unwrap().as_nanos(), 150);
+    }
+}

@@ -1,0 +1,65 @@
+//! KVFS error types.
+
+use core::fmt;
+
+/// Errors returned by KVFS operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// The GPU tier has no free pages; the caller must evict or swap.
+    NoGpuMemory,
+    /// The CPU tier has no free pages; nothing further can be swapped out.
+    NoCpuMemory,
+    /// No file with the given ID or path.
+    NotFound,
+    /// A path is already linked to a file.
+    AlreadyExists,
+    /// The caller's owner ID may not perform this operation on the file.
+    PermissionDenied,
+    /// The file is write-locked by another owner.
+    Locked,
+    /// The caller does not hold the lock it tried to release.
+    NotLockHolder,
+    /// The owner's page quota would be exceeded.
+    QuotaExceeded,
+    /// An index or range is out of bounds.
+    BadRange,
+    /// The operation needs the file resident in the GPU tier.
+    NotResident,
+    /// The file is pinned and cannot be evicted or swapped out.
+    Pinned,
+    /// `merge`/`extract` was called with no source entries.
+    EmptyInput,
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            KvError::NoGpuMemory => "out of GPU pages",
+            KvError::NoCpuMemory => "out of CPU pages",
+            KvError::NotFound => "file not found",
+            KvError::AlreadyExists => "path already exists",
+            KvError::PermissionDenied => "permission denied",
+            KvError::Locked => "file is locked by another owner",
+            KvError::NotLockHolder => "caller does not hold the lock",
+            KvError::QuotaExceeded => "owner page quota exceeded",
+            KvError::BadRange => "index or range out of bounds",
+            KvError::NotResident => "file is not resident in the GPU tier",
+            KvError::Pinned => "file is pinned",
+            KvError::EmptyInput => "operation requires at least one entry",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for KvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(KvError::NoGpuMemory.to_string(), "out of GPU pages");
+        assert_eq!(KvError::QuotaExceeded.to_string(), "owner page quota exceeded");
+    }
+}

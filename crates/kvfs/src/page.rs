@@ -1,0 +1,276 @@
+//! Pages and the two-tier page pool.
+//!
+//! A page holds up to `page_tokens` KV entries and lives in exactly one
+//! memory tier. Pages are reference-counted: [`crate::store::KvStore::fork`]
+//! shares pages between files and copies only on divergence (copy-on-write
+//! of the mutable tail). The pool enforces per-tier capacity; allocation
+//! failure is an explicit error so callers can run eviction policies — the
+//! central mechanism/policy split the paper argues for.
+
+use symphony_model::CtxFingerprint;
+use symphony_tokenizer::TokenId;
+
+use crate::error::KvError;
+
+/// Default tokens per page, matching vLLM's common block size.
+pub const PAGE_TOKENS_DEFAULT: usize = 16;
+
+/// One cached token: the token, its absolute position, and the fingerprint
+/// of the context *up to and including* this token (the surrogate for the
+/// token's K/V tensors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvEntry {
+    /// Token ID.
+    pub token: TokenId,
+    /// Absolute position in the context (discontiguous layouts are legal).
+    pub position: u32,
+    /// Rolling context fingerprint after this token.
+    pub fingerprint: CtxFingerprint,
+}
+
+impl KvEntry {
+    /// Creates an entry.
+    pub fn new(token: TokenId, position: u32, fingerprint: CtxFingerprint) -> Self {
+        KvEntry {
+            token,
+            position,
+            fingerprint,
+        }
+    }
+}
+
+/// Identifier of a page slot in the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+/// The memory tier a page resides in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// GPU HBM — required for `pred`.
+    Gpu,
+    /// CPU DRAM — swap space for blocked or cold files.
+    Cpu,
+}
+
+/// A page slot.
+#[derive(Debug, Clone)]
+pub(crate) struct Page {
+    pub entries: Vec<KvEntry>,
+    pub refcount: u32,
+    pub tier: Tier,
+}
+
+/// The two-tier page pool.
+#[derive(Debug)]
+pub(crate) struct PagePool {
+    slots: Vec<Option<Page>>,
+    free: Vec<u32>,
+    page_tokens: usize,
+    gpu_capacity: usize,
+    cpu_capacity: usize,
+    gpu_used: usize,
+    cpu_used: usize,
+}
+
+impl PagePool {
+    pub fn new(page_tokens: usize, gpu_capacity: usize, cpu_capacity: usize) -> Self {
+        assert!(page_tokens > 0, "page size must be positive");
+        PagePool {
+            slots: Vec::new(),
+            free: Vec::new(),
+            page_tokens,
+            gpu_capacity,
+            cpu_capacity,
+            gpu_used: 0,
+            cpu_used: 0,
+        }
+    }
+
+    pub fn page_tokens(&self) -> usize {
+        self.page_tokens
+    }
+
+    pub fn gpu_used(&self) -> usize {
+        self.gpu_used
+    }
+
+    pub fn cpu_used(&self) -> usize {
+        self.cpu_used
+    }
+
+    pub fn gpu_capacity(&self) -> usize {
+        self.gpu_capacity
+    }
+
+    pub fn cpu_capacity(&self) -> usize {
+        self.cpu_capacity
+    }
+
+    /// Allocates an empty page in `tier` with refcount 1.
+    pub fn alloc(&mut self, tier: Tier) -> Result<PageId, KvError> {
+        match tier {
+            Tier::Gpu if self.gpu_used >= self.gpu_capacity => return Err(KvError::NoGpuMemory),
+            Tier::Cpu if self.cpu_used >= self.cpu_capacity => return Err(KvError::NoCpuMemory),
+            _ => {}
+        }
+        let page = Page {
+            entries: Vec::with_capacity(self.page_tokens),
+            refcount: 1,
+            tier,
+        };
+        match tier {
+            Tier::Gpu => self.gpu_used += 1,
+            Tier::Cpu => self.cpu_used += 1,
+        }
+        let id = if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Some(page);
+            PageId(idx)
+        } else {
+            self.slots.push(Some(page));
+            PageId((self.slots.len() - 1) as u32)
+        };
+        Ok(id)
+    }
+
+    /// Increments a page's refcount (a new file now references it).
+    pub fn retain(&mut self, id: PageId) {
+        self.page_mut(id).refcount += 1;
+    }
+
+    /// Decrements a page's refcount, freeing the slot at zero.
+    pub fn release(&mut self, id: PageId) {
+        let tier;
+        {
+            let page = self.page_mut(id);
+            debug_assert!(page.refcount > 0, "release of dead page");
+            page.refcount -= 1;
+            if page.refcount > 0 {
+                return;
+            }
+            tier = page.tier;
+        }
+        self.slots[id.0 as usize] = None;
+        self.free.push(id.0);
+        match tier {
+            Tier::Gpu => self.gpu_used -= 1,
+            Tier::Cpu => self.cpu_used -= 1,
+        }
+    }
+
+    /// Moves a page between tiers; returns the number of tokens moved.
+    pub fn migrate(&mut self, id: PageId, to: Tier) -> Result<usize, KvError> {
+        let from = self.page(id).tier;
+        if from == to {
+            return Ok(0);
+        }
+        match to {
+            Tier::Gpu if self.gpu_used >= self.gpu_capacity => return Err(KvError::NoGpuMemory),
+            Tier::Cpu if self.cpu_used >= self.cpu_capacity => return Err(KvError::NoCpuMemory),
+            _ => {}
+        }
+        match from {
+            Tier::Gpu => self.gpu_used -= 1,
+            Tier::Cpu => self.cpu_used -= 1,
+        }
+        match to {
+            Tier::Gpu => self.gpu_used += 1,
+            Tier::Cpu => self.cpu_used += 1,
+        }
+        let page = self.page_mut(id);
+        page.tier = to;
+        Ok(page.entries.len())
+    }
+
+    pub fn page(&self, id: PageId) -> &Page {
+        self.slots[id.0 as usize]
+            .as_ref()
+            .expect("dangling page id")
+    }
+
+    pub fn page_mut(&mut self, id: PageId) -> &mut Page {
+        self.slots[id.0 as usize]
+            .as_mut()
+            .expect("dangling page id")
+    }
+
+    /// Number of live pages (for invariant checks).
+    pub fn live_pages(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Iterates over live pages.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, &Page)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|p| (PageId(i as u32), p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(i: u32) -> KvEntry {
+        KvEntry::new(i, i, CtxFingerprint(i as u64))
+    }
+
+    #[test]
+    fn alloc_respects_capacity() {
+        let mut pool = PagePool::new(4, 2, 1);
+        let a = pool.alloc(Tier::Gpu).unwrap();
+        let _b = pool.alloc(Tier::Gpu).unwrap();
+        assert_eq!(pool.alloc(Tier::Gpu), Err(KvError::NoGpuMemory));
+        assert_eq!(pool.gpu_used(), 2);
+        pool.release(a);
+        assert_eq!(pool.gpu_used(), 1);
+        pool.alloc(Tier::Gpu).unwrap();
+        let _c = pool.alloc(Tier::Cpu).unwrap();
+        assert_eq!(pool.alloc(Tier::Cpu), Err(KvError::NoCpuMemory));
+    }
+
+    #[test]
+    fn refcounting_frees_at_zero() {
+        let mut pool = PagePool::new(4, 8, 0);
+        let p = pool.alloc(Tier::Gpu).unwrap();
+        pool.retain(p);
+        pool.release(p);
+        assert_eq!(pool.live_pages(), 1, "still one reference");
+        pool.release(p);
+        assert_eq!(pool.live_pages(), 0);
+        assert_eq!(pool.gpu_used(), 0);
+    }
+
+    #[test]
+    fn slot_reuse_after_free() {
+        let mut pool = PagePool::new(4, 8, 0);
+        let a = pool.alloc(Tier::Gpu).unwrap();
+        pool.release(a);
+        let b = pool.alloc(Tier::Gpu).unwrap();
+        assert_eq!(a, b, "freed slot should be reused");
+    }
+
+    #[test]
+    fn migrate_moves_between_tiers() {
+        let mut pool = PagePool::new(4, 2, 2);
+        let p = pool.alloc(Tier::Gpu).unwrap();
+        pool.page_mut(p).entries.push(entry(1));
+        pool.page_mut(p).entries.push(entry(2));
+        let moved = pool.migrate(p, Tier::Cpu).unwrap();
+        assert_eq!(moved, 2);
+        assert_eq!(pool.gpu_used(), 0);
+        assert_eq!(pool.cpu_used(), 1);
+        assert_eq!(pool.page(p).tier, Tier::Cpu);
+        // No-op migration.
+        assert_eq!(pool.migrate(p, Tier::Cpu).unwrap(), 0);
+    }
+
+    #[test]
+    fn migrate_respects_destination_capacity() {
+        let mut pool = PagePool::new(4, 2, 1);
+        let a = pool.alloc(Tier::Gpu).unwrap();
+        let b = pool.alloc(Tier::Gpu).unwrap();
+        pool.migrate(a, Tier::Cpu).unwrap();
+        assert_eq!(pool.migrate(b, Tier::Cpu), Err(KvError::NoCpuMemory));
+    }
+}

@@ -1,0 +1,1261 @@
+//! The KV file store: namespace, access control, quotas, and the
+//! fork/extract/merge operations of §4.2.
+
+use std::collections::BTreeMap;
+
+use symphony_model::CtxFingerprint;
+
+use crate::error::KvError;
+use crate::page::{KvEntry, PagePool, Tier, PAGE_TOKENS_DEFAULT};
+
+/// A tenant identity (a Symphony process, a baseline engine, or "the admin").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OwnerId(pub u64);
+
+impl OwnerId {
+    /// The administrative owner: passes every permission check.
+    pub const ADMIN: OwnerId = OwnerId(0);
+}
+
+/// A KV file identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// Non-owner permission bits ("system prompts might be readable by all LIPs
+/// but writable only by the admin", §4.2). The owner always has full access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Mode {
+    /// Any owner may read.
+    pub read_all: bool,
+    /// Any owner may write (append/truncate/remove/swap/pin).
+    pub write_all: bool,
+}
+
+impl Mode {
+    /// Owner-private file.
+    pub const PRIVATE: Mode = Mode {
+        read_all: false,
+        write_all: false,
+    };
+
+    /// World-readable, owner-writable — the shared-prefix publishing mode.
+    pub const SHARED_READ: Mode = Mode {
+        read_all: true,
+        write_all: false,
+    };
+}
+
+/// Where a file's pages currently live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// No pages (empty file).
+    Empty,
+    /// All pages in GPU HBM; `pred` may use the file.
+    Gpu,
+    /// All pages swapped to CPU DRAM.
+    Cpu,
+    /// Pages split across tiers (mid-swap).
+    Mixed,
+}
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KvStoreConfig {
+    /// Tokens per page.
+    pub page_tokens: usize,
+    /// GPU-tier capacity in pages.
+    pub gpu_pages: usize,
+    /// CPU-tier capacity in pages.
+    pub cpu_pages: usize,
+    /// KV bytes per token (for byte-denominated statistics).
+    pub bytes_per_token: u64,
+}
+
+impl KvStoreConfig {
+    /// A small configuration for unit tests.
+    pub fn for_tests() -> Self {
+        KvStoreConfig {
+            page_tokens: 4,
+            gpu_pages: 64,
+            cpu_pages: 64,
+            bytes_per_token: 1024,
+        }
+    }
+
+    /// Sizes the pools from byte budgets and a model's per-token KV size.
+    pub fn from_bytes(
+        gpu_kv_bytes: u64,
+        cpu_kv_bytes: u64,
+        bytes_per_token: u64,
+        page_tokens: usize,
+    ) -> Self {
+        assert!(bytes_per_token > 0 && page_tokens > 0);
+        let page_bytes = bytes_per_token * page_tokens as u64;
+        KvStoreConfig {
+            page_tokens,
+            gpu_pages: (gpu_kv_bytes / page_bytes) as usize,
+            cpu_pages: (cpu_kv_bytes / page_bytes) as usize,
+            bytes_per_token,
+        }
+    }
+}
+
+impl Default for KvStoreConfig {
+    fn default() -> Self {
+        KvStoreConfig {
+            page_tokens: PAGE_TOKENS_DEFAULT,
+            gpu_pages: 4096,
+            cpu_pages: 16_384,
+            bytes_per_token: 819_200,
+        }
+    }
+}
+
+/// Public snapshot of one file's metadata.
+#[derive(Debug, Clone)]
+pub struct FileStat {
+    /// File ID.
+    pub id: FileId,
+    /// Owning tenant.
+    pub owner: OwnerId,
+    /// Entry (token) count.
+    pub len: usize,
+    /// Page count.
+    pub pages: usize,
+    /// Whether the file is pinned against eviction/swap.
+    pub pinned: bool,
+    /// Holder of the exclusive write lock, if any.
+    pub locked_by: Option<OwnerId>,
+    /// Tier placement.
+    pub residency: Residency,
+    /// Logical last-access stamp (monotone counter, for LRU policies).
+    pub last_access: u64,
+    /// Paths linked to this file.
+    pub links: usize,
+}
+
+#[derive(Debug)]
+struct FileMeta {
+    pages: Vec<crate::page::PageId>,
+    len: usize,
+    owner: OwnerId,
+    mode: Mode,
+    pinned: bool,
+    lock: Option<OwnerId>,
+    last_access: u64,
+    links: usize,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Quota {
+    used_pages: usize,
+    limit_pages: Option<usize>,
+}
+
+/// Cumulative store statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KvStats {
+    /// Tokens moved GPU→CPU.
+    pub swapped_out_tokens: u64,
+    /// Tokens moved CPU→GPU.
+    pub swapped_in_tokens: u64,
+    /// Copy-on-write page copies performed.
+    pub cow_copies: u64,
+    /// Entries copied by `extract`/`merge`.
+    pub copied_entries: u64,
+}
+
+/// The KV file store.
+#[derive(Debug)]
+pub struct KvStore {
+    pool: PagePool,
+    files: BTreeMap<u64, FileMeta>,
+    next_file: u64,
+    namespace: BTreeMap<String, FileId>,
+    quotas: BTreeMap<OwnerId, Quota>,
+    access_clock: u64,
+    bytes_per_token: u64,
+    stats: KvStats,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new(config: KvStoreConfig) -> Self {
+        KvStore {
+            pool: PagePool::new(config.page_tokens, config.gpu_pages, config.cpu_pages),
+            files: BTreeMap::new(),
+            next_file: 1,
+            namespace: BTreeMap::new(),
+            quotas: BTreeMap::new(),
+            access_clock: 0,
+            bytes_per_token: config.bytes_per_token,
+            stats: KvStats::default(),
+        }
+    }
+
+    // ---- accounting ------------------------------------------------------
+
+    /// Tokens per page.
+    pub fn page_tokens(&self) -> usize {
+        self.pool.page_tokens()
+    }
+
+    /// GPU pages in use.
+    pub fn gpu_pages_used(&self) -> usize {
+        self.pool.gpu_used()
+    }
+
+    /// GPU page capacity.
+    pub fn gpu_pages_capacity(&self) -> usize {
+        self.pool.gpu_capacity()
+    }
+
+    /// Free GPU pages.
+    pub fn gpu_pages_free(&self) -> usize {
+        self.pool.gpu_capacity() - self.pool.gpu_used()
+    }
+
+    /// CPU pages in use.
+    pub fn cpu_pages_used(&self) -> usize {
+        self.pool.cpu_used()
+    }
+
+    /// CPU page capacity.
+    pub fn cpu_pages_capacity(&self) -> usize {
+        self.pool.cpu_capacity()
+    }
+
+    /// Total live pages across both tiers.
+    pub fn live_pages(&self) -> usize {
+        self.pool.live_pages()
+    }
+
+    /// KV bytes per token (byte-denominated statistics).
+    pub fn bytes_per_token(&self) -> u64 {
+        self.bytes_per_token
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> KvStats {
+        self.stats
+    }
+
+    /// Sets an owner's page quota (`None` = unlimited).
+    pub fn set_quota(&mut self, owner: OwnerId, limit_pages: Option<usize>) {
+        self.quotas.entry(owner).or_default().limit_pages = limit_pages;
+    }
+
+    /// Pages currently charged to an owner.
+    pub fn quota_used(&self, owner: OwnerId) -> usize {
+        self.quotas.get(&owner).map_or(0, |q| q.used_pages)
+    }
+
+    fn charge(&mut self, owner: OwnerId, pages: usize) -> Result<(), KvError> {
+        let q = self.quotas.entry(owner).or_default();
+        if let Some(limit) = q.limit_pages {
+            if q.used_pages + pages > limit {
+                return Err(KvError::QuotaExceeded);
+            }
+        }
+        q.used_pages += pages;
+        Ok(())
+    }
+
+    fn credit(&mut self, owner: OwnerId, pages: usize) {
+        let q = self.quotas.entry(owner).or_default();
+        debug_assert!(q.used_pages >= pages, "quota underflow");
+        q.used_pages = q.used_pages.saturating_sub(pages);
+    }
+
+    // ---- permission helpers ----------------------------------------------
+
+    fn meta(&self, id: FileId) -> Result<&FileMeta, KvError> {
+        self.files.get(&id.0).ok_or(KvError::NotFound)
+    }
+
+    fn meta_mut(&mut self, id: FileId) -> Result<&mut FileMeta, KvError> {
+        self.files.get_mut(&id.0).ok_or(KvError::NotFound)
+    }
+
+    fn check_read(&self, id: FileId, caller: OwnerId) -> Result<(), KvError> {
+        let m = self.meta(id)?;
+        if caller == OwnerId::ADMIN || caller == m.owner || m.mode.read_all {
+            Ok(())
+        } else {
+            Err(KvError::PermissionDenied)
+        }
+    }
+
+    fn check_write(&self, id: FileId, caller: OwnerId) -> Result<(), KvError> {
+        let m = self.meta(id)?;
+        if !(caller == OwnerId::ADMIN || caller == m.owner || m.mode.write_all) {
+            return Err(KvError::PermissionDenied);
+        }
+        match m.lock {
+            Some(holder) if holder != caller => Err(KvError::Locked),
+            _ => Ok(()),
+        }
+    }
+
+    fn touch(&mut self, id: FileId) {
+        self.access_clock += 1;
+        let clock = self.access_clock;
+        if let Some(m) = self.files.get_mut(&id.0) {
+            m.last_access = clock;
+        }
+    }
+
+    // ---- lifecycle ---------------------------------------------------------
+
+    /// Creates an empty file owned by `owner` with [`Mode::PRIVATE`].
+    pub fn create(&mut self, owner: OwnerId) -> Result<FileId, KvError> {
+        let id = FileId(self.next_file);
+        self.next_file += 1;
+        self.files.insert(
+            id.0,
+            FileMeta {
+                pages: Vec::new(),
+                len: 0,
+                owner,
+                mode: Mode::PRIVATE,
+                pinned: false,
+                lock: None,
+                last_access: 0,
+                links: 0,
+            },
+        );
+        self.touch(id);
+        Ok(id)
+    }
+
+    /// Sets a file's permission mode (owner or admin only).
+    pub fn chmod(&mut self, id: FileId, caller: OwnerId, mode: Mode) -> Result<(), KvError> {
+        let m = self.meta(id)?;
+        if caller != OwnerId::ADMIN && caller != m.owner {
+            return Err(KvError::PermissionDenied);
+        }
+        self.meta_mut(id)?.mode = mode;
+        Ok(())
+    }
+
+    /// Removes a file, releasing its pages and any namespace links.
+    pub fn remove(&mut self, id: FileId, caller: OwnerId) -> Result<(), KvError> {
+        self.check_write(id, caller)?;
+        let meta = self.files.remove(&id.0).ok_or(KvError::NotFound)?;
+        for p in &meta.pages {
+            self.pool.release(*p);
+        }
+        self.credit(meta.owner, meta.pages.len());
+        self.namespace.retain(|_, v| *v != id);
+        Ok(())
+    }
+
+    // ---- namespace ---------------------------------------------------------
+
+    /// Links a path to a file so other processes can [`KvStore::open`] it.
+    pub fn link(&mut self, id: FileId, path: &str, caller: OwnerId) -> Result<(), KvError> {
+        self.check_write(id, caller)?;
+        if self.namespace.contains_key(path) {
+            return Err(KvError::AlreadyExists);
+        }
+        self.namespace.insert(path.to_string(), id);
+        self.meta_mut(id)?.links += 1;
+        Ok(())
+    }
+
+    /// Removes a path (the file itself survives).
+    pub fn unlink(&mut self, path: &str, caller: OwnerId) -> Result<(), KvError> {
+        let id = *self.namespace.get(path).ok_or(KvError::NotFound)?;
+        self.check_write(id, caller)?;
+        self.namespace.remove(path);
+        self.meta_mut(id)?.links -= 1;
+        Ok(())
+    }
+
+    /// Resolves a path to a file ID, checking read permission.
+    pub fn open(&mut self, path: &str, caller: OwnerId) -> Result<FileId, KvError> {
+        let id = *self.namespace.get(path).ok_or(KvError::NotFound)?;
+        self.check_read(id, caller)?;
+        self.touch(id);
+        Ok(id)
+    }
+
+    /// Resolves a path without permission checks or access stamping.
+    pub fn lookup(&self, path: &str) -> Option<FileId> {
+        self.namespace.get(path).copied()
+    }
+
+    // ---- locks -------------------------------------------------------------
+
+    /// Takes the exclusive write lock (idempotent for the holder).
+    pub fn lock(&mut self, id: FileId, caller: OwnerId) -> Result<(), KvError> {
+        self.check_read(id, caller)?;
+        let m = self.meta_mut(id)?;
+        match m.lock {
+            None => {
+                m.lock = Some(caller);
+                Ok(())
+            }
+            Some(holder) if holder == caller => Ok(()),
+            Some(_) => Err(KvError::Locked),
+        }
+    }
+
+    /// Releases the exclusive write lock.
+    pub fn unlock(&mut self, id: FileId, caller: OwnerId) -> Result<(), KvError> {
+        let m = self.meta_mut(id)?;
+        match m.lock {
+            Some(holder) if holder == caller => {
+                m.lock = None;
+                Ok(())
+            }
+            Some(_) => Err(KvError::NotLockHolder),
+            None => Err(KvError::NotLockHolder),
+        }
+    }
+
+    // ---- content -----------------------------------------------------------
+
+    /// Entry count.
+    pub fn len(&self, id: FileId) -> Result<usize, KvError> {
+        Ok(self.meta(id)?.len)
+    }
+
+    /// Returns `true` if the file has no entries.
+    pub fn is_empty(&self, id: FileId) -> Result<bool, KvError> {
+        Ok(self.meta(id)?.len == 0)
+    }
+
+    /// Fingerprint of the last entry (the context `pred` continues from).
+    pub fn tail_fingerprint(&self, id: FileId) -> Result<Option<CtxFingerprint>, KvError> {
+        let m = self.meta(id)?;
+        Ok(m.pages.last().and_then(|&p| {
+            self.pool.page(p).entries.last().map(|e| e.fingerprint)
+        }))
+    }
+
+    /// Position following the last entry (0 for an empty file).
+    pub fn next_position(&self, id: FileId) -> Result<u32, KvError> {
+        let m = self.meta(id)?;
+        Ok(m
+            .pages
+            .last()
+            .and_then(|&p| self.pool.page(p).entries.last())
+            .map_or(0, |e| e.position + 1))
+    }
+
+    /// Reads `count` entries starting at entry index `start`.
+    pub fn read(
+        &mut self,
+        id: FileId,
+        caller: OwnerId,
+        start: usize,
+        count: usize,
+    ) -> Result<Vec<KvEntry>, KvError> {
+        self.check_read(id, caller)?;
+        let m = self.meta(id)?;
+        if start + count > m.len {
+            return Err(KvError::BadRange);
+        }
+        let mut out = Vec::with_capacity(count);
+        let pt = self.pool.page_tokens();
+        let mut idx = start;
+        while out.len() < count {
+            let page = m.pages[idx / pt];
+            let within = idx % pt;
+            let entries = &self.pool.page(page).entries;
+            let take = (count - out.len()).min(entries.len() - within);
+            out.extend_from_slice(&entries[within..within + take]);
+            idx += take;
+        }
+        self.touch(id);
+        Ok(out)
+    }
+
+    /// Reads the whole file (no permission check; kernel/executor internal).
+    pub fn read_all_unchecked(&self, id: FileId) -> Result<Vec<KvEntry>, KvError> {
+        let m = self.meta(id)?;
+        let mut out = Vec::with_capacity(m.len);
+        for &p in &m.pages {
+            out.extend_from_slice(&self.pool.page(p).entries);
+        }
+        Ok(out)
+    }
+
+    /// Returns `true` if appending `n` entries would fit in the GPU tier
+    /// (capacity only; quota is still checked by [`KvStore::append`]).
+    /// Executors use this to fail fast before computing model outputs.
+    pub fn can_append(&self, id: FileId, n: usize) -> Result<bool, KvError> {
+        let pt = self.pool.page_tokens();
+        let m = self.meta(id)?;
+        let (tail_free, tail_shared) = match m.pages.last() {
+            Some(&p) => {
+                let page = self.pool.page(p);
+                (pt - page.entries.len(), page.refcount > 1)
+            }
+            None => (0, false),
+        };
+        let cow = usize::from(n > 0 && tail_free > 0 && tail_shared);
+        let new_pages = n.saturating_sub(tail_free).div_ceil(pt);
+        Ok(self.pool.gpu_used() + new_pages + cow <= self.pool.gpu_capacity())
+    }
+
+    /// Appends entries, copy-on-writing a shared tail page if needed.
+    ///
+    /// Allocation needs are checked up front, so a failed append leaves the
+    /// file unchanged. New pages are allocated in the GPU tier; the file's
+    /// existing tail must be GPU-resident.
+    pub fn append(
+        &mut self,
+        id: FileId,
+        caller: OwnerId,
+        entries: &[KvEntry],
+    ) -> Result<(), KvError> {
+        self.check_write(id, caller)?;
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let pt = self.pool.page_tokens();
+        let (tail_free, tail_shared, tail_tier) = {
+            let m = self.meta(id)?;
+            match m.pages.last() {
+                Some(&p) => {
+                    let page = self.pool.page(p);
+                    (
+                        pt - page.entries.len(),
+                        page.refcount > 1,
+                        Some(page.tier),
+                    )
+                }
+                None => (0, false, None),
+            }
+        };
+        if let Some(t) = tail_tier {
+            if t != Tier::Gpu && tail_free > 0 {
+                return Err(KvError::NotResident);
+            }
+        }
+        let writes_into_tail = tail_free > 0;
+        let cow_pages = usize::from(writes_into_tail && tail_shared);
+        let overflow = entries.len().saturating_sub(tail_free);
+        let new_pages = overflow.div_ceil(pt);
+        // Upfront capacity and quota checks (COW replaces a page in this
+        // file, so quota only grows by `new_pages`).
+        if self.pool.gpu_used() + new_pages + cow_pages > self.pool.gpu_capacity() {
+            return Err(KvError::NoGpuMemory);
+        }
+        let owner = self.meta(id)?.owner;
+        self.charge(owner, new_pages)?;
+
+        // COW the tail if it is shared and we are about to write into it.
+        if cow_pages == 1 {
+            let old = *self.meta(id).expect("checked").pages.last().expect("tail");
+            let copy = self
+                .pool
+                .alloc(Tier::Gpu)
+                .expect("capacity checked above");
+            let entries_copy = self.pool.page(old).entries.clone();
+            self.pool.page_mut(copy).entries = entries_copy;
+            self.pool.release(old);
+            *self
+                .meta_mut(id)
+                .expect("checked")
+                .pages
+                .last_mut()
+                .expect("tail") = copy;
+            self.stats.cow_copies += 1;
+        }
+
+        let mut remaining = entries;
+        if writes_into_tail {
+            let take = remaining.len().min(tail_free);
+            let tail = *self.meta(id)?.pages.last().expect("tail");
+            self.pool
+                .page_mut(tail)
+                .entries
+                .extend_from_slice(&remaining[..take]);
+            remaining = &remaining[take..];
+        }
+        while !remaining.is_empty() {
+            let p = self.pool.alloc(Tier::Gpu).expect("capacity checked above");
+            let take = remaining.len().min(pt);
+            self.pool
+                .page_mut(p)
+                .entries
+                .extend_from_slice(&remaining[..take]);
+            self.meta_mut(id)?.pages.push(p);
+            remaining = &remaining[take..];
+        }
+        self.meta_mut(id)?.len += entries.len();
+        self.touch(id);
+        Ok(())
+    }
+
+    /// Truncates the file to `new_len` entries, releasing now-empty pages.
+    ///
+    /// A shared boundary page is copy-on-written so the other references keep
+    /// their full contents.
+    pub fn truncate(&mut self, id: FileId, caller: OwnerId, new_len: usize) -> Result<(), KvError> {
+        self.check_write(id, caller)?;
+        let m = self.meta(id)?;
+        if new_len > m.len {
+            return Err(KvError::BadRange);
+        }
+        if new_len == m.len {
+            return Ok(());
+        }
+        let pt = self.pool.page_tokens();
+        let keep_pages = new_len.div_ceil(pt);
+        let owner = m.owner;
+        let drop_pages: Vec<_> = self.meta(id)?.pages[keep_pages..].to_vec();
+        let dropped = drop_pages.len();
+        for p in drop_pages {
+            self.pool.release(p);
+        }
+        self.meta_mut(id)?.pages.truncate(keep_pages);
+        self.credit(owner, dropped);
+        // Trim within the boundary page.
+        let within = new_len % pt;
+        if within != 0 || new_len == 0 {
+            if let Some(&last) = self.meta(id)?.pages.last() {
+                if self.pool.page(last).refcount > 1 {
+                    let copy = self.pool.alloc(Tier::Gpu)?;
+                    let entries = self.pool.page(last).entries.clone();
+                    self.pool.page_mut(copy).entries = entries;
+                    self.pool.release(last);
+                    *self.meta_mut(id)?.pages.last_mut().expect("tail") = copy;
+                    self.stats.cow_copies += 1;
+                }
+                let last = *self.meta(id)?.pages.last().expect("tail");
+                self.pool.page_mut(last).entries.truncate(within);
+            }
+        }
+        self.meta_mut(id)?.len = new_len;
+        self.touch(id);
+        Ok(())
+    }
+
+    // ---- fork / extract / merge ---------------------------------------------
+
+    /// Clones a file by sharing all of its pages (copy-on-write).
+    ///
+    /// The clone is owned by `caller` and starts private and unpinned. This
+    /// is the `kv_fork` of the paper's Figure 2: parallel generation threads
+    /// fork a shared prefix "without duplicating the actual tensors".
+    pub fn fork(&mut self, id: FileId, caller: OwnerId) -> Result<FileId, KvError> {
+        self.check_read(id, caller)?;
+        let pages = self.meta(id)?.pages.clone();
+        let len = self.meta(id)?.len;
+        self.charge(caller, pages.len())?;
+        for &p in &pages {
+            self.pool.retain(p);
+        }
+        let new = FileId(self.next_file);
+        self.next_file += 1;
+        self.files.insert(
+            new.0,
+            FileMeta {
+                pages,
+                len,
+                owner: caller,
+                mode: Mode::PRIVATE,
+                pinned: false,
+                lock: None,
+                last_access: 0,
+                links: 0,
+            },
+        );
+        self.touch(new);
+        Ok(new)
+    }
+
+    /// Builds a new file from entry ranges of an existing file.
+    ///
+    /// Entries are copied (not shared): an extracted file models *pruned*
+    /// context (§4.2's runtime context pruning), whose entries keep the
+    /// fingerprints computed under the original context — the approximate-
+    /// reuse semantics of techniques like attention sinks.
+    pub fn extract(
+        &mut self,
+        id: FileId,
+        caller: OwnerId,
+        ranges: &[core::ops::Range<usize>],
+    ) -> Result<FileId, KvError> {
+        self.check_read(id, caller)?;
+        let len = self.meta(id)?.len;
+        let mut picked = Vec::new();
+        for r in ranges {
+            if r.start > r.end || r.end > len {
+                return Err(KvError::BadRange);
+            }
+            let chunk = self.read(id, caller, r.start, r.end - r.start)?;
+            picked.extend(chunk);
+        }
+        if picked.is_empty() {
+            return Err(KvError::EmptyInput);
+        }
+        let new = self.create(caller)?;
+        match self.append(new, caller, &picked) {
+            Ok(()) => {
+                self.stats.copied_entries += picked.len() as u64;
+                Ok(new)
+            }
+            Err(e) => {
+                let _ = self.remove(new, caller);
+                Err(e)
+            }
+        }
+    }
+
+    /// Concatenates several files into a new one (entries copied).
+    pub fn merge(&mut self, ids: &[FileId], caller: OwnerId) -> Result<FileId, KvError> {
+        if ids.is_empty() {
+            return Err(KvError::EmptyInput);
+        }
+        let mut all = Vec::new();
+        for &id in ids {
+            self.check_read(id, caller)?;
+            all.extend(self.read_all_unchecked(id)?);
+        }
+        if all.is_empty() {
+            return Err(KvError::EmptyInput);
+        }
+        let new = self.create(caller)?;
+        match self.append(new, caller, &all) {
+            Ok(()) => {
+                self.stats.copied_entries += all.len() as u64;
+                Ok(new)
+            }
+            Err(e) => {
+                let _ = self.remove(new, caller);
+                Err(e)
+            }
+        }
+    }
+
+    // ---- pinning and tiers ---------------------------------------------------
+
+    /// Pins a file: it may not be swapped out or removed by non-owners.
+    pub fn pin(&mut self, id: FileId, caller: OwnerId) -> Result<(), KvError> {
+        self.check_write(id, caller)?;
+        self.meta_mut(id)?.pinned = true;
+        Ok(())
+    }
+
+    /// Unpins a file.
+    pub fn unpin(&mut self, id: FileId, caller: OwnerId) -> Result<(), KvError> {
+        self.check_write(id, caller)?;
+        self.meta_mut(id)?.pinned = false;
+        Ok(())
+    }
+
+    /// Where the file's pages live.
+    pub fn residency(&self, id: FileId) -> Result<Residency, KvError> {
+        let m = self.meta(id)?;
+        if m.pages.is_empty() {
+            return Ok(Residency::Empty);
+        }
+        let gpu = m
+            .pages
+            .iter()
+            .filter(|&&p| self.pool.page(p).tier == Tier::Gpu)
+            .count();
+        Ok(if gpu == m.pages.len() {
+            Residency::Gpu
+        } else if gpu == 0 {
+            Residency::Cpu
+        } else {
+            Residency::Mixed
+        })
+    }
+
+    /// Swaps all pages to the CPU tier; returns tokens moved (for PCIe
+    /// timing). Shared pages move too — swap is a whole-page property.
+    pub fn swap_out(&mut self, id: FileId, caller: OwnerId) -> Result<usize, KvError> {
+        self.check_write(id, caller)?;
+        if self.meta(id)?.pinned {
+            return Err(KvError::Pinned);
+        }
+        let pages = self.meta(id)?.pages.clone();
+        let mut moved = 0;
+        for p in pages {
+            moved += self.pool.migrate(p, Tier::Cpu)?;
+        }
+        self.stats.swapped_out_tokens += moved as u64;
+        Ok(moved)
+    }
+
+    /// Swaps all pages back into the GPU tier; returns tokens moved.
+    pub fn swap_in(&mut self, id: FileId, caller: OwnerId) -> Result<usize, KvError> {
+        self.check_write(id, caller)?;
+        let pages = self.meta(id)?.pages.clone();
+        let mut moved = 0;
+        for p in pages {
+            moved += self.pool.migrate(p, Tier::Gpu)?;
+        }
+        self.stats.swapped_in_tokens += moved as u64;
+        self.touch(id);
+        Ok(moved)
+    }
+
+    /// Releases every lock held by `owner` (kernel cleanup when a process
+    /// exits or crashes). Returns the number of locks released.
+    pub fn release_locks(&mut self, owner: OwnerId) -> usize {
+        let mut released = 0;
+        for m in self.files.values_mut() {
+            if m.lock == Some(owner) {
+                m.lock = None;
+                released += 1;
+            }
+        }
+        released
+    }
+
+    // ---- introspection ---------------------------------------------------------
+
+    /// Snapshot of one file.
+    pub fn stat(&self, id: FileId) -> Result<FileStat, KvError> {
+        let m = self.meta(id)?;
+        Ok(FileStat {
+            id,
+            owner: m.owner,
+            len: m.len,
+            pages: m.pages.len(),
+            pinned: m.pinned,
+            locked_by: m.lock,
+            residency: self.residency(id)?,
+            last_access: m.last_access,
+            links: m.links,
+        })
+    }
+
+    /// Snapshots of all files, in file-ID order (deterministic).
+    pub fn list_files(&self) -> Vec<FileStat> {
+        self.files
+            .keys()
+            .map(|&k| self.stat(FileId(k)).expect("listed file exists"))
+            .collect()
+    }
+
+    /// Checks internal invariants; returns a description of the first
+    /// violation. Tests call this after every mutation sequence.
+    pub fn verify(&self) -> Result<(), String> {
+        // Refcounts must equal the number of file references.
+        let mut refs: BTreeMap<crate::page::PageId, u32> = BTreeMap::new();
+        for m in self.files.values() {
+            for &p in &m.pages {
+                *refs.entry(p).or_insert(0) += 1;
+            }
+        }
+        let mut live = 0;
+        for (pid, page) in self.pool.iter() {
+            live += 1;
+            let expected = refs.get(&pid).copied().unwrap_or(0);
+            if page.refcount != expected {
+                return Err(format!(
+                    "page {pid:?}: refcount {} but {} file references",
+                    page.refcount, expected
+                ));
+            }
+            if page.refcount == 0 {
+                return Err(format!("page {pid:?} is live with refcount 0"));
+            }
+        }
+        if live != refs.len() {
+            return Err(format!(
+                "{live} live pages but {} referenced pages",
+                refs.len()
+            ));
+        }
+        // File lengths must match page contents.
+        for (idf, m) in &self.files {
+            let total: usize = m
+                .pages
+                .iter()
+                .map(|&p| self.pool.page(p).entries.len())
+                .sum();
+            if total != m.len {
+                return Err(format!(
+                    "file {idf}: len {} but pages hold {total} entries",
+                    m.len
+                ));
+            }
+            // Only the last page may be partially filled.
+            for (i, &p) in m.pages.iter().enumerate() {
+                let n = self.pool.page(p).entries.len();
+                if i + 1 < m.pages.len() && n != self.pool.page_tokens() {
+                    return Err(format!("file {idf}: interior page {i} not full ({n})"));
+                }
+            }
+        }
+        // Quota accounting must match file ownership.
+        let mut per_owner: BTreeMap<OwnerId, usize> = BTreeMap::new();
+        for m in self.files.values() {
+            *per_owner.entry(m.owner).or_insert(0) += m.pages.len();
+        }
+        for (&owner, q) in &self.quotas {
+            let expected = per_owner.get(&owner).copied().unwrap_or(0);
+            if q.used_pages != expected {
+                return Err(format!(
+                    "owner {owner:?}: quota used {} but owns {expected} pages",
+                    q.used_pages
+                ));
+            }
+        }
+        for (&owner, &used) in &per_owner {
+            if used > 0 && !self.quotas.contains_key(&owner) {
+                return Err(format!("owner {owner:?} owns pages but has no quota record"));
+            }
+        }
+        // Namespace must point at live files.
+        for (path, id) in &self.namespace {
+            if !self.files.contains_key(&id.0) {
+                return Err(format!("path {path:?} points at dead file {id:?}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(x: u64) -> CtxFingerprint {
+        CtxFingerprint(x)
+    }
+
+    fn entries(range: core::ops::Range<u32>) -> Vec<KvEntry> {
+        range.map(|i| KvEntry::new(i, i, fp(i as u64))).collect()
+    }
+
+    fn store() -> KvStore {
+        KvStore::new(KvStoreConfig::for_tests())
+    }
+
+    const U1: OwnerId = OwnerId(1);
+    const U2: OwnerId = OwnerId(2);
+
+    #[test]
+    fn create_append_read() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..10)).unwrap();
+        assert_eq!(s.len(f).unwrap(), 10);
+        let got = s.read(f, U1, 3, 4).unwrap();
+        assert_eq!(got, entries(3..7));
+        assert_eq!(s.tail_fingerprint(f).unwrap(), Some(fp(9)));
+        assert_eq!(s.next_position(f).unwrap(), 10);
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn read_bad_range() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..5)).unwrap();
+        assert_eq!(s.read(f, U1, 3, 4), Err(KvError::BadRange));
+    }
+
+    #[test]
+    fn fork_shares_pages_cow_on_append() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..8)).unwrap(); // exactly 2 pages of 4
+        s.chmod(f, U1, Mode::SHARED_READ).unwrap();
+        let pages_before = s.gpu_pages_used();
+        let g = s.fork(f, U2).unwrap();
+        assert_eq!(s.gpu_pages_used(), pages_before, "fork allocates nothing");
+        assert_eq!(s.read_all_unchecked(g).unwrap(), entries(0..8));
+        // Append to the fork: tail page is full, so no COW, just a new page.
+        s.append(g, U2, &entries(8..9)).unwrap();
+        assert_eq!(s.gpu_pages_used(), pages_before + 1);
+        // The original is untouched.
+        assert_eq!(s.len(f).unwrap(), 8);
+        assert_eq!(s.len(g).unwrap(), 9);
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn cow_on_shared_partial_tail() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..6)).unwrap(); // page0 full, page1 half
+        s.chmod(f, U1, Mode::SHARED_READ).unwrap();
+        let g = s.fork(f, U2).unwrap();
+        let before = s.gpu_pages_used();
+        s.append(g, U2, &entries(6..7)).unwrap();
+        // COW of the shared tail page: one extra page in the pool.
+        assert_eq!(s.gpu_pages_used(), before + 1);
+        assert_eq!(s.stats().cow_copies, 1);
+        assert_eq!(s.read_all_unchecked(f).unwrap(), entries(0..6));
+        assert_eq!(s.read_all_unchecked(g).unwrap(), entries(0..7));
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn remove_releases_shared_pages_correctly() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..8)).unwrap();
+        s.chmod(f, U1, Mode::SHARED_READ).unwrap();
+        let g = s.fork(f, U2).unwrap();
+        s.remove(f, U1).unwrap();
+        // Pages survive via g.
+        assert_eq!(s.read_all_unchecked(g).unwrap(), entries(0..8));
+        assert_eq!(s.gpu_pages_used(), 2);
+        s.remove(g, U2).unwrap();
+        assert_eq!(s.gpu_pages_used(), 0);
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn append_out_of_memory_is_atomic() {
+        let mut s = KvStore::new(KvStoreConfig {
+            page_tokens: 4,
+            gpu_pages: 2,
+            cpu_pages: 0,
+            bytes_per_token: 1,
+        });
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..4)).unwrap();
+        assert_eq!(s.append(f, U1, &entries(4..12)), Err(KvError::NoGpuMemory));
+        assert_eq!(s.len(f).unwrap(), 4, "failed append must not mutate");
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn quota_enforced_and_released() {
+        let mut s = store();
+        s.set_quota(U1, Some(2));
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..8)).unwrap(); // 2 pages
+        assert_eq!(s.append(f, U1, &entries(8..9)), Err(KvError::QuotaExceeded));
+        assert_eq!(s.quota_used(U1), 2);
+        s.remove(f, U1).unwrap();
+        assert_eq!(s.quota_used(U1), 0);
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn fork_charges_the_forker() {
+        let mut s = store();
+        s.set_quota(U2, Some(1));
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..8)).unwrap();
+        s.chmod(f, U1, Mode::SHARED_READ).unwrap();
+        assert_eq!(s.fork(f, U2), Err(KvError::QuotaExceeded));
+        s.set_quota(U2, Some(2));
+        let g = s.fork(f, U2).unwrap();
+        assert_eq!(s.quota_used(U2), 2);
+        s.remove(g, U2).unwrap();
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn permissions() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..4)).unwrap();
+        // Private by default.
+        assert_eq!(s.read(f, U2, 0, 1), Err(KvError::PermissionDenied));
+        assert_eq!(s.append(f, U2, &entries(4..5)), Err(KvError::PermissionDenied));
+        // World-readable.
+        s.chmod(f, U1, Mode::SHARED_READ).unwrap();
+        assert!(s.read(f, U2, 0, 1).is_ok());
+        assert_eq!(s.append(f, U2, &entries(4..5)), Err(KvError::PermissionDenied));
+        // Admin bypasses everything.
+        assert!(s.read(f, OwnerId::ADMIN, 0, 1).is_ok());
+        assert!(s.append(f, OwnerId::ADMIN, &entries(4..5)).is_ok());
+        // Only owner/admin can chmod.
+        assert_eq!(s.chmod(f, U2, Mode::PRIVATE), Err(KvError::PermissionDenied));
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn locks_exclude_other_writers() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.chmod(f, U1, Mode { read_all: true, write_all: true }).unwrap();
+        s.lock(f, U2).unwrap();
+        assert_eq!(s.append(f, U1, &entries(0..1)), Err(KvError::Locked));
+        assert!(s.append(f, U2, &entries(0..1)).is_ok());
+        assert_eq!(s.unlock(f, U1), Err(KvError::NotLockHolder));
+        s.unlock(f, U2).unwrap();
+        assert!(s.append(f, U1, &entries(1..2)).is_ok());
+        assert_eq!(s.unlock(f, U1), Err(KvError::NotLockHolder));
+        // Re-lock is idempotent for the holder.
+        s.lock(f, U1).unwrap();
+        s.lock(f, U1).unwrap();
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn namespace_link_open_unlink() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..4)).unwrap();
+        s.chmod(f, U1, Mode::SHARED_READ).unwrap();
+        s.link(f, "sys/prompt.kv", U1).unwrap();
+        assert_eq!(s.link(f, "sys/prompt.kv", U1), Err(KvError::AlreadyExists));
+        assert_eq!(s.open("sys/prompt.kv", U2).unwrap(), f);
+        assert_eq!(s.open("missing", U2), Err(KvError::NotFound));
+        // U2 cannot unlink a file it cannot write.
+        assert_eq!(s.unlink("sys/prompt.kv", U2), Err(KvError::PermissionDenied));
+        s.unlink("sys/prompt.kv", U1).unwrap();
+        assert_eq!(s.lookup("sys/prompt.kv"), None);
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn remove_clears_namespace() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.link(f, "a", U1).unwrap();
+        s.link(f, "b", U1).unwrap();
+        s.remove(f, U1).unwrap();
+        assert_eq!(s.lookup("a"), None);
+        assert_eq!(s.lookup("b"), None);
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn extract_copies_ranges() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..10)).unwrap();
+        let e = s.extract(f, U1, &[0..2, 6..9]).unwrap();
+        let got = s.read_all_unchecked(e).unwrap();
+        let mut want = entries(0..2);
+        want.extend(entries(6..9));
+        assert_eq!(got, want);
+        // Positions are preserved (discontiguous layout).
+        assert_eq!(got[2].position, 6);
+        assert_eq!(s.extract(f, U1, &[4..20]), Err(KvError::BadRange));
+        assert_eq!(s.extract(f, U1, &[]), Err(KvError::EmptyInput));
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut s = store();
+        let a = s.create(U1).unwrap();
+        let b = s.create(U1).unwrap();
+        s.append(a, U1, &entries(0..3)).unwrap();
+        s.append(b, U1, &entries(10..13)).unwrap();
+        let m = s.merge(&[a, b], U1).unwrap();
+        let got = s.read_all_unchecked(m).unwrap();
+        assert_eq!(got.len(), 6);
+        assert_eq!(got[3].token, 10);
+        assert_eq!(s.merge(&[], U1), Err(KvError::EmptyInput));
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn truncate_releases_pages_and_cows_shared_boundary() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..10)).unwrap(); // 3 pages (4+4+2)
+        let g = s.fork(f, U1).unwrap();
+        s.truncate(f, U1, 3).unwrap(); // boundary inside shared page 0
+        assert_eq!(s.len(f).unwrap(), 3);
+        assert_eq!(s.read_all_unchecked(f).unwrap(), entries(0..3));
+        // g still intact.
+        assert_eq!(s.read_all_unchecked(g).unwrap(), entries(0..10));
+        s.truncate(f, U1, 0).unwrap();
+        assert_eq!(s.len(f).unwrap(), 0);
+        assert_eq!(s.truncate(g, U1, 11), Err(KvError::BadRange));
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn swap_out_and_in_move_tokens() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..10)).unwrap();
+        assert_eq!(s.residency(f).unwrap(), Residency::Gpu);
+        let out = s.swap_out(f, U1).unwrap();
+        assert_eq!(out, 10);
+        assert_eq!(s.residency(f).unwrap(), Residency::Cpu);
+        assert_eq!(s.gpu_pages_used(), 0);
+        assert_eq!(s.cpu_pages_used(), 3);
+        let back = s.swap_in(f, U1).unwrap();
+        assert_eq!(back, 10);
+        assert_eq!(s.residency(f).unwrap(), Residency::Gpu);
+        assert_eq!(s.stats().swapped_out_tokens, 10);
+        assert_eq!(s.stats().swapped_in_tokens, 10);
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn pinned_files_refuse_swap_out() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..4)).unwrap();
+        s.pin(f, U1).unwrap();
+        assert_eq!(s.swap_out(f, U1), Err(KvError::Pinned));
+        s.unpin(f, U1).unwrap();
+        assert!(s.swap_out(f, U1).is_ok());
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn append_to_swapped_file_requires_residency() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..6)).unwrap(); // partial tail
+        s.swap_out(f, U1).unwrap();
+        assert_eq!(s.append(f, U1, &entries(6..7)), Err(KvError::NotResident));
+        s.swap_in(f, U1).unwrap();
+        assert!(s.append(f, U1, &entries(6..7)).is_ok());
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn stat_and_list_files() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..5)).unwrap();
+        s.pin(f, U1).unwrap();
+        s.link(f, "x", U1).unwrap();
+        let st = s.stat(f).unwrap();
+        assert_eq!(st.len, 5);
+        assert_eq!(st.pages, 2);
+        assert!(st.pinned);
+        assert_eq!(st.links, 1);
+        assert_eq!(st.owner, U1);
+        let g = s.create(U2).unwrap();
+        let list = s.list_files();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].id, f);
+        assert_eq!(list[1].id, g);
+    }
+
+    #[test]
+    fn last_access_ordering_supports_lru() {
+        let mut s = store();
+        let a = s.create(U1).unwrap();
+        let b = s.create(U1).unwrap();
+        s.append(a, U1, &entries(0..1)).unwrap();
+        s.append(b, U1, &entries(0..1)).unwrap();
+        // Touch a after b.
+        let _ = s.read(a, U1, 0, 1).unwrap();
+        let sa = s.stat(a).unwrap().last_access;
+        let sb = s.stat(b).unwrap().last_access;
+        assert!(sa > sb, "a was accessed more recently");
+    }
+
+    #[test]
+    fn empty_file_edge_cases() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        assert!(s.is_empty(f).unwrap());
+        assert_eq!(s.tail_fingerprint(f).unwrap(), None);
+        assert_eq!(s.next_position(f).unwrap(), 0);
+        assert_eq!(s.residency(f).unwrap(), Residency::Empty);
+        assert_eq!(s.read(f, U1, 0, 0).unwrap(), vec![]);
+        s.append(f, U1, &[]).unwrap();
+        assert!(s.is_empty(f).unwrap());
+        s.verify().unwrap();
+    }
+}

@@ -1,0 +1,576 @@
+//! The tree-walking interpreter with fuel, memory and depth metering.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::ast::{BinOp, Expr, ExprKind, Program, Stmt, StmtKind, UnOp};
+use crate::builtins;
+use crate::error::{LipError, RuntimeError, RuntimeErrorKind, Span};
+use crate::host::Host;
+use crate::parse::parse;
+use crate::value::Value;
+
+/// Resource limits for one program (§6: "resource accounting").
+#[derive(Debug, Clone, Copy)]
+pub struct InterpLimits {
+    /// Maximum AST-node evaluations.
+    pub fuel: u64,
+    /// Total allocation budget in abstract cells (monotonic: frees are not
+    /// credited back, bounding total work a program can cause).
+    pub memory_cells: u64,
+    /// Maximum function-call depth.
+    pub max_depth: u32,
+}
+
+impl Default for InterpLimits {
+    fn default() -> Self {
+        InterpLimits {
+            fuel: 10_000_000,
+            memory_cells: 4_000_000,
+            max_depth: 64,
+        }
+    }
+}
+
+/// Statement outcome (control flow).
+pub(crate) enum Flow {
+    Normal,
+    Break(Span),
+    Continue(Span),
+    Return(Value),
+}
+
+/// Lexical environment: a stack of scopes.
+pub(crate) struct Env {
+    scopes: Vec<HashMap<String, Value>>,
+}
+
+impl Env {
+    fn new() -> Self {
+        Env {
+            scopes: vec![HashMap::new()],
+        }
+    }
+
+    fn push(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn declare(&mut self, name: &str, v: Value) {
+        self.scopes
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.to_string(), v);
+    }
+
+    fn get(&self, name: &str) -> Option<&Value> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn set(&mut self, name: &str, v: Value) -> bool {
+        for s in self.scopes.iter_mut().rev() {
+            if let Some(slot) = s.get_mut(name) {
+                *slot = v;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn get_mut(&mut self, name: &str) -> Option<&mut Value> {
+        self.scopes.iter_mut().rev().find_map(|s| s.get_mut(name))
+    }
+}
+
+/// The interpreter state for one program execution.
+pub struct Interpreter {
+    pub(crate) program: Arc<Program>,
+    pub(crate) limits: InterpLimits,
+    fuel_used: u64,
+    mem_used: u64,
+    depth: u32,
+}
+
+impl Interpreter {
+    /// Creates an interpreter over a parsed program.
+    pub fn new(program: Arc<Program>, limits: InterpLimits) -> Self {
+        Interpreter {
+            program,
+            limits,
+            fuel_used: 0,
+            mem_used: 0,
+            depth: 0,
+        }
+    }
+
+    /// Fuel consumed so far.
+    pub fn fuel_used(&self) -> u64 {
+        self.fuel_used
+    }
+
+    /// Memory cells charged so far.
+    pub fn mem_used(&self) -> u64 {
+        self.mem_used
+    }
+
+    fn burn(&mut self, span: Span) -> Result<(), RuntimeError> {
+        self.fuel_used += 1;
+        if self.fuel_used > self.limits.fuel {
+            Err(RuntimeError::new(RuntimeErrorKind::OutOfFuel, span))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Charges an allocation against the memory budget.
+    pub(crate) fn charge(&mut self, cells: u64, span: Span) -> Result<(), RuntimeError> {
+        self.mem_used += cells;
+        if self.mem_used > self.limits.memory_cells {
+            Err(RuntimeError::new(RuntimeErrorKind::OutOfMemory, span))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Runs the program's top-level statements. Returns the value of a
+    /// top-level `return`, or [`Value::Nil`].
+    pub fn run(&mut self, host: &mut dyn Host) -> Result<Value, RuntimeError> {
+        let program = self.program.clone();
+        let mut env = Env::new();
+        match self.exec_block(&program.top, &mut env, host)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Break(span) | Flow::Continue(span) => {
+                Err(RuntimeError::new(RuntimeErrorKind::BadControlFlow, span))
+            }
+            Flow::Normal => Ok(Value::Nil),
+        }
+    }
+
+    /// Calls a named top-level function with arguments (thread entry point).
+    pub fn call_named(
+        &mut self,
+        host: &mut dyn Host,
+        name: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, RuntimeError> {
+        self.call_function(name, args, Span::default(), host)
+    }
+
+    pub(crate) fn call_function(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        span: Span,
+        host: &mut dyn Host,
+    ) -> Result<Value, RuntimeError> {
+        let program = self.program.clone();
+        let Some(def) = program.function(name) else {
+            return Err(RuntimeError::new(
+                RuntimeErrorKind::Undefined(name.to_string()),
+                span,
+            ));
+        };
+        if def.params.len() != args.len() {
+            return Err(RuntimeError::new(
+                RuntimeErrorKind::BadArity(format!(
+                    "{name} expects {} args, got {}",
+                    def.params.len(),
+                    args.len()
+                )),
+                span,
+            ));
+        }
+        self.depth += 1;
+        if self.depth > self.limits.max_depth {
+            self.depth -= 1;
+            return Err(RuntimeError::new(RuntimeErrorKind::DepthExceeded, span));
+        }
+        let mut env = Env::new();
+        for (p, a) in def.params.iter().zip(args) {
+            env.declare(p, a);
+        }
+        let result = self.exec_block(&def.body, &mut env, host);
+        self.depth -= 1;
+        match result? {
+            Flow::Return(v) => Ok(v),
+            Flow::Break(s) | Flow::Continue(s) => {
+                Err(RuntimeError::new(RuntimeErrorKind::BadControlFlow, s))
+            }
+            Flow::Normal => Ok(Value::Nil),
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        stmts: &[Stmt],
+        env: &mut Env,
+        host: &mut dyn Host,
+    ) -> Result<Flow, RuntimeError> {
+        for s in stmts {
+            match self.exec_stmt(s, env, host)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        env: &mut Env,
+        host: &mut dyn Host,
+    ) -> Result<Flow, RuntimeError> {
+        self.burn(stmt.span)?;
+        match &stmt.kind {
+            StmtKind::Let(name, e) => {
+                let v = self.eval(e, env, host)?;
+                env.declare(name, v);
+                Ok(Flow::Normal)
+            }
+            StmtKind::Assign(name, e) => {
+                let v = self.eval(e, env, host)?;
+                if env.set(name, v) {
+                    Ok(Flow::Normal)
+                } else {
+                    Err(RuntimeError::new(
+                        RuntimeErrorKind::Undefined(name.clone()),
+                        stmt.span,
+                    ))
+                }
+            }
+            StmtKind::IndexAssign(name, idx, e) => {
+                let i = self.eval(idx, env, host)?;
+                let v = self.eval(e, env, host)?;
+                let Value::Int(i) = i else {
+                    return Err(RuntimeError::new(
+                        RuntimeErrorKind::Type(format!(
+                            "list index must be int, got {}",
+                            i.type_name()
+                        )),
+                        stmt.span,
+                    ));
+                };
+                let Some(slot) = env.get_mut(name) else {
+                    return Err(RuntimeError::new(
+                        RuntimeErrorKind::Undefined(name.clone()),
+                        stmt.span,
+                    ));
+                };
+                match slot {
+                    Value::List(items) => {
+                        if i < 0 || i as usize >= items.len() {
+                            return Err(RuntimeError::new(
+                                RuntimeErrorKind::IndexOutOfBounds(i, items.len()),
+                                stmt.span,
+                            ));
+                        }
+                        items[i as usize] = v;
+                        Ok(Flow::Normal)
+                    }
+                    other => Err(RuntimeError::new(
+                        RuntimeErrorKind::Type(format!(
+                            "cannot index-assign into {}",
+                            other.type_name()
+                        )),
+                        stmt.span,
+                    )),
+                }
+            }
+            StmtKind::If(cond, then, els) => {
+                let c = self.eval(cond, env, host)?;
+                env.push();
+                let flow = if c.truthy() {
+                    self.exec_block(then, env, host)
+                } else {
+                    self.exec_block(els, env, host)
+                };
+                env.pop();
+                flow
+            }
+            StmtKind::While(cond, body) => {
+                loop {
+                    self.burn(stmt.span)?;
+                    if !self.eval(cond, env, host)?.truthy() {
+                        break;
+                    }
+                    env.push();
+                    let flow = self.exec_block(body, env, host);
+                    env.pop();
+                    match flow? {
+                        Flow::Normal | Flow::Continue(_) => {}
+                        Flow::Break(_) => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::For(var, iter, body) => {
+                let items = match self.eval(iter, env, host)? {
+                    Value::List(items) => items,
+                    other => {
+                        return Err(RuntimeError::new(
+                            RuntimeErrorKind::Type(format!(
+                                "for-loop needs a list, got {}",
+                                other.type_name()
+                            )),
+                            stmt.span,
+                        ))
+                    }
+                };
+                for item in items {
+                    self.burn(stmt.span)?;
+                    env.push();
+                    env.declare(var, item);
+                    let flow = self.exec_block(body, env, host);
+                    env.pop();
+                    match flow? {
+                        Flow::Normal | Flow::Continue(_) => {}
+                        Flow::Break(_) => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Break => Ok(Flow::Break(stmt.span)),
+            StmtKind::Continue => Ok(Flow::Continue(stmt.span)),
+            StmtKind::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e, env, host)?,
+                    None => Value::Nil,
+                };
+                Ok(Flow::Return(v))
+            }
+            StmtKind::Expr(e) => {
+                self.eval(e, env, host)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    pub(crate) fn eval(
+        &mut self,
+        expr: &Expr,
+        env: &mut Env,
+        host: &mut dyn Host,
+    ) -> Result<Value, RuntimeError> {
+        self.burn(expr.span)?;
+        match &expr.kind {
+            ExprKind::Int(v) => Ok(Value::Int(*v)),
+            ExprKind::Float(v) => Ok(Value::Float(*v)),
+            ExprKind::Bool(v) => Ok(Value::Bool(*v)),
+            ExprKind::Nil => Ok(Value::Nil),
+            ExprKind::Str(s) => {
+                self.charge(1 + s.len() as u64 / 8, expr.span)?;
+                Ok(Value::Str(s.clone()))
+            }
+            ExprKind::Var(name) => env.get(name).cloned().ok_or_else(|| {
+                RuntimeError::new(RuntimeErrorKind::Undefined(name.clone()), expr.span)
+            }),
+            ExprKind::List(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for e in items {
+                    out.push(self.eval(e, env, host)?);
+                }
+                self.charge(1 + out.len() as u64, expr.span)?;
+                Ok(Value::List(out))
+            }
+            ExprKind::Un(op, e) => {
+                let v = self.eval(e, env, host)?;
+                match (op, v) {
+                    (UnOp::Neg, Value::Int(i)) => Ok(Value::Int(-i)),
+                    (UnOp::Neg, Value::Float(f)) => Ok(Value::Float(-f)),
+                    (UnOp::Not, v) => Ok(Value::Bool(!v.truthy())),
+                    (UnOp::Neg, v) => Err(RuntimeError::new(
+                        RuntimeErrorKind::Type(format!("cannot negate {}", v.type_name())),
+                        expr.span,
+                    )),
+                }
+            }
+            ExprKind::Bin(op, l, r) => {
+                // Short-circuit logicals.
+                if *op == BinOp::And {
+                    let lv = self.eval(l, env, host)?;
+                    if !lv.truthy() {
+                        return Ok(Value::Bool(false));
+                    }
+                    return Ok(Value::Bool(self.eval(r, env, host)?.truthy()));
+                }
+                if *op == BinOp::Or {
+                    let lv = self.eval(l, env, host)?;
+                    if lv.truthy() {
+                        return Ok(Value::Bool(true));
+                    }
+                    return Ok(Value::Bool(self.eval(r, env, host)?.truthy()));
+                }
+                let lv = self.eval(l, env, host)?;
+                let rv = self.eval(r, env, host)?;
+                self.binop(*op, lv, rv, expr.span)
+            }
+            ExprKind::Index(e, idx) => {
+                let base = self.eval(e, env, host)?;
+                let i = self.eval(idx, env, host)?;
+                let Value::Int(i) = i else {
+                    return Err(RuntimeError::new(
+                        RuntimeErrorKind::Type(format!(
+                            "index must be int, got {}",
+                            i.type_name()
+                        )),
+                        expr.span,
+                    ));
+                };
+                match base {
+                    Value::List(items) => {
+                        if i < 0 || i as usize >= items.len() {
+                            Err(RuntimeError::new(
+                                RuntimeErrorKind::IndexOutOfBounds(i, items.len()),
+                                expr.span,
+                            ))
+                        } else {
+                            Ok(items[i as usize].clone())
+                        }
+                    }
+                    Value::Str(s) => {
+                        let bytes = s.as_bytes();
+                        if i < 0 || i as usize >= bytes.len() {
+                            Err(RuntimeError::new(
+                                RuntimeErrorKind::IndexOutOfBounds(i, bytes.len()),
+                                expr.span,
+                            ))
+                        } else {
+                            Ok(Value::Str((bytes[i as usize] as char).to_string()))
+                        }
+                    }
+                    other => Err(RuntimeError::new(
+                        RuntimeErrorKind::Type(format!("cannot index {}", other.type_name())),
+                        expr.span,
+                    )),
+                }
+            }
+            ExprKind::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env, host)?);
+                }
+                if builtins::is_builtin(name) {
+                    builtins::call(self, host, name, vals, expr.span)
+                } else {
+                    self.call_function(name, vals, expr.span, host)
+                }
+            }
+        }
+    }
+
+    fn binop(
+        &mut self,
+        op: BinOp,
+        l: Value,
+        r: Value,
+        span: Span,
+    ) -> Result<Value, RuntimeError> {
+        use Value::{Float, Int, Str};
+        let type_err = |l: &Value, r: &Value| {
+            RuntimeError::new(
+                RuntimeErrorKind::Type(format!(
+                    "cannot apply {op:?} to {} and {}",
+                    l.type_name(),
+                    r.type_name()
+                )),
+                span,
+            )
+        };
+        Ok(match (op, &l, &r) {
+            (BinOp::Add, Int(a), Int(b)) => Int(a.wrapping_add(*b)),
+            (BinOp::Sub, Int(a), Int(b)) => Int(a.wrapping_sub(*b)),
+            (BinOp::Mul, Int(a), Int(b)) => Int(a.wrapping_mul(*b)),
+            (BinOp::Div, Int(a), Int(b)) => {
+                if *b == 0 {
+                    return Err(RuntimeError::new(RuntimeErrorKind::DivisionByZero, span));
+                }
+                Int(a.wrapping_div(*b))
+            }
+            (BinOp::Mod, Int(a), Int(b)) => {
+                if *b == 0 {
+                    return Err(RuntimeError::new(RuntimeErrorKind::DivisionByZero, span));
+                }
+                Int(a.wrapping_rem(*b))
+            }
+            (BinOp::Add, Str(a), b) => {
+                let s = format!("{a}{b}");
+                self.charge(1 + s.len() as u64 / 8, span)?;
+                Str(s)
+            }
+            (BinOp::Add, a, Str(b)) => {
+                let s = format!("{a}{b}");
+                self.charge(1 + s.len() as u64 / 8, span)?;
+                Str(s)
+            }
+            (BinOp::Add, Value::List(a), Value::List(b)) => {
+                let mut out = a.clone();
+                out.extend(b.iter().cloned());
+                self.charge(1 + out.len() as u64, span)?;
+                Value::List(out)
+            }
+            (_, Float(_), _) | (_, _, Float(_)) => {
+                let (a, b) = match (&l, &r) {
+                    (Int(a), Float(b)) => (*a as f64, *b),
+                    (Float(a), Int(b)) => (*a, *b as f64),
+                    (Float(a), Float(b)) => (*a, *b),
+                    _ => return Err(type_err(&l, &r)),
+                };
+                match op {
+                    BinOp::Add => Float(a + b),
+                    BinOp::Sub => Float(a - b),
+                    BinOp::Mul => Float(a * b),
+                    BinOp::Div => Float(a / b),
+                    BinOp::Mod => Float(a % b),
+                    BinOp::Eq => Value::Bool(a == b),
+                    BinOp::Ne => Value::Bool(a != b),
+                    BinOp::Lt => Value::Bool(a < b),
+                    BinOp::Le => Value::Bool(a <= b),
+                    BinOp::Gt => Value::Bool(a > b),
+                    BinOp::Ge => Value::Bool(a >= b),
+                    BinOp::And | BinOp::Or => unreachable!("short-circuited"),
+                }
+            }
+            (BinOp::Eq, a, b) => Value::Bool(a == b),
+            (BinOp::Ne, a, b) => Value::Bool(a != b),
+            (BinOp::Lt, Int(a), Int(b)) => Value::Bool(a < b),
+            (BinOp::Le, Int(a), Int(b)) => Value::Bool(a <= b),
+            (BinOp::Gt, Int(a), Int(b)) => Value::Bool(a > b),
+            (BinOp::Ge, Int(a), Int(b)) => Value::Bool(a >= b),
+            (BinOp::Lt, Str(a), Str(b)) => Value::Bool(a < b),
+            (BinOp::Le, Str(a), Str(b)) => Value::Bool(a <= b),
+            (BinOp::Gt, Str(a), Str(b)) => Value::Bool(a > b),
+            (BinOp::Ge, Str(a), Str(b)) => Value::Bool(a >= b),
+            _ => return Err(type_err(&l, &r)),
+        })
+    }
+}
+
+/// Parses and runs a LipScript program against an arbitrary host.
+pub fn run_with_host(
+    src: &str,
+    host: &mut dyn Host,
+    limits: InterpLimits,
+) -> Result<Value, LipError> {
+    let program = Arc::new(parse(src)?);
+    let mut interp = Interpreter::new(program, limits);
+    interp.run(host).map_err(LipError::from)
+}
+
+/// Parses and runs a LipScript program inside a Symphony LIP thread.
+///
+/// This is what a "program-accepting server" calls on a received program
+/// string: the whole execution is sandboxed by `limits`.
+pub fn run_lip(
+    src: &str,
+    ctx: &mut symphony::Ctx,
+    limits: InterpLimits,
+) -> Result<Value, LipError> {
+    run_with_host(src, ctx, limits)
+}

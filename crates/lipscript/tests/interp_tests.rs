@@ -1,0 +1,387 @@
+//! Interpreter semantics, sandboxing, and kernel integration tests.
+
+use symphony_lipscript::host::MockHost;
+use symphony_lipscript::{run_with_host, InterpLimits, LipError, RuntimeError, Value};
+
+fn run(src: &str) -> Result<(Value, MockHost), LipError> {
+    let mut host = MockHost::new("the args");
+    let v = run_with_host(src, &mut host, InterpLimits::default())?;
+    Ok((v, host))
+}
+
+fn run_value(src: &str) -> Value {
+    run(src).unwrap().0
+}
+
+fn runtime_err(src: &str) -> RuntimeError {
+    match run(src).unwrap_err() {
+        LipError::Runtime(e) => e,
+        other => panic!("expected runtime error, got {other:?}"),
+    }
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(run_value("return 1 + 2 * 3;"), Value::Int(7));
+    assert_eq!(run_value("return (1 + 2) * 3;"), Value::Int(9));
+    assert_eq!(run_value("return 7 % 3;"), Value::Int(1));
+    assert_eq!(run_value("return 7 / 2;"), Value::Int(3));
+    assert_eq!(run_value("return 7.0 / 2;"), Value::Float(3.5));
+    assert_eq!(run_value("return 1 + 2.5;"), Value::Float(3.5));
+    assert_eq!(run_value("return -5;"), Value::Int(-5));
+}
+
+#[test]
+fn comparisons_and_logic() {
+    assert_eq!(run_value("return 1 < 2 && 3 >= 3;"), Value::Bool(true));
+    assert_eq!(run_value("return 1 == 2 || false;"), Value::Bool(false));
+    assert_eq!(run_value("return !0;"), Value::Bool(true));
+    assert_eq!(run_value(r#"return "a" < "b";"#), Value::Bool(true));
+    assert_eq!(run_value(r#"return "x" == "x";"#), Value::Bool(true));
+}
+
+#[test]
+fn short_circuit_does_not_eval_rhs() {
+    // The rhs would be a division by zero if evaluated.
+    assert_eq!(
+        run_value("let x = 0; return x != 0 && 1 / x > 0;"),
+        Value::Bool(false)
+    );
+    assert_eq!(
+        run_value("let x = 0; return x == 0 || 1 / x > 0;"),
+        Value::Bool(true)
+    );
+}
+
+#[test]
+fn strings_and_lists() {
+    assert_eq!(
+        run_value(r#"return "a" + "b" + str(3);"#),
+        Value::Str("ab3".into())
+    );
+    assert_eq!(
+        run_value("return [1, 2] + [3];"),
+        Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+    );
+    assert_eq!(run_value("return len([1, 2, 3]);"), Value::Int(3));
+    assert_eq!(run_value("let xs = push([1], 2); return xs[1];"), Value::Int(2));
+    assert_eq!(run_value("return slice([1,2,3,4], 1, 3);"),
+        Value::List(vec![Value::Int(2), Value::Int(3)]));
+    assert_eq!(run_value("return contains([1,2], 2);"), Value::Bool(true));
+    assert_eq!(run_value("return range(2, 5);"),
+        Value::List(vec![Value::Int(2), Value::Int(3), Value::Int(4)]));
+    assert_eq!(run_value(r#"return split("a,b", ",");"#),
+        Value::List(vec![Value::Str("a".into()), Value::Str("b".into())]));
+    assert_eq!(run_value(r#"return join_str([1, 2], "-");"#), Value::Str("1-2".into()));
+}
+
+#[test]
+fn index_assignment_mutates() {
+    assert_eq!(
+        run_value("let xs = [1, 2, 3]; xs[1] = 9; return xs[1];"),
+        Value::Int(9)
+    );
+}
+
+#[test]
+fn control_flow() {
+    assert_eq!(
+        run_value(
+            "let n = 0; let i = 0;
+             while (i < 10) { i = i + 1; if (i % 2 == 0) { continue; } n = n + i; }
+             return n;"
+        ),
+        Value::Int(25)
+    );
+    assert_eq!(
+        run_value("let n = 0; for x in [1, 2, 3, 4] { if (x == 3) { break; } n = n + x; } return n;"),
+        Value::Int(3)
+    );
+    assert_eq!(
+        run_value("if (1 < 2) { return 10; } else { return 20; }"),
+        Value::Int(10)
+    );
+}
+
+#[test]
+fn functions_and_recursion() {
+    assert_eq!(
+        run_value("fn fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); } return fib(12);"),
+        Value::Int(144)
+    );
+    assert_eq!(
+        run_value("fn add(a, b) { return a + b; } return add(40, 2);"),
+        Value::Int(42)
+    );
+    // Functions see only their own scope.
+    let e = runtime_err("let g = 1; fn f() { return g; } return f();");
+    assert!(e.to_string().contains("undefined name `g`"));
+}
+
+#[test]
+fn scoping() {
+    // Block scopes shadow and disappear.
+    assert_eq!(
+        run_value("let x = 1; if (true) { let x = 2; } return x;"),
+        Value::Int(1)
+    );
+    // Assignment reaches outer scopes.
+    assert_eq!(
+        run_value("let x = 1; if (true) { x = 2; } return x;"),
+        Value::Int(2)
+    );
+}
+
+#[test]
+fn runtime_errors_have_kinds() {
+    assert!(runtime_err("return 1 / 0;").to_string().contains("division by zero"));
+    assert!(runtime_err("return [1][5];").to_string().contains("out of bounds"));
+    assert!(runtime_err("return y;").to_string().contains("undefined"));
+    assert!(runtime_err("return 1 + [];").to_string().contains("type error"));
+    assert!(runtime_err("f(1);").to_string().contains("undefined"));
+    assert!(runtime_err("fn f(a) { return a; } return f();").to_string().contains("arity"));
+    assert!(runtime_err("break;").to_string().contains("outside a loop"));
+}
+
+#[test]
+fn fuel_exhaustion_stops_infinite_loops() {
+    let mut host = MockHost::new("");
+    let limits = InterpLimits {
+        fuel: 10_000,
+        ..Default::default()
+    };
+    let err = run_with_host("while (true) { let x = 1; }", &mut host, limits).unwrap_err();
+    assert!(err.to_string().contains("out of fuel"), "{err}");
+}
+
+#[test]
+fn memory_exhaustion_stops_allocation_bombs() {
+    let mut host = MockHost::new("");
+    let limits = InterpLimits {
+        memory_cells: 10_000,
+        ..Default::default()
+    };
+    let err = run_with_host(
+        "let xs = [0]; while (true) { xs = xs + xs; }",
+        &mut host,
+        limits,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("out of memory"), "{err}");
+}
+
+#[test]
+fn depth_limit_stops_runaway_recursion() {
+    let mut host = MockHost::new("");
+    let limits = InterpLimits {
+        max_depth: 16,
+        ..Default::default()
+    };
+    let err = run_with_host(
+        "fn f(n) { return f(n + 1); } return f(0);",
+        &mut host,
+        limits,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("call depth"), "{err}");
+}
+
+#[test]
+fn host_args_emit_and_tools() {
+    let (_, host) = run(r#"emit(args()); emit("!");"#).unwrap();
+    assert_eq!(host.emitted, "the args!");
+
+    let mut host = MockHost::new("");
+    host.tools.insert("weather".into(), "sunny in {args}".into());
+    let v = run_with_host(
+        r#"return call_tool("weather", "banff");"#,
+        &mut host,
+        InterpLimits::default(),
+    )
+    .unwrap();
+    assert_eq!(v, Value::Str("sunny in banff".into()));
+
+    // Unknown tool is a runtime error, not a crash.
+    let err = run_with_host(
+        r#"call_tool("nope", "");"#,
+        &mut host,
+        InterpLimits::default(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("syscall failed"));
+}
+
+#[test]
+fn generation_loop_against_mock_model() {
+    let src = r#"
+        let kv = kv_create();
+        let prompt = tokenize(args());
+        let dists = pred(kv, prompt, 0);
+        let d = dists[len(dists) - 1];
+        let pos = len(prompt);
+        let out = [];
+        while (len(out) < 32) {
+            let t = argmax(d);
+            if (t == eos()) { break; }
+            out = push(out, t);
+            d = pred(kv, [t], pos)[0];
+            pos = pos + 1;
+        }
+        emit_tokens(out);
+        return len(out);
+    "#;
+    let (v, host) = run(src).unwrap();
+    let Value::Int(n) = v else { panic!("{v:?}") };
+    assert!(n > 0, "should generate something");
+    assert!(!host.emitted.is_empty());
+    // The mock's EOS gate fires every 13th entry, so the loop ended early.
+    assert!(n < 32, "mock model should have emitted EOS, got {n}");
+}
+
+#[test]
+fn kv_operations_roundtrip() {
+    let src = r#"
+        let a = kv_create();
+        pred(a, [1, 2, 3, 4], 0);
+        let b = kv_fork(a);
+        pred(b, [5], 4);
+        kv_link(a, "shared.kv");
+        let c = kv_open("shared.kv");
+        let lens = [kv_len(a), kv_len(b), kv_len(c)];
+        kv_truncate(b, 2);
+        lens = push(lens, kv_len(b));
+        let d = kv_extract(a, 1, 3);
+        lens = push(lens, kv_len(d));
+        let m = kv_merge([a, d]);
+        lens = push(lens, kv_len(m));
+        return lens;
+    "#;
+    let (v, _) = run(src).unwrap();
+    assert_eq!(
+        v,
+        Value::List(vec![
+            Value::Int(4),
+            Value::Int(5),
+            Value::Int(4),
+            Value::Int(2),
+            Value::Int(2),
+            Value::Int(6)
+        ])
+    );
+}
+
+#[test]
+fn dist_operations() {
+    let src = r#"
+        let kv = kv_create();
+        let d = pred(kv, [7], 0)[0];
+        let t = argmax(d);
+        let p = prob(d, t);
+        let k = top_k(d, 1);
+        let c = constrain(d, [t, t + 1]);
+        return [p > 0.0, argmax(k) == t, argmax(c) == t, entropy(d) > 0.0, sample(top_k(d,1)) == t];
+    "#;
+    let (v, _) = run(src).unwrap();
+    assert_eq!(v, Value::List(vec![Value::Bool(true); 5]));
+}
+
+#[test]
+fn spawn_and_join_inline() {
+    let src = r#"
+        fn worker(n) { emit("w" + str(n)); return n; }
+        let t1 = spawn("worker", [1]);
+        let t2 = spawn("worker", [2]);
+        return [join(t1), join(t2)];
+    "#;
+    let (v, host) = run(src).unwrap();
+    assert_eq!(v, Value::List(vec![Value::Bool(true), Value::Bool(true)]));
+    assert_eq!(host.emitted, "w1w2");
+    // Spawning an unknown function is an error.
+    let e = runtime_err(r#"spawn("nope", []);"#);
+    assert!(e.to_string().contains("undefined"));
+}
+
+#[test]
+fn sleep_and_now() {
+    let (v, _) = run("sleep_ms(250); return now_ms();").unwrap();
+    assert_eq!(v, Value::Float(250.0));
+}
+
+#[test]
+fn builtin_names_cannot_be_called_as_user_fns() {
+    // A user function shadowing a builtin is simply never reached; builtins
+    // win. Document via behaviour: `len` still works on lists.
+    let v = run_value("fn len(x) { return 99; } return len([1, 2]);");
+    assert_eq!(v, Value::Int(2));
+}
+
+#[test]
+fn kernel_integration_end_to_end() {
+    use symphony::{Kernel, KernelConfig};
+
+    let src = r#"
+        // Parallel branch generation with a shared forked prefix (Fig. 2).
+        fn branch(kv, seed) {
+            let d = pred(kv, [seed], kv_next_pos(kv))[0];
+            let n = 0;
+            while (n < 6) {
+                let t = argmax(d);
+                if (t == eos()) { break; }
+                d = pred(kv, [t], kv_next_pos(kv))[0];
+                n = n + 1;
+            }
+            emit("[done " + str(seed) + "]");
+            return n;
+        }
+        let prefix = kv_create();
+        pred(prefix, tokenize(args()), 0);
+        let t1 = spawn("branch", [kv_fork(prefix), 11]);
+        let t2 = spawn("branch", [kv_fork(prefix), 12]);
+        let ok1 = join(t1);
+        let ok2 = join(t2);
+        if (ok1 && ok2) { emit("all ok"); }
+    "#
+    .to_string();
+
+    let mut kernel = Kernel::new(KernelConfig::for_tests());
+    let pid = kernel.spawn_process("lipscript", "the shared prefix", move |ctx| {
+        symphony_lipscript::run_lip(&src, ctx, InterpLimits::default())
+            .map(|_| ())
+            .map_err(|e| symphony::SysError::ToolFailed(e.to_string()))
+    });
+    kernel.run();
+    let rec = kernel.record(pid).unwrap();
+    assert!(rec.status.is_ok(), "{:?}", rec.status);
+    assert!(rec.output.contains("[done 11]"));
+    assert!(rec.output.contains("[done 12]"));
+    assert!(rec.output.contains("all ok"));
+    kernel.store().verify().unwrap();
+}
+
+#[test]
+fn kernel_sandbox_kills_hostile_program_not_server() {
+    use symphony::{Kernel, KernelConfig};
+
+    let hostile = "while (true) { let x = [1, 2, 3]; }".to_string();
+    let mut kernel = Kernel::new(KernelConfig::for_tests());
+    let evil = kernel.spawn_process("evil", "", move |ctx| {
+        symphony_lipscript::run_lip(
+            &hostile,
+            ctx,
+            InterpLimits {
+                fuel: 50_000,
+                ..Default::default()
+            },
+        )
+        .map(|_| ())
+        .map_err(|e| symphony::SysError::ToolFailed(e.to_string()))
+    });
+    // An innocent program runs alongside.
+    let good = kernel.spawn_process("good", "", |ctx| ctx.emit("fine"));
+    kernel.run();
+    let evil_rec = kernel.record(evil).unwrap();
+    assert!(!evil_rec.status.is_ok());
+    assert!(format!("{:?}", evil_rec.status).contains("out of fuel"));
+    assert!(kernel.record(good).unwrap().status.is_ok());
+    assert_eq!(kernel.live_threads(), 0);
+}

@@ -1,0 +1,140 @@
+//! Property test: the pretty-printer is a fixpoint under re-parsing for
+//! arbitrary generated programs.
+
+use proptest::prelude::*;
+use symphony_lipscript::ast::{BinOp, Expr, ExprKind, FnDef, Program, Stmt, StmtKind, UnOp};
+use symphony_lipscript::parse::parse;
+use symphony_lipscript::printer::print_program;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Avoid keywords and builtin collisions by prefixing.
+    "[a-z]{1,6}".prop_map(|s| format!("v_{s}"))
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(|v| ExprKind::Int(v as i64)),
+        (-1000i32..1000).prop_map(|v| ExprKind::Float(v as f64 / 8.0)),
+        "[ -~]{0,12}".prop_map(ExprKind::Str),
+        any::<bool>().prop_map(ExprKind::Bool),
+        Just(ExprKind::Nil),
+        arb_ident().prop_map(ExprKind::Var),
+    ]
+    .prop_map(|kind| Expr {
+        kind,
+        span: Default::default(),
+    });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Mod),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| ExprKind::Bin(op, Box::new(l), Box::new(r))),
+            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner.clone())
+                .prop_map(|(op, e)| ExprKind::Un(op, Box::new(e))),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(ExprKind::List),
+            (arb_ident(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(n, args)| ExprKind::Call(n, args)),
+            (inner.clone(), inner).prop_map(|(b, i)| ExprKind::Index(Box::new(b), Box::new(i))),
+        ]
+        .prop_map(|kind| Expr {
+            kind,
+            span: Default::default(),
+        })
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let simple = prop_oneof![
+        (arb_ident(), arb_expr()).prop_map(|(n, e)| StmtKind::Let(n, e)),
+        (arb_ident(), arb_expr()).prop_map(|(n, e)| StmtKind::Assign(n, e)),
+        (arb_ident(), arb_expr(), arb_expr())
+            .prop_map(|(n, i, e)| StmtKind::IndexAssign(n, i, e)),
+        Just(StmtKind::Break),
+        Just(StmtKind::Continue),
+        arb_expr().prop_map(|e| StmtKind::Return(Some(e))),
+        Just(StmtKind::Return(None)),
+        arb_expr().prop_map(StmtKind::Expr),
+    ]
+    .prop_map(|kind| Stmt {
+        kind,
+        span: Default::default(),
+    });
+    simple.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            (
+                arb_expr(),
+                proptest::collection::vec(inner.clone(), 0..3),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(c, t, e)| StmtKind::If(c, t, e)),
+            (arb_expr(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(c, b)| StmtKind::While(c, b)),
+            (arb_ident(), arb_expr(), proptest::collection::vec(inner, 0..3))
+                .prop_map(|(v, it, b)| StmtKind::For(v, it, b)),
+        ]
+        .prop_map(|kind| Stmt {
+            kind,
+            span: Default::default(),
+        })
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(
+            (
+                arb_ident(),
+                proptest::collection::vec(arb_ident(), 0..3),
+                proptest::collection::vec(arb_stmt(), 0..4),
+            ),
+            0..3,
+        ),
+        proptest::collection::vec(arb_stmt(), 0..6),
+    )
+        .prop_map(|(fns, top)| Program {
+            functions: fns
+                .into_iter()
+                .map(|(name, params, body)| FnDef {
+                    name,
+                    params,
+                    body,
+                    span: Default::default(),
+                })
+                .collect(),
+            top,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print ∘ parse ∘ print = print: the printed form is stable, i.e. the
+    /// printer emits exactly the syntax the parser reads.
+    #[test]
+    fn printer_parse_fixpoint(p in arb_program()) {
+        let printed1 = print_program(&p);
+        let reparsed = match parse(&printed1) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("reparse: {e}\n{printed1}"))),
+        };
+        let printed2 = print_program(&reparsed);
+        prop_assert_eq!(printed1, printed2);
+    }
+}

@@ -1,0 +1,134 @@
+//! Analytic cost accounting for forward passes.
+//!
+//! A forward pass over `new_tokens` with `past_tokens` of cached context
+//! produces a [`WorkEstimate`]: FLOPs plus the bytes that must move through
+//! HBM. The GPU simulator combines estimates across a batch (weights are
+//! read **once per batch**, which is exactly why batching pays) and applies
+//! a roofline rule to produce virtual time.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ModelConfig;
+
+/// Work performed by (part of) a forward pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkEstimate {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Weight bytes that must be streamed from HBM (per batch, not per
+    /// sequence; the GPU executor charges this once).
+    pub weight_bytes: u64,
+    /// KV-cache bytes read.
+    pub kv_read_bytes: u64,
+    /// KV-cache bytes written.
+    pub kv_write_bytes: u64,
+}
+
+impl WorkEstimate {
+    /// Accumulates per-sequence work (weight traffic is `max`ed, not summed,
+    /// since one weight stream serves the whole batch).
+    pub fn accumulate(&mut self, other: &WorkEstimate) {
+        self.flops += other.flops;
+        self.weight_bytes = self.weight_bytes.max(other.weight_bytes);
+        self.kv_read_bytes += other.kv_read_bytes;
+        self.kv_write_bytes += other.kv_write_bytes;
+    }
+
+    /// Total HBM traffic in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.weight_bytes + self.kv_read_bytes + self.kv_write_bytes
+    }
+}
+
+impl ModelConfig {
+    /// Estimates the work of running `new_tokens` through the model with
+    /// `past_tokens` of context already cached.
+    ///
+    /// - Linear layers: `2 × params` FLOPs per new token.
+    /// - Attention: `4 × layers × hidden` FLOPs per (new token, context
+    ///   token) pair, with the triangular prefill structure accounted for by
+    ///   using the average context length.
+    /// - KV traffic: the cached context is read once and each new token's KV
+    ///   entry is written once.
+    pub fn forward_work(&self, new_tokens: u64, past_tokens: u64) -> WorkEstimate {
+        if new_tokens == 0 {
+            return WorkEstimate::default();
+        }
+        let n = new_tokens as f64;
+        let avg_ctx = past_tokens as f64 + (n + 1.0) / 2.0;
+        let flops_linear = 2.0 * self.params * n;
+        let flops_attn =
+            4.0 * self.num_layers as f64 * self.hidden_size as f64 * n * avg_ctx;
+        let kv = self.kv_bytes_per_token();
+        WorkEstimate {
+            flops: flops_linear + flops_attn,
+            weight_bytes: self.weight_bytes(),
+            kv_read_bytes: (past_tokens + new_tokens / 2) * kv,
+            kv_write_bytes: new_tokens * kv,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_tokens_zero_work() {
+        let w = ModelConfig::llama_13b().forward_work(0, 500);
+        assert_eq!(w, WorkEstimate::default());
+    }
+
+    #[test]
+    fn decode_is_bandwidth_bound_prefill_is_compute_bound() {
+        let c = ModelConfig::llama_13b();
+        // A100: 312 TFLOPS FP16, 2 TB/s HBM.
+        let flops_rate = 312e12;
+        let bw = 2e12;
+        let decode = c.forward_work(1, 1000);
+        let prefill = c.forward_work(3000, 0);
+        let decode_compute = decode.flops / flops_rate;
+        let decode_mem = decode.total_bytes() as f64 / bw;
+        let prefill_compute = prefill.flops / flops_rate;
+        let prefill_mem = prefill.total_bytes() as f64 / bw;
+        assert!(
+            decode_mem > decode_compute * 10.0,
+            "decode should be memory bound: mem={decode_mem} compute={decode_compute}"
+        );
+        assert!(
+            prefill_compute > prefill_mem,
+            "prefill should be compute bound: compute={prefill_compute} mem={prefill_mem}"
+        );
+    }
+
+    #[test]
+    fn prefill_cost_scales_superlinearly_in_context() {
+        let c = ModelConfig::llama_13b();
+        let short = c.forward_work(1000, 0).flops;
+        let long = c.forward_work(2000, 0).flops;
+        assert!(long > 2.0 * short, "attention should grow quadratically");
+    }
+
+    #[test]
+    fn accumulate_maxes_weights_sums_rest() {
+        let c = ModelConfig::llama_13b();
+        let mut batch = WorkEstimate::default();
+        let a = c.forward_work(1, 100);
+        let b = c.forward_work(1, 200);
+        batch.accumulate(&a);
+        batch.accumulate(&b);
+        assert_eq!(batch.weight_bytes, c.weight_bytes());
+        assert_eq!(batch.kv_write_bytes, a.kv_write_bytes + b.kv_write_bytes);
+        assert!((batch.flops - (a.flops + b.flops)).abs() < 1.0);
+    }
+
+    #[test]
+    fn cached_prefix_removes_prefill_compute() {
+        // The whole point of prompt caching: pred over the suffix with a
+        // cached 3000-token prefix does far less work than full prefill.
+        let c = ModelConfig::llama_13b();
+        let full = c.forward_work(3_020, 0);
+        let cached = c.forward_work(20, 3_000);
+        assert!(cached.flops < full.flops / 20.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the simulation substrate.
+
+use proptest::prelude::*;
+use symphony_sim::{EventQueue, Rng, Series, SimTime, Zipf};
+
+proptest! {
+    /// Events pop in (time, insertion) order regardless of insert order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), (t, i));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((at, (t, i))) = q.pop() {
+            prop_assert_eq!(at.as_nanos(), t);
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "stable order violated");
+            }
+            prop_assert!(q.now() == at);
+            last = Some((t, i));
+        }
+        prop_assert_eq!(q.events_processed(), times.len() as u64);
+    }
+
+    /// The RNG's substreams are reproducible and order-independent of other
+    /// streams' consumption.
+    #[test]
+    fn rng_fork_isolation(seed in any::<u64>(), key in any::<u64>(), drains in 0usize..50) {
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        let mut fa = a.fork(key);
+        let mut fb = b.fork(key);
+        // Drain the parent b arbitrarily; the fork must be unaffected.
+        for _ in 0..drains {
+            b.next_u64();
+        }
+        for _ in 0..16 {
+            prop_assert_eq!(fa.next_u64(), fb.next_u64());
+        }
+    }
+
+    /// gen_range stays in bounds for arbitrary non-empty ranges.
+    #[test]
+    fn gen_range_in_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+        let mut r = Rng::new(seed);
+        for _ in 0..50 {
+            let x = r.gen_range(lo, lo + span);
+            prop_assert!((lo..lo + span).contains(&x));
+        }
+    }
+
+    /// Zipf masses are a proper decreasing probability vector and top_mass
+    /// is its prefix sum.
+    #[test]
+    fn zipf_mass_properties(n in 1usize..200, s in 0.0f64..3.0) {
+        let z = Zipf::new(n, s);
+        let total: f64 = (0..n).map(|i| z.mass(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..n {
+            prop_assert!(z.mass(i) <= z.mass(i - 1) + 1e-12);
+        }
+        let k = n / 2 + 1;
+        let prefix: f64 = (0..k.min(n)).map(|i| z.mass(i)).sum();
+        prop_assert!((z.top_mass(k) - prefix).abs() < 1e-9);
+    }
+
+    /// Exact percentiles from `Series` bracket the sample extremes and are
+    /// monotone in q.
+    #[test]
+    fn series_percentiles_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = Series::new();
+        for &x in &xs {
+            s.add(x);
+        }
+        let p0 = s.percentile(0.0).unwrap();
+        let p50 = s.percentile(0.5).unwrap();
+        let p100 = s.percentile(1.0).unwrap();
+        prop_assert!(p0 <= p50 && p50 <= p100);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(p0, min);
+        prop_assert_eq!(p100, max);
+    }
+}

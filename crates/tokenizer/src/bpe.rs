@@ -1,0 +1,309 @@
+//! BPE trainer, encoder and decoder.
+//!
+//! Training operates on a word histogram (each distinct pre-token trained
+//! once, weighted by count) which keeps it fast enough to train the default
+//! vocabulary at first use. Encoding splits text into pre-tokens (a run of
+//! whitespace is glued to the following word, GPT-style) and applies merges
+//! greedily in rank order; per-word results are memoised.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use parking_lot_shim::Mutex;
+
+use crate::corpus::CorpusGen;
+use crate::vocab::{SpecialTokens, TokenId, Vocab, BYTE_TOKENS};
+
+/// Minimal internal shim so this crate stays dependency-free: a tiny wrapper
+/// over `std::sync::Mutex` with the `parking_lot`-style infallible `lock`.
+mod parking_lot_shim {
+    /// A mutex whose `lock` never returns a poisoned error.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex.
+        pub fn new(v: T) -> Self {
+            Mutex(std::sync::Mutex::new(v))
+        }
+
+        /// Locks, recovering from poisoning (state is a plain cache here).
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+}
+
+/// A trained byte-pair encoder.
+#[derive(Debug)]
+pub struct Bpe {
+    vocab: Vocab,
+    /// Merge rank by pair: lower rank merges first.
+    ranks: HashMap<(TokenId, TokenId), (u32, TokenId)>,
+    /// Encoded-word memo; keyed by the raw pre-token bytes.
+    cache: Mutex<HashMap<Vec<u8>, Vec<TokenId>>>,
+}
+
+impl Bpe {
+    /// Trains a BPE model on `text`, learning up to `num_merges` merges.
+    ///
+    /// Training is deterministic: ties in pair frequency break on the
+    /// lexicographically smaller pair.
+    pub fn train(text: &str, num_merges: usize) -> Self {
+        // Histogram of pre-tokens.
+        let mut word_counts: HashMap<Vec<u8>, u64> = HashMap::new();
+        for word in pretokenize(text.as_bytes()) {
+            *word_counts.entry(word.to_vec()).or_insert(0) += 1;
+        }
+        // Each distinct word as a mutable symbol sequence.
+        let mut words: Vec<(Vec<TokenId>, u64)> = word_counts
+            .into_iter()
+            .map(|(w, c)| (w.iter().map(|&b| b as TokenId).collect(), c))
+            .collect();
+        // Deterministic iteration order.
+        words.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut merge_expansions: Vec<Vec<u8>> = Vec::with_capacity(num_merges);
+        let mut ranks: HashMap<(TokenId, TokenId), (u32, TokenId)> = HashMap::new();
+        let expansion_of = |id: TokenId, merges: &Vec<Vec<u8>>| -> Vec<u8> {
+            if (id as usize) < BYTE_TOKENS {
+                vec![id as u8]
+            } else {
+                merges[id as usize - BYTE_TOKENS].clone()
+            }
+        };
+
+        for rank in 0..num_merges {
+            // Count adjacent pairs across all words.
+            let mut pair_counts: HashMap<(TokenId, TokenId), u64> = HashMap::new();
+            for (sym, count) in &words {
+                for w in sym.windows(2) {
+                    *pair_counts.entry((w[0], w[1])).or_insert(0) += count;
+                }
+            }
+            let best = pair_counts
+                .into_iter()
+                .filter(|&(_, c)| c >= 2)
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
+            let Some((pair, _)) = best else { break };
+
+            let new_id = (BYTE_TOKENS + merge_expansions.len()) as TokenId;
+            let mut bytes = expansion_of(pair.0, &merge_expansions);
+            bytes.extend(expansion_of(pair.1, &merge_expansions));
+            merge_expansions.push(bytes);
+            ranks.insert(pair, (rank as u32, new_id));
+
+            // Apply the merge to every word.
+            for (sym, _) in &mut words {
+                let mut i = 0;
+                while i + 1 < sym.len() {
+                    if sym[i] == pair.0 && sym[i + 1] == pair.1 {
+                        sym[i] = new_id;
+                        sym.remove(i + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        Bpe {
+            vocab: Vocab::new(merge_expansions),
+            ranks,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shared default tokenizer, trained once on the synthetic corpus.
+    pub fn default_tokenizer() -> &'static Bpe {
+        static DEFAULT: OnceLock<Bpe> = OnceLock::new();
+        DEFAULT.get_or_init(|| {
+            let corpus = CorpusGen::new(0xC0FFEE).training_corpus(400);
+            Bpe::train(&corpus, 1500)
+        })
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Convenience accessor for the special tokens.
+    pub fn specials(&self) -> SpecialTokens {
+        self.vocab.specials()
+    }
+
+    /// Encodes text into token IDs (never emits special tokens).
+    pub fn encode(&self, text: &str) -> Vec<TokenId> {
+        let mut out = Vec::new();
+        for word in pretokenize(text.as_bytes()) {
+            if let Some(hit) = self.cache.lock().get(word) {
+                out.extend_from_slice(hit);
+                continue;
+            }
+            let ids = self.encode_word(word);
+            self.cache.lock().insert(word.to_vec(), ids.clone());
+            out.extend(ids);
+        }
+        out
+    }
+
+    /// Applies merges to a single pre-token.
+    fn encode_word(&self, word: &[u8]) -> Vec<TokenId> {
+        let mut sym: Vec<TokenId> = word.iter().map(|&b| b as TokenId).collect();
+        loop {
+            // Find the lowest-rank applicable merge.
+            let mut best: Option<(u32, usize, TokenId)> = None;
+            for (i, w) in sym.windows(2).enumerate() {
+                if let Some(&(rank, id)) = self.ranks.get(&(w[0], w[1])) {
+                    if best.map_or(true, |(r, _, _)| rank < r) {
+                        best = Some((rank, i, id));
+                    }
+                }
+            }
+            let Some((_, i, id)) = best else { break };
+            sym[i] = id;
+            sym.remove(i + 1);
+        }
+        sym
+    }
+
+    /// Decodes token IDs back into a string (lossy only on invalid UTF-8
+    /// boundaries, which cannot arise from `encode` output).
+    pub fn decode(&self, tokens: &[TokenId]) -> String {
+        let mut bytes = Vec::new();
+        for &t in tokens {
+            if let Some(b) = self.vocab.get(t) {
+                if !self.vocab.is_special(t) {
+                    bytes.extend_from_slice(b);
+                }
+            }
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    /// Decodes a single token for streaming output, rendering specials as
+    /// their `<|name|>` placeholder.
+    pub fn decode_token(&self, token: TokenId) -> String {
+        match self.vocab.get(token) {
+            Some(b) => String::from_utf8_lossy(b).into_owned(),
+            None => format!("<|invalid:{token}|>"),
+        }
+    }
+}
+
+/// Splits bytes into pre-tokens: each pre-token is an optional whitespace run
+/// followed by a maximal non-whitespace run (or a trailing whitespace run).
+fn pretokenize(bytes: &[u8]) -> impl Iterator<Item = &[u8]> {
+    let mut i = 0;
+    std::iter::from_fn(move || {
+        if i >= bytes.len() {
+            return None;
+        }
+        let start = i;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        Some(&bytes[start..i])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Bpe {
+        Bpe::train("the cat sat on the mat the cat sat on the mat the theme", 50)
+    }
+
+    #[test]
+    fn roundtrip_basic() {
+        let bpe = small();
+        for s in [
+            "the cat sat",
+            "  leading spaces",
+            "trailing  ",
+            "unicode: héllo wörld 模型",
+            "",
+            "\n\t mixed\nwhitespace ",
+        ] {
+            assert_eq!(bpe.decode(&bpe.encode(s)), s, "roundtrip failed for {s:?}");
+        }
+    }
+
+    #[test]
+    fn merges_compress_common_words() {
+        let bpe = small();
+        let with_merges = bpe.encode("the cat sat on the mat").len();
+        let raw_bytes = "the cat sat on the mat".len();
+        assert!(
+            with_merges < raw_bytes,
+            "expected compression: {with_merges} tokens vs {raw_bytes} bytes"
+        );
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_cached() {
+        let bpe = small();
+        let a = bpe.encode("the cat sat on the mat");
+        let b = bpe.encode("the cat sat on the mat");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = Bpe::train("abc abc abd abd abe", 20);
+        let b = Bpe::train("abc abc abd abd abe", 20);
+        assert_eq!(a.vocab().len(), b.vocab().len());
+        assert_eq!(a.encode("abc abd"), b.encode("abc abd"));
+    }
+
+    #[test]
+    fn never_emits_specials() {
+        let bpe = small();
+        let s = bpe.specials();
+        let ids = bpe.encode("<|eos|> the <|bos|>");
+        assert!(ids.iter().all(|&t| t < s.bos));
+        // Specials survive as literal text.
+        assert_eq!(bpe.decode(&ids), "<|eos|> the <|bos|>");
+    }
+
+    #[test]
+    fn decode_skips_specials_but_decode_token_renders_them() {
+        let bpe = small();
+        let s = bpe.specials();
+        assert_eq!(bpe.decode(&[s.eos]), "");
+        assert_eq!(bpe.decode_token(s.eos), "<|eos|>");
+        assert_eq!(bpe.decode_token(9_999_999), "<|invalid:9999999|>");
+    }
+
+    #[test]
+    fn zero_merges_is_byte_fallback() {
+        let bpe = Bpe::train("anything", 0);
+        let ids = bpe.encode("hi");
+        assert_eq!(ids, vec![b'h' as TokenId, b'i' as TokenId]);
+    }
+
+    #[test]
+    fn default_tokenizer_trains_and_roundtrips() {
+        let bpe = Bpe::default_tokenizer();
+        assert!(bpe.vocab().merge_count() > 500);
+        let text = "retrieval augmented generation with cached context";
+        assert_eq!(bpe.decode(&bpe.encode(text)), text);
+        // Common corpus words should compress well below byte length.
+        assert!(bpe.encode(text).len() < text.len() / 2);
+    }
+
+    #[test]
+    fn pretokenize_partitions_input() {
+        let input = b"  ab cd \t e ";
+        let parts: Vec<&[u8]> = pretokenize(input).collect();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, input.len());
+        let joined: Vec<u8> = parts.concat();
+        assert_eq!(joined, input);
+    }
+}

@@ -1,0 +1,186 @@
+//! Deterministic synthetic text corpus.
+//!
+//! The paper's RAG experiment uses "100 documents, each containing 3,000
+//! tokens". We do not have that private corpus, so the workload generators
+//! synthesise documents from a fixed technical vocabulary with a seeded
+//! generator: same seed, same documents, same token counts — everywhere in
+//! the workspace.
+
+/// Word pool for synthetic documents (plain technical English, so learned
+/// BPE merges resemble real subword statistics).
+const WORDS: &[&str] = &[
+    "the", "a", "of", "and", "to", "in", "is", "that", "for", "with", "as", "on", "are", "by",
+    "this", "be", "an", "or", "from", "at", "it", "can", "which", "each", "when", "into", "more",
+    "system", "model", "cache", "token", "memory", "request", "server", "latency", "throughput",
+    "batch", "schedule", "thread", "process", "kernel", "program", "inference", "generation",
+    "prompt", "context", "document", "retrieval", "function", "call", "state", "page", "file",
+    "virtual", "compute", "gpu", "device", "bandwidth", "capacity", "policy", "eviction",
+    "prefix", "reuse", "application", "workload", "design", "interface", "abstraction", "layer",
+    "data", "index", "query", "result", "response", "stream", "buffer", "queue", "pool",
+    "allocation", "management", "control", "execution", "runtime", "performance", "efficiency",
+    "overhead", "cost", "resource", "utilization", "parallel", "concurrent", "distributed",
+    "network", "storage", "disk", "transfer", "copy", "read", "write", "load", "store",
+    "operation", "instruction", "pipeline", "stage", "phase", "step", "loop", "branch",
+    "sample", "distribution", "probability", "weight", "parameter", "attention", "transformer",
+    "decode", "encode", "sequence", "position", "embedding", "vector", "matrix", "tensor",
+    "value", "key", "entry", "record", "table", "structure", "algorithm", "method", "approach",
+    "technique", "strategy", "optimization", "improvement", "reduction", "increase", "decrease",
+    "measurement", "evaluation", "benchmark", "experiment", "analysis", "comparison", "baseline",
+    "implementation", "architecture", "component", "module", "subsystem", "service", "client",
+    "user", "developer", "code", "logic", "behavior", "pattern", "semantics", "guarantee",
+    "consistency", "isolation", "durability", "availability", "reliability", "scalability",
+    "fairness", "priority", "deadline", "timeout", "interval", "frequency", "rate", "ratio",
+];
+
+/// A deterministic generator of synthetic words, sentences and documents.
+#[derive(Debug, Clone)]
+pub struct CorpusGen {
+    state: u64,
+}
+
+impl CorpusGen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        CorpusGen {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 pseudo-random bits (splitmix64; internal to stay dep-free).
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Picks a uniform word from the pool.
+    pub fn word(&mut self) -> &'static str {
+        WORDS[(self.next_u64() % WORDS.len() as u64) as usize]
+    }
+
+    /// Generates a sentence of `len` words, capitalised with a final period.
+    pub fn sentence(&mut self, len: usize) -> String {
+        let mut s = String::new();
+        for i in 0..len.max(1) {
+            let w = self.word();
+            if i == 0 {
+                let mut c = w.chars();
+                if let Some(first) = c.next() {
+                    s.extend(first.to_uppercase());
+                    s.push_str(c.as_str());
+                }
+            } else {
+                s.push(' ');
+                s.push_str(w);
+            }
+        }
+        s.push('.');
+        s
+    }
+
+    /// Generates a paragraph of about `words` words.
+    pub fn paragraph(&mut self, words: usize) -> String {
+        let mut out = String::new();
+        let mut remaining = words;
+        while remaining > 0 {
+            let len = 6 + (self.next_u64() % 10) as usize;
+            let len = len.min(remaining.max(3));
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&self.sentence(len));
+            remaining = remaining.saturating_sub(len);
+        }
+        out
+    }
+
+    /// Generates a document with approximately `target_tokens` BPE tokens
+    /// when encoded with `bpe`, by growing paragraphs until the target is
+    /// reached and trimming the final excess at a word boundary.
+    pub fn document_with_tokens(
+        &mut self,
+        bpe: &crate::bpe::Bpe,
+        target_tokens: usize,
+    ) -> String {
+        let mut doc = String::new();
+        loop {
+            let para = self.paragraph(120);
+            if !doc.is_empty() {
+                doc.push('\n');
+            }
+            doc.push_str(&para);
+            if bpe.encode(&doc).len() >= target_tokens {
+                break;
+            }
+        }
+        // Trim words until we are at or just under the target.
+        while bpe.encode(&doc).len() > target_tokens {
+            match doc.rfind(' ') {
+                Some(i) => doc.truncate(i),
+                None => break,
+            }
+        }
+        doc
+    }
+
+    /// A plain training corpus of `paragraphs` paragraphs for BPE training.
+    pub fn training_corpus(&mut self, paragraphs: usize) -> String {
+        let mut out = String::new();
+        for _ in 0..paragraphs {
+            out.push_str(&self.paragraph(80));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bpe::Bpe;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = CorpusGen::new(7).paragraph(50);
+        let b = CorpusGen::new(7).paragraph(50);
+        assert_eq!(a, b);
+        let c = CorpusGen::new(8).paragraph(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sentence_shape() {
+        let s = CorpusGen::new(1).sentence(5);
+        assert!(s.ends_with('.'));
+        assert!(s.chars().next().unwrap().is_uppercase());
+        assert_eq!(s.split_whitespace().count(), 5);
+    }
+
+    #[test]
+    fn paragraph_word_count_close() {
+        let p = CorpusGen::new(2).paragraph(100);
+        let words = p.split_whitespace().count();
+        assert!((90..=120).contains(&words), "words={words}");
+    }
+
+    #[test]
+    fn document_hits_token_target() {
+        let bpe = Bpe::default_tokenizer();
+        let mut g = CorpusGen::new(3);
+        let doc = g.document_with_tokens(bpe, 300);
+        let n = bpe.encode(&doc).len();
+        assert!(
+            (280..=300).contains(&n),
+            "expected ~300 tokens, got {n}"
+        );
+    }
+
+    #[test]
+    fn training_corpus_nonempty_lines() {
+        let c = CorpusGen::new(4).training_corpus(5);
+        assert_eq!(c.lines().count(), 5);
+        assert!(c.lines().all(|l| !l.is_empty()));
+    }
+}

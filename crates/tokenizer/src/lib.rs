@@ -1,0 +1,30 @@
+//! A byte-level BPE tokenizer built from scratch.
+//!
+//! Symphony's `pred` system call operates on token IDs, so the reproduction
+//! needs a real tokenizer: this crate implements byte-pair encoding with a
+//! trainer, a greedy rank-based encoder, and a lossless decoder. Byte-level
+//! base tokens (one per byte value) guarantee that *any* string round-trips
+//! through `encode` → `decode`, which the property tests assert.
+//!
+//! The default tokenizer is trained deterministically on the synthetic corpus
+//! in [`corpus`], mirroring how the workload generators produce documents, so
+//! document token counts in the experiments are realistic rather than
+//! hand-waved.
+//!
+//! # Examples
+//!
+//! ```
+//! use symphony_tokenizer::Bpe;
+//!
+//! let bpe = Bpe::default_tokenizer();
+//! let ids = bpe.encode("the system design of the system");
+//! assert_eq!(bpe.decode(&ids), "the system design of the system");
+//! ```
+
+pub mod bpe;
+pub mod corpus;
+pub mod vocab;
+
+pub use bpe::Bpe;
+pub use corpus::CorpusGen;
+pub use vocab::{SpecialTokens, TokenId, Vocab};

@@ -1,0 +1,57 @@
+//! Property tests: byte-level BPE must round-trip arbitrary strings.
+
+use proptest::prelude::*;
+use symphony_tokenizer::Bpe;
+
+proptest! {
+    /// Any string round-trips through encode → decode (byte-level base
+    /// tokens guarantee losslessness regardless of learned merges).
+    #[test]
+    fn encode_decode_roundtrip(s in "\\PC*") {
+        let bpe = Bpe::default_tokenizer();
+        prop_assert_eq!(bpe.decode(&bpe.encode(&s)), s);
+    }
+
+    /// ASCII-heavy text (the common case) round-trips too, and encoding is
+    /// deterministic.
+    #[test]
+    fn ascii_roundtrip_and_determinism(s in "[ -~\\n\\t]{0,400}") {
+        let bpe = Bpe::default_tokenizer();
+        let a = bpe.encode(&s);
+        let b = bpe.encode(&s);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(bpe.decode(&a), s);
+    }
+
+    /// Token IDs never leave the vocabulary and never name specials.
+    #[test]
+    fn tokens_stay_in_vocab(s in "\\PC{0,200}") {
+        let bpe = Bpe::default_tokenizer();
+        let specials = bpe.specials();
+        for t in bpe.encode(&s) {
+            prop_assert!(bpe.vocab().get(t).is_some());
+            prop_assert!(t < specials.bos, "content token {t} in special range");
+        }
+    }
+
+    /// Concatenating two encoded pretoken-aligned strings equals encoding
+    /// the concatenation when the boundary is whitespace-aligned (the
+    /// property the RAG harness relies on for doc+query prompts).
+    #[test]
+    fn whitespace_boundary_composes(a in "[a-z ]{0,100}", b in "[a-z]{1,50}") {
+        let bpe = Bpe::default_tokenizer();
+        let joined = format!("{a}\n{b}");
+        let mut parts = bpe.encode(&a);
+        parts.extend(bpe.encode(&format!("\n{b}")));
+        prop_assert_eq!(bpe.encode(&joined), parts);
+    }
+
+    /// Freshly trained tokenizers are lossless on their own corpus family.
+    #[test]
+    fn trained_tokenizer_roundtrips(seed in 0u64..50, merges in 0usize..200) {
+        let corpus = symphony_tokenizer::CorpusGen::new(seed).training_corpus(5);
+        let bpe = Bpe::train(&corpus, merges);
+        let sample = symphony_tokenizer::CorpusGen::new(seed ^ 1).paragraph(30);
+        prop_assert_eq!(bpe.decode(&bpe.encode(&sample)), sample);
+    }
+}

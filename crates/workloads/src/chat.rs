@@ -1,0 +1,80 @@
+//! Multi-round chat sessions (§2.1's motivation for KV retention).
+
+use symphony_sim::{Exponential, Rng, SimDuration};
+use symphony_tokenizer::CorpusGen;
+
+/// One chat session: a sequence of user turns with think-time gaps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChatSession {
+    /// User messages, one per round.
+    pub turns: Vec<String>,
+    /// Gap before each turn (think time).
+    pub gaps: Vec<SimDuration>,
+}
+
+/// Generator of chat sessions.
+#[derive(Debug)]
+pub struct ChatWorkload {
+    rng: Rng,
+    rounds_mean: f64,
+    think_time: Exponential,
+    words_per_turn: usize,
+}
+
+impl ChatWorkload {
+    /// Creates a workload with geometric round counts around `rounds_mean`
+    /// and exponential think times around `think_mean`.
+    pub fn new(rounds_mean: f64, think_mean: SimDuration, words_per_turn: usize, seed: u64) -> Self {
+        assert!(rounds_mean >= 1.0, "sessions need at least one round");
+        ChatWorkload {
+            rng: Rng::new(seed),
+            rounds_mean,
+            think_time: Exponential::new(1.0 / think_mean.as_secs_f64()),
+            words_per_turn,
+        }
+    }
+
+    /// Draws one session.
+    pub fn next_session(&mut self) -> ChatSession {
+        let mut turns = Vec::new();
+        let mut gaps = Vec::new();
+        let continue_p = 1.0 - 1.0 / self.rounds_mean;
+        let mut gen = CorpusGen::new(self.rng.next_u64());
+        loop {
+            gaps.push(SimDuration::from_secs_f64(
+                self.think_time.sample(&mut self.rng),
+            ));
+            turns.push(gen.paragraph(self.words_per_turn));
+            if !self.rng.gen_bool(continue_p) {
+                break;
+            }
+        }
+        ChatSession { turns, gaps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_have_geometric_rounds() {
+        let mut w = ChatWorkload::new(4.0, SimDuration::from_secs(5), 20, 1);
+        let mut total = 0usize;
+        for _ in 0..500 {
+            let s = w.next_session();
+            assert!(!s.turns.is_empty());
+            assert_eq!(s.turns.len(), s.gaps.len());
+            total += s.turns.len();
+        }
+        let mean = total as f64 / 500.0;
+        assert!((3.0..5.0).contains(&mean), "mean rounds {mean}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ChatWorkload::new(3.0, SimDuration::from_secs(1), 10, 7).next_session();
+        let b = ChatWorkload::new(3.0, SimDuration::from_secs(1), 10, 7).next_session();
+        assert_eq!(a, b);
+    }
+}

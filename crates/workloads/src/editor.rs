@@ -1,0 +1,81 @@
+//! The code-editor keystroke workload from the paper's §2 running example:
+//! "As the user types, each keystroke ideally triggers an update."
+
+use symphony_sim::{Exponential, Rng, SimDuration};
+use symphony_tokenizer::CorpusGen;
+
+/// A keystroke session: an initial buffer plus a stream of appended chunks
+/// (each triggering an autocompletion request).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EditorTrace {
+    /// The file contents already in the buffer when the session starts.
+    pub initial_buffer: String,
+    /// Appended text chunks, one per completion trigger.
+    pub appends: Vec<String>,
+    /// Gap before each append (typing time).
+    pub gaps: Vec<SimDuration>,
+}
+
+/// Generator of editor sessions.
+#[derive(Debug)]
+pub struct EditorWorkload {
+    rng: Rng,
+    initial_words: usize,
+    keystrokes: usize,
+    typing_gap: Exponential,
+}
+
+impl EditorWorkload {
+    /// Creates a workload: sessions start with `initial_words` words in the
+    /// buffer and trigger `keystrokes` completions with exponential typing
+    /// gaps around `gap_mean`.
+    pub fn new(initial_words: usize, keystrokes: usize, gap_mean: SimDuration, seed: u64) -> Self {
+        EditorWorkload {
+            rng: Rng::new(seed),
+            initial_words,
+            keystrokes,
+            typing_gap: Exponential::new(1.0 / gap_mean.as_secs_f64()),
+        }
+    }
+
+    /// Draws one session.
+    pub fn next_trace(&mut self) -> EditorTrace {
+        let mut gen = CorpusGen::new(self.rng.next_u64());
+        let initial_buffer = gen.paragraph(self.initial_words);
+        let mut appends = Vec::with_capacity(self.keystrokes);
+        let mut gaps = Vec::with_capacity(self.keystrokes);
+        for _ in 0..self.keystrokes {
+            // A "keystroke" appends a word or two (word-completion granularity).
+            appends.push(format!(" {}", gen.word()));
+            gaps.push(SimDuration::from_secs_f64(
+                self.typing_gap.sample(&mut self.rng),
+            ));
+        }
+        EditorTrace {
+            initial_buffer,
+            appends,
+            gaps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_shape() {
+        let mut w = EditorWorkload::new(200, 30, SimDuration::from_millis(300), 1);
+        let t = w.next_trace();
+        assert_eq!(t.appends.len(), 30);
+        assert_eq!(t.gaps.len(), 30);
+        assert!(t.initial_buffer.split_whitespace().count() >= 180);
+        assert!(t.appends.iter().all(|a| a.starts_with(' ')));
+    }
+
+    #[test]
+    fn deterministic() {
+        let mk = || EditorWorkload::new(50, 5, SimDuration::from_millis(100), 3).next_trace();
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,162 @@
+//! The Figure 3 RAG workload.
+//!
+//! "The application inputs a topic, fetches the relevant document, and
+//! generates an answer. There are 100 documents, each containing 3,000
+//! tokens." Topics are drawn from a rank-popularity law whose skew is the
+//! paper's *Pareto index* (small index ⇒ a few topics dominate); arrivals
+//! are Poisson.
+
+use symphony_sim::{PoissonProcess, Rng, SimTime, Zipf};
+use symphony_tokenizer::{Bpe, CorpusGen, TokenId};
+
+/// The document corpus behind the RAG application.
+#[derive(Debug, Clone)]
+pub struct RagCorpus {
+    /// `docs[topic]` is the pre-tokenised document for that topic.
+    docs: Vec<Vec<TokenId>>,
+}
+
+impl RagCorpus {
+    /// Generates `num_docs` documents of `tokens_per_doc` tokens each,
+    /// deterministically from `seed`.
+    pub fn generate(bpe: &Bpe, num_docs: usize, tokens_per_doc: usize, seed: u64) -> Self {
+        let docs = (0..num_docs)
+            .map(|i| {
+                let mut g = CorpusGen::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+                bpe.encode(&g.document_with_tokens(bpe, tokens_per_doc))
+            })
+            .collect();
+        RagCorpus { docs }
+    }
+
+    /// Number of documents/topics.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Returns `true` if the corpus has no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The tokenised document for a topic.
+    pub fn doc(&self, topic: usize) -> &[TokenId] {
+        &self.docs[topic]
+    }
+}
+
+/// One RAG request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RagRequest {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Topic rank (0 = most popular under the drawn popularity order).
+    pub topic: usize,
+    /// The user's question text.
+    pub query: String,
+}
+
+/// Generator of Poisson-arriving, Zipf-topic RAG requests.
+#[derive(Debug)]
+pub struct RagWorkload {
+    popularity: Zipf,
+    arrivals: PoissonProcess,
+    rng: Rng,
+    next_at: SimTime,
+    issued: u64,
+}
+
+impl RagWorkload {
+    /// Creates a workload over `num_topics` topics.
+    ///
+    /// `pareto_index` follows the paper's axis: *small* values concentrate
+    /// requests on few topics. `rate` is the arrival rate in requests/sec.
+    pub fn new(num_topics: usize, pareto_index: f64, rate: f64, seed: u64) -> Self {
+        RagWorkload {
+            popularity: Zipf::from_pareto_index(num_topics, pareto_index),
+            arrivals: PoissonProcess::new(rate),
+            rng: Rng::new(seed),
+            next_at: SimTime::ZERO,
+            issued: 0,
+        }
+    }
+
+    /// Probability mass of the `k` most popular topics — the best hit rate
+    /// any cache of `k` documents can reach.
+    pub fn top_mass(&self, k: usize) -> f64 {
+        self.popularity.top_mass(k)
+    }
+
+    /// Draws the next request.
+    pub fn next_request(&mut self) -> RagRequest {
+        self.next_at += self.arrivals.next_gap(&mut self.rng);
+        let topic = self.popularity.sample(&mut self.rng);
+        self.issued += 1;
+        RagRequest {
+            at: self.next_at,
+            topic,
+            query: format!("explain the design of topic {topic} in detail"),
+        }
+    }
+
+    /// Draws a fixed number of requests.
+    pub fn take(&mut self, n: usize) -> Vec<RagRequest> {
+        (0..n).map(|_| self.next_request()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_sized() {
+        let bpe = Bpe::default_tokenizer();
+        let a = RagCorpus::generate(bpe, 5, 200, 1);
+        let b = RagCorpus::generate(bpe, 5, 200, 1);
+        assert_eq!(a.len(), 5);
+        for i in 0..5 {
+            assert_eq!(a.doc(i), b.doc(i));
+            let n = a.doc(i).len();
+            assert!((150..=200).contains(&n), "doc {i} has {n} tokens");
+        }
+        // Different seeds give different docs.
+        let c = RagCorpus::generate(bpe, 5, 200, 2);
+        assert_ne!(a.doc(0), c.doc(0));
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_rate_matched() {
+        let mut w = RagWorkload::new(100, 1.0, 50.0, 3);
+        let reqs = w.take(2000);
+        for pair in reqs.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        let span = reqs.last().unwrap().at.as_secs_f64();
+        let rate = 2000.0 / span;
+        assert!((rate - 50.0).abs() < 5.0, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn small_pareto_index_concentrates_topics() {
+        let mut heavy = RagWorkload::new(100, 0.5, 10.0, 4);
+        let mut flat = RagWorkload::new(100, 4.0, 10.0, 4);
+        let count_top20 = |reqs: &[RagRequest]| {
+            reqs.iter().filter(|r| r.topic < 20).count() as f64 / reqs.len() as f64
+        };
+        let h = count_top20(&heavy.take(5000));
+        let f = count_top20(&flat.take(5000));
+        assert!(h > 0.85, "heavy skew should hit top-20 often: {h}");
+        assert!(f < h, "flat popularity spreads out: {f} vs {h}");
+        assert!((heavy.top_mass(20) - h).abs() < 0.05);
+    }
+
+    #[test]
+    fn topics_stay_in_range() {
+        let mut w = RagWorkload::new(10, 1.0, 10.0, 5);
+        for r in w.take(1000) {
+            assert!(r.topic < 10);
+            assert!(r.query.contains(&r.topic.to_string()));
+        }
+    }
+}

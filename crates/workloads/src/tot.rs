@@ -1,0 +1,95 @@
+//! Tree-of-Thought shapes (§4.3): branching factors and depths for parallel
+//! generation experiments.
+
+use symphony_sim::Rng;
+
+/// Shape of one Tree-of-Thought task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TotShape {
+    /// Branches explored per expansion.
+    pub branching: usize,
+    /// Expansion depth.
+    pub depth: usize,
+    /// Tokens generated per branch hypothesis.
+    pub tokens_per_branch: usize,
+    /// Prefix (problem statement) length in tokens.
+    pub prefix_tokens: usize,
+}
+
+impl TotShape {
+    /// Total hypotheses generated across the whole tree.
+    pub fn total_branches(&self) -> usize {
+        // b + b^2 + ... + b^depth.
+        let mut total = 0usize;
+        let mut level = 1usize;
+        for _ in 0..self.depth {
+            level = level.saturating_mul(self.branching);
+            total = total.saturating_add(level);
+        }
+        total
+    }
+}
+
+/// Generator of ToT task shapes.
+#[derive(Debug)]
+pub struct TotWorkload {
+    rng: Rng,
+    base: TotShape,
+}
+
+impl TotWorkload {
+    /// Creates a workload around a base shape; draws jitter the branch
+    /// counts by ±1.
+    pub fn new(base: TotShape, seed: u64) -> Self {
+        assert!(base.branching >= 1 && base.depth >= 1);
+        TotWorkload {
+            rng: Rng::new(seed),
+            base,
+        }
+    }
+
+    /// Draws one task shape.
+    pub fn next_shape(&mut self) -> TotShape {
+        let jitter = (self.rng.gen_range(0, 3) as i64 - 1).max(-(self.base.branching as i64 - 1));
+        TotShape {
+            branching: (self.base.branching as i64 + jitter) as usize,
+            ..self.base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_branch_arithmetic() {
+        let s = TotShape {
+            branching: 3,
+            depth: 2,
+            tokens_per_branch: 20,
+            prefix_tokens: 100,
+        };
+        assert_eq!(s.total_branches(), 3 + 9);
+        let linear = TotShape { branching: 1, depth: 4, ..s };
+        assert_eq!(linear.total_branches(), 4);
+    }
+
+    #[test]
+    fn shapes_jitter_but_stay_positive() {
+        let mut w = TotWorkload::new(
+            TotShape {
+                branching: 3,
+                depth: 2,
+                tokens_per_branch: 10,
+                prefix_tokens: 50,
+            },
+            1,
+        );
+        for _ in 0..100 {
+            let s = w.next_shape();
+            assert!((2..=4).contains(&s.branching));
+            assert_eq!(s.depth, 2);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Constrained decoding inside a LIP (§2.3, §4.1).
+//!
+//! Because `pred` exposes the full next-token distribution, the program can
+//! mask it with a grammar state machine at every step — no serving-system
+//! support needed. This example forces syntactically valid JSON via a
+//! byte-level pushdown automaton lifted to tokens, and a multiple-choice
+//! answer via a token trie.
+//!
+//! Run with: `cargo run --example constrained_json`
+
+use symphony::sampling::{generate_constrained, GenOpts, JsonConstraint, TrieConstraint};
+use symphony::{Kernel, KernelConfig};
+use symphony_tokenizer::Bpe;
+
+fn main() {
+    let mut kernel = Kernel::new(KernelConfig::for_tests());
+
+    let json_pid = kernel.spawn_process(
+        "json",
+        "produce a configuration object as json",
+        |ctx| {
+            let prompt = ctx.tokenize(&ctx.args())?;
+            let kv = ctx.kv_create()?;
+            let mut grammar = JsonConstraint::new(Bpe::default_tokenizer().vocab());
+            let tokens = generate_constrained(
+                ctx,
+                kv,
+                &prompt,
+                &mut grammar,
+                &GenOpts {
+                    max_tokens: 80,
+                    temperature: 0.8,
+                    emit: true,
+                    ..Default::default()
+                },
+            )?;
+            ctx.emit(&format!("\n[{} tokens]", tokens.len()))?;
+            Ok(())
+        },
+    );
+
+    let choice_pid = kernel.spawn_process(
+        "choice",
+        "is application-level cache control beneficial? answer:",
+        |ctx| {
+            let prompt = ctx.tokenize(&ctx.args())?;
+            let options = vec![
+                ctx.tokenize(" yes")?,
+                ctx.tokenize(" no")?,
+                ctx.tokenize(" it depends")?,
+            ];
+            let kv = ctx.kv_create()?;
+            let mut trie = TrieConstraint::new(options);
+            generate_constrained(ctx, kv, &prompt, &mut trie, &GenOpts::default())?;
+            Ok(())
+        },
+    );
+
+    kernel.run();
+
+    let json = kernel.record(json_pid).expect("record");
+    println!("JSON-constrained ({:?}):", json.status);
+    println!("  {}", json.output);
+    let choice = kernel.record(choice_pid).expect("record");
+    println!("Trie-constrained ({:?}):", choice.status);
+    println!("  answer:{}", choice.output);
+}

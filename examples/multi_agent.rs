@@ -1,0 +1,90 @@
+//! Cooperative multi-agent LIPs with server-side tools and IPC (§2.2, §4.3).
+//!
+//! A researcher agent calls tools and generates findings; a writer agent
+//! waits for the findings over IPC and produces the summary. All
+//! coordination happens inside the serving system — zero client round trips.
+//!
+//! Run with: `cargo run --example multi_agent`
+
+use symphony::sampling::{generate, GenOpts};
+use symphony::{Kernel, KernelConfig, SimDuration, ToolOutcome, ToolSpec};
+
+fn main() {
+    let mut kernel = Kernel::new(KernelConfig::for_tests());
+
+    kernel.register_tool(
+        "search",
+        ToolSpec::new(SimDuration::from_millis(40), |query| {
+            ToolOutcome::Ok(format!("top result for {query}: cache reuse wins"))
+        }),
+    );
+    kernel.register_tool(
+        "calculator",
+        ToolSpec::fixed(SimDuration::from_millis(5), |expr| {
+            // A toy evaluator: sums a "+"-separated list.
+            let sum: i64 = expr.split('+').filter_map(|t| t.trim().parse::<i64>().ok()).sum();
+            ToolOutcome::Ok(sum.to_string())
+        }),
+    );
+
+    let writer = kernel.spawn_process("writer", "", |ctx| {
+        // Block until the researcher reports; the kernel parks this thread.
+        let findings = ctx.recv_msg()?;
+        let prompt = ctx.tokenize(&format!("summarize: {}", findings.data))?;
+        let kv = ctx.kv_create()?;
+        let out = generate(
+            ctx,
+            kv,
+            &prompt,
+            &GenOpts { max_tokens: 16, emit: false, ..Default::default() },
+        )?;
+        ctx.emit(&format!(
+            "summary of {} chars in {} tokens",
+            findings.data.len(),
+            out.tokens.len()
+        ))?;
+        // Acknowledge back to the researcher.
+        ctx.send_msg(findings.from, "received")?;
+        Ok(())
+    });
+    let _ = writer;
+
+    let researcher = kernel.spawn_process("researcher", "llm serving systems", |ctx| {
+        let t0 = ctx.now()?;
+        let web = ctx.call_tool("search", &ctx.args())?;
+        let arithmetic = ctx.call_tool("calculator", "13 + 29")?;
+        let kv = ctx.kv_create()?;
+        let prompt = ctx.tokenize(&format!("notes on {web} and {arithmetic}"))?;
+        let notes = generate(
+            ctx,
+            kv,
+            &prompt,
+            &GenOpts { max_tokens: 12, emit: false, ..Default::default() },
+        )?;
+        let note_text = ctx.detokenize(&notes.tokens)?;
+        // Hand off to the writer by name.
+        let writer = ctx
+            .lookup_process("writer")?
+            .ok_or(symphony::SysError::NotFound)?;
+        ctx.send_msg(writer, &format!("{web} | {note_text}"))?;
+        let ack = ctx.recv_msg()?;
+        let t1 = ctx.now()?;
+        ctx.emit(&format!(
+            "handoff acknowledged ({}) after {}",
+            ack.data,
+            t1.duration_since(t0)
+        ))?;
+        Ok(())
+    });
+
+    kernel.run();
+
+    for (name, pid) in [("researcher", researcher), ("writer", writer)] {
+        let rec = kernel.record(pid).expect("record");
+        println!("{name:>10}: {:?} — {}", rec.status, rec.output);
+        println!(
+            "{:>10}  tool calls: {}, pred tokens: {}",
+            "", rec.usage.tool_calls, rec.usage.pred_tokens
+        );
+    }
+}

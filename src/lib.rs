@@ -1,0 +1,14 @@
+//! Workspace root crate: re-exports for examples and integration tests.
+//!
+//! The actual system lives in the `crates/` members; this crate exists so the
+//! repository-level `examples/` and `tests/` directories can span all of them.
+
+pub use symphony;
+pub use symphony_baseline as baseline;
+pub use symphony_gpu as gpu;
+pub use symphony_kvfs as kvfs;
+pub use symphony_lipscript as lipscript;
+pub use symphony_model as model;
+pub use symphony_sim as sim;
+pub use symphony_tokenizer as tokenizer;
+pub use symphony_workloads as workloads;
