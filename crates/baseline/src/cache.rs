@@ -97,7 +97,7 @@ impl PrefixCache {
         for (i, e) in bucket.iter().enumerate() {
             let common = common_prefix_len(&e.tokens, prompt);
             let covered = (common / self.block) * self.block;
-            if covered >= self.block && best.map_or(true, |(c, _)| covered > c) {
+            if covered >= self.block && best.is_none_or(|(c, _)| covered > c) {
                 best = Some((covered, i));
             }
         }
@@ -166,7 +166,7 @@ impl PrefixCache {
         let mut victim: Option<(u64, u64)> = None; // (last_used, bucket key)
         for (&key, bucket) in &self.buckets {
             for e in bucket {
-                if victim.map_or(true, |(lu, _)| e.last_used < lu) {
+                if victim.is_none_or(|(lu, _)| e.last_used < lu) {
                     victim = Some((e.last_used, key));
                 }
             }

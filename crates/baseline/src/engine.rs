@@ -560,19 +560,16 @@ impl Engine {
             failed: false,
         });
         match &mut self.cache {
-            Some(cache) => {
-                // Keep only the prompt in the cached file.
+            // Keep only the prompt in the cached file.
+            Some(cache)
                 if self
                     .store
                     .truncate(seq.file, self.owner, seq.req.prompt.len())
-                    .is_ok()
-                {
-                    cache.insert(&mut self.store, seq.file, &seq.req.prompt);
-                } else {
-                    let _ = self.store.remove(seq.file, self.owner);
-                }
+                    .is_ok() =>
+            {
+                cache.insert(&mut self.store, seq.file, &seq.req.prompt);
             }
-            None => {
+            _ => {
                 let _ = self.store.remove(seq.file, self.owner);
             }
         }

@@ -61,7 +61,7 @@ impl Fig3Config {
             answer_tokens: 64,
             cache_top_k: 12,
             retrieval: SimDuration::from_millis(30),
-            seed: 0xF16_3,
+            seed: 0xF163,
         }
     }
 
@@ -74,7 +74,7 @@ impl Fig3Config {
             answer_tokens: 12,
             cache_top_k: 3,
             retrieval: SimDuration::from_millis(10),
-            seed: 0xF16_3,
+            seed: 0xF163,
         }
     }
 }
@@ -292,6 +292,10 @@ pub fn run_symphony_point(
         seed: cfg.seed,
         default_limits: symphony::Limits::default(),
         trace: false,
+        faults: symphony::FaultPlan::none(),
+        tool_retry: None,
+        breaker: None,
+        admission: None,
     };
     let mut kernel = Kernel::new(kcfg);
     let texts = std::sync::Arc::new(doc_texts(cfg));

@@ -1,0 +1,266 @@
+//! Deterministic fault injection (§6 "reliability" — chaos testing the
+//! kernel's containment story).
+//!
+//! A [`FaultPlan`] names per-site fault rates; a [`FaultInjector`] draws
+//! from its **own** seeded RNG stream, independent of the kernel's
+//! workload RNG. Two properties make the injection deterministic and
+//! non-invasive:
+//!
+//! - **Seed isolation.** The injector forks its stream from the kernel seed
+//!   with a fixed salt, so enabling faults never perturbs workload draws
+//!   (tool latencies, model sampling) for the *surviving* operations.
+//! - **Rate gating.** A site whose rate is `0.0` makes *no* RNG draw at
+//!   all, so an all-zero plan is byte-identical to no plan — asserted by
+//!   the chaos suite.
+//!
+//! Sites are drawn in kernel event order on the virtual clock, so a given
+//! `(seed, plan, workload)` triple always faults the same operations.
+
+use symphony_sim::Rng;
+
+/// Salt XORed into the kernel seed for the injector's RNG stream.
+const FAULT_STREAM_SALT: u64 = 0x000F_A017_5EED_u64;
+
+/// What happens to a tool-call attempt selected for fault injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ToolFaultKind {
+    /// The attempt fails after its sampled latency (a 5xx, say).
+    Fail,
+    /// The attempt hangs for `stall_factor ×` its sampled latency; with a
+    /// per-call timeout this converts to [`crate::SysError::Timeout`],
+    /// without one it just runs long.
+    Hang,
+}
+
+/// Per-site fault rates, all in `[0, 1]` per operation. `default()` is
+/// all-zero: no faults, no RNG draws.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Probability a tool-call attempt faults.
+    pub tool_fault_rate: f64,
+    /// Of faulted attempts, the fraction that *hang* rather than fail.
+    pub tool_hang_fraction: f64,
+    /// Latency multiplier for hung attempts.
+    pub tool_stall_factor: f64,
+    /// Probability one `pred` request in a batch transiently faults (work
+    /// lost, no KV appended, retryable).
+    pub pred_fault_rate: f64,
+    /// Probability a KV swap-in (explicit or offload-restore) fails.
+    pub swap_in_fault_rate: f64,
+    /// Probability an IPC `send_msg` is silently dropped.
+    pub ipc_drop_rate: f64,
+}
+
+impl FaultPlan {
+    /// No faults anywhere (the kernel default).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when every rate is zero — the injector then never draws.
+    pub fn is_none(&self) -> bool {
+        self.tool_fault_rate == 0.0
+            && self.pred_fault_rate == 0.0
+            && self.swap_in_fault_rate == 0.0
+            && self.ipc_drop_rate == 0.0
+    }
+
+    /// A plan faulting only tool calls at `rate` (all failures, no hangs).
+    pub fn tools_only(rate: f64) -> Self {
+        FaultPlan {
+            tool_fault_rate: rate,
+            tool_stall_factor: 10.0,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// Counters of injected faults, included in kernel stats so two same-seed
+/// runs can be compared field-for-field.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Tool attempts forced to fail.
+    pub tool_failures: u64,
+    /// Tool attempts forced to hang.
+    pub tool_hangs: u64,
+    /// `pred` requests transiently faulted.
+    pub pred_faults: u64,
+    /// KV swap-ins failed.
+    pub swap_in_failures: u64,
+    /// IPC messages dropped.
+    pub ipc_drops: u64,
+}
+
+/// Draws fault decisions from a dedicated RNG stream.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Rng,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Builds an injector whose stream is derived from the kernel seed.
+    pub fn new(plan: FaultPlan, kernel_seed: u64) -> Self {
+        FaultInjector {
+            plan,
+            rng: Rng::new(kernel_seed ^ FAULT_STREAM_SALT),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The configured plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Decides the fate of one tool-call attempt. `None` = run normally.
+    pub fn tool_attempt(&mut self) -> Option<ToolFaultKind> {
+        if self.plan.tool_fault_rate == 0.0 {
+            return None;
+        }
+        if self.rng.next_f64() >= self.plan.tool_fault_rate {
+            return None;
+        }
+        // Second draw picks the flavour; gated so hang_fraction == 0 costs
+        // one draw per *faulted* attempt only.
+        let hang = self.plan.tool_hang_fraction > 0.0
+            && self.rng.next_f64() < self.plan.tool_hang_fraction;
+        if hang {
+            self.stats.tool_hangs += 1;
+            Some(ToolFaultKind::Hang)
+        } else {
+            self.stats.tool_failures += 1;
+            Some(ToolFaultKind::Fail)
+        }
+    }
+
+    /// Stall multiplier applied to hung attempts.
+    pub fn stall_factor(&self) -> f64 {
+        if self.plan.tool_stall_factor > 1.0 {
+            self.plan.tool_stall_factor
+        } else {
+            10.0
+        }
+    }
+
+    /// Decides whether one `pred` request in a batch faults.
+    pub fn pred_request(&mut self) -> bool {
+        if self.plan.pred_fault_rate == 0.0 {
+            return false;
+        }
+        let hit = self.rng.next_f64() < self.plan.pred_fault_rate;
+        if hit {
+            self.stats.pred_faults += 1;
+        }
+        hit
+    }
+
+    /// Decides whether one KV swap-in fails.
+    pub fn swap_in(&mut self) -> bool {
+        if self.plan.swap_in_fault_rate == 0.0 {
+            return false;
+        }
+        let hit = self.rng.next_f64() < self.plan.swap_in_fault_rate;
+        if hit {
+            self.stats.swap_in_failures += 1;
+        }
+        hit
+    }
+
+    /// Decides whether one IPC message is dropped.
+    pub fn ipc_send(&mut self) -> bool {
+        if self.plan.ipc_drop_rate == 0.0 {
+            return false;
+        }
+        let hit = self.rng.next_f64() < self.plan.ipc_drop_rate;
+        if hit {
+            self.stats.ipc_drops += 1;
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_never_draws_or_faults() {
+        let mut inj = FaultInjector::new(FaultPlan::none(), 42);
+        for _ in 0..100 {
+            assert!(inj.tool_attempt().is_none());
+            assert!(!inj.pred_request());
+            assert!(!inj.swap_in());
+            assert!(!inj.ipc_send());
+        }
+        assert_eq!(inj.stats(), FaultStats::default());
+        // No draws consumed: the stream equals a fresh one.
+        let mut fresh = Rng::new(42 ^ FAULT_STREAM_SALT);
+        assert_eq!(inj.rng.next_u64(), fresh.next_u64());
+    }
+
+    #[test]
+    fn rates_are_respected_statistically() {
+        let plan = FaultPlan {
+            tool_fault_rate: 0.3,
+            pred_fault_rate: 0.1,
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan, 7);
+        let mut tool_hits = 0;
+        let mut pred_hits = 0;
+        for _ in 0..10_000 {
+            if inj.tool_attempt().is_some() {
+                tool_hits += 1;
+            }
+            if inj.pred_request() {
+                pred_hits += 1;
+            }
+        }
+        assert!((2700..3300).contains(&tool_hits), "tool_hits={tool_hits}");
+        assert!((800..1200).contains(&pred_hits), "pred_hits={pred_hits}");
+        assert_eq!(inj.stats().tool_failures, tool_hits);
+        assert_eq!(inj.stats().pred_faults, pred_hits);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan = FaultPlan {
+            tool_fault_rate: 0.5,
+            tool_hang_fraction: 0.4,
+            swap_in_fault_rate: 0.2,
+            ipc_drop_rate: 0.2,
+            ..FaultPlan::default()
+        };
+        let mut a = FaultInjector::new(plan, 99);
+        let mut b = FaultInjector::new(plan, 99);
+        for _ in 0..1000 {
+            assert_eq!(a.tool_attempt(), b.tool_attempt());
+            assert_eq!(a.swap_in(), b.swap_in());
+            assert_eq!(a.ipc_send(), b.ipc_send());
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().tool_hangs > 0, "hang flavour exercised");
+    }
+
+    #[test]
+    fn hang_fraction_splits_flavours() {
+        let plan = FaultPlan {
+            tool_fault_rate: 1.0,
+            tool_hang_fraction: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan, 3);
+        for _ in 0..10 {
+            assert_eq!(inj.tool_attempt(), Some(ToolFaultKind::Hang));
+        }
+        assert_eq!(inj.stats().tool_hangs, 10);
+        assert_eq!(inj.stats().tool_failures, 0);
+    }
+}

@@ -13,12 +13,16 @@ use std::collections::{BTreeMap, VecDeque};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use symphony_gpu::{DeviceSpec, ExecError, GpuExecutor, GpuMetrics, PredRequest};
-use symphony_kvfs::{FileId, KvStats, KvStore, KvStoreConfig, Mode, OwnerId, Residency};
+use symphony_kvfs::{FileId, KvError, KvStats, KvStore, KvStoreConfig, Mode, OwnerId, Residency};
 use symphony_model::{ModelConfig, Surrogate, TokenId};
 use symphony_model::surrogate::VocabInfo;
-use symphony_sim::{EventQueue, Rng, SimDuration, SimTime, Trace};
+use symphony_sim::{EventQueue, RetryPolicy, Rng, SimDuration, SimTime, Trace};
 use symphony_tokenizer::Bpe;
 
+use crate::faults::{FaultInjector, FaultPlan, FaultStats, ToolFaultKind};
+use crate::resilience::{
+    AdmissionPolicy, BreakerBank, BreakerPolicy, BreakerVerdict, ResilienceStats,
+};
 use crate::sched::{BatchPolicy, Decision, InferScheduler};
 use crate::syscall::{thread_main, Ctx, LipFn, SysReply, Syscall, UpCall};
 use crate::tools::{ToolOutcome, ToolRegistry, ToolSpec};
@@ -55,6 +59,16 @@ pub struct KernelConfig {
     pub default_limits: Limits,
     /// Record a structured trace (disable for long benchmark runs).
     pub trace: bool,
+    /// Fault-injection plan (all-zero = no faults, no extra RNG draws).
+    pub faults: FaultPlan,
+    /// Kernel-wide tool retry policy; a [`ToolSpec::with_retry`] overrides
+    /// it per tool. `None` means one attempt.
+    pub tool_retry: Option<RetryPolicy>,
+    /// Per-tool circuit breaker; `None` disables breaking.
+    pub breaker: Option<BreakerPolicy>,
+    /// `pred` admission control under KV-pool pressure; `None` disables
+    /// shedding and requeueing (KV exhaustion surfaces as `Kv(NoGpuMemory)`).
+    pub admission: Option<AdmissionPolicy>,
 }
 
 impl KernelConfig {
@@ -76,6 +90,10 @@ impl KernelConfig {
             seed: 42,
             default_limits: Limits::default(),
             trace: true,
+            faults: FaultPlan::none(),
+            tool_retry: None,
+            breaker: None,
+            admission: None,
         }
     }
 
@@ -100,6 +118,10 @@ impl KernelConfig {
             seed: 42,
             default_limits: Limits::default(),
             trace: false,
+            faults: FaultPlan::none(),
+            tool_retry: None,
+            breaker: None,
+            admission: None,
         }
     }
 }
@@ -123,6 +145,10 @@ enum Event {
         args: String,
         f: LipFn,
     },
+    /// A process's wall-clock deadline passed: fail its blocked receivers.
+    DeadlineCheck { pid: Pid },
+    /// Re-pool a `pred` that was backed off after KV-pool exhaustion.
+    RequeuePred { pred: PendingPred },
 }
 
 struct ThreadState {
@@ -143,11 +169,17 @@ struct Proc {
     io_waiting: u32,
     offloaded: Vec<FileId>,
     finished: bool,
+    /// Absolute virtual deadline (spawn time + `Limits::deadline`).
+    deadline_at: Option<SimTime>,
+    /// Deadline already detected (counts once per process).
+    deadline_hit: bool,
 }
 
 struct PendingPred {
     tid: Tid,
     req: PredRequest,
+    /// Times this request was requeued after KV-pool exhaustion.
+    requeues: u32,
 }
 
 /// Ensure LIP-thread panics (crash tests, shutdown unwinds) do not spam
@@ -196,6 +228,12 @@ pub struct Kernel {
     up_rx: Receiver<UpCall>,
     rng: Rng,
     trace: Trace,
+    // Resilience.
+    injector: FaultInjector,
+    breakers: Option<BreakerBank>,
+    admission: Option<AdmissionPolicy>,
+    tool_retry: Option<RetryPolicy>,
+    res_stats: ResilienceStats,
     // Config extracts.
     syscall_cost: SimDuration,
     offload_on_io_wait: bool,
@@ -247,6 +285,11 @@ impl Kernel {
             } else {
                 Trace::disabled()
             },
+            injector: FaultInjector::new(config.faults, config.seed),
+            breakers: config.breaker.map(BreakerBank::new),
+            admission: config.admission,
+            tool_retry: config.tool_retry,
+            res_stats: ResilienceStats::default(),
             syscall_cost: config.syscall_cost,
             offload_on_io_wait: config.offload_on_io_wait,
             offload_min_latency: config.offload_min_latency,
@@ -352,6 +395,10 @@ impl Kernel {
         if let Some(q) = limits.kv_quota_pages {
             self.store.set_quota(OwnerId(pid.0), Some(q));
         }
+        let deadline_at = limits.deadline.map(|d| spawned_at + d);
+        if let Some(t) = deadline_at {
+            self.events.schedule(t, Event::DeadlineCheck { pid });
+        }
         self.procs.insert(
             pid.0,
             Proc {
@@ -364,6 +411,8 @@ impl Kernel {
                 io_waiting: 0,
                 offloaded: Vec::new(),
                 finished: false,
+                deadline_at,
+                deadline_hit: false,
             },
         );
         pid
@@ -444,6 +493,21 @@ impl Kernel {
     /// KV store statistics.
     pub fn kv_stats(&self) -> KvStats {
         self.store.stats()
+    }
+
+    /// Injected-fault counters for this run.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector.stats()
+    }
+
+    /// Resilience counters (retries, timeouts, breaker trips, shedding).
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        let mut s = self.res_stats;
+        if let Some(bank) = &self.breakers {
+            s.breaker_trips = bank.trips();
+            s.breaker_rejections = bank.rejections();
+        }
+        s
     }
 
     /// Read access to the KV store (tests and harnesses).
@@ -550,6 +614,36 @@ impl Kernel {
             Event::SpawnProgram { pid, args, f } => {
                 self.start_process(pid, args, f);
             }
+            Event::DeadlineCheck { pid } => self.enforce_deadline(pid),
+            Event::RequeuePred { pred } => {
+                self.sched.on_arrival(self.events.now(), pred);
+            }
+        }
+    }
+
+    /// Fires when a process's deadline passes: mark it, and fail its
+    /// threads blocked in `recv_msg` (other blocked threads — pooled
+    /// `pred`s, in-flight I/O, sleeps — already have completions scheduled
+    /// and hit the syscall-entry deadline check on their next call).
+    fn enforce_deadline(&mut self, pid: Pid) {
+        let Some(proc) = self.procs.get_mut(&pid.0) else {
+            return;
+        };
+        if proc.finished {
+            return;
+        }
+        if !proc.deadline_hit {
+            proc.deadline_hit = true;
+            self.res_stats.deadline_kills += 1;
+        }
+        let waiters = std::mem::take(&mut proc.recv_waiters);
+        self.trace.record(
+            self.events.now(),
+            "kernel",
+            format!("deadline pid={} woke={}", pid.0, waiters.len()),
+        );
+        for w in waiters {
+            self.complete(w, SysReply::Err(SysError::DeadlineExceeded));
         }
     }
 
@@ -573,25 +667,61 @@ impl Kernel {
         let pending = self.sched.take_batch();
         debug_assert!(!pending.is_empty());
         let tids: Vec<Tid> = pending.iter().map(|p| p.tid).collect();
+        let requeues: Vec<u32> = pending.iter().map(|p| p.requeues).collect();
         let requests: Vec<PredRequest> = pending.into_iter().map(|p| p.req).collect();
-        let (results, report) = self.gpu.execute_batch(&mut self.store, &requests);
+        // One fault draw per request, in pool order (rate 0 draws nothing).
+        let faulted: Vec<bool> = requests
+            .iter()
+            .map(|_| self.injector.pred_request())
+            .collect();
+        let (results, report) =
+            self.gpu
+                .execute_batch_with_faults(&mut self.store, &requests, &faulted);
         let batch_id = self.next_batch;
         self.next_batch += 1;
-        let replies: Vec<(Tid, SysReply)> = tids
+        let adm = self.admission;
+        let mut replies: Vec<(Tid, SysReply)> = Vec::with_capacity(requests.len());
+        for (((tid, res), req), requeues) in tids
             .into_iter()
             .zip(results)
-            .map(|(tid, res)| {
-                let reply = match res {
-                    Ok(r) => SysReply::Dists(r.dists),
-                    Err(ExecError::Kv(e)) => SysReply::Err(SysError::Kv(e)),
-                    Err(ExecError::NotResident) => {
-                        SysReply::Err(SysError::Kv(symphony_kvfs::KvError::NotResident))
-                    }
-                    Err(ExecError::EmptyRequest) => SysReply::Err(SysError::BadArgument),
-                };
-                (tid, reply)
-            })
-            .collect();
+            .zip(requests)
+            .zip(requeues)
+        {
+            let reply = match res {
+                Ok(r) => SysReply::Dists(r.dists),
+                // KV-pool exhaustion: with admission control on, back the
+                // request off and re-pool it instead of failing the LIP.
+                Err(ExecError::Kv(KvError::NoGpuMemory))
+                    if adm.is_some_and(|a| requeues < a.max_retries) =>
+                {
+                    let delay = adm.map(|a| a.retry_delay).unwrap_or_default();
+                    self.res_stats.preds_requeued += 1;
+                    self.events.schedule(
+                        self.events.now() + delay,
+                        Event::RequeuePred {
+                            pred: PendingPred {
+                                tid,
+                                req,
+                                requeues: requeues + 1,
+                            },
+                        },
+                    );
+                    continue;
+                }
+                Err(ExecError::Kv(KvError::NoGpuMemory)) if adm.is_some() => {
+                    // Requeue budget exhausted: shed the request.
+                    self.res_stats.preds_shed += 1;
+                    SysReply::Err(SysError::Busy)
+                }
+                Err(ExecError::Kv(e)) => SysReply::Err(SysError::Kv(e)),
+                Err(ExecError::NotResident) => {
+                    SysReply::Err(SysError::Kv(KvError::NotResident))
+                }
+                Err(ExecError::EmptyRequest) => SysReply::Err(SysError::BadArgument),
+                Err(ExecError::Faulted) => SysReply::Err(SysError::Fault("gpu.pred")),
+            };
+            replies.push((tid, reply));
+        }
         self.trace.record(
             self.events.now(),
             "infer_sched",
@@ -638,6 +768,18 @@ impl Kernel {
                 return;
             }
         }
+        // Wall-clock deadline: once past it, every syscall fails.
+        if let Some(t) = self.procs[&pid.0].deadline_at {
+            if self.events.now() >= t {
+                let proc = self.procs.get_mut(&pid.0).expect("proc exists");
+                if !proc.deadline_hit {
+                    proc.deadline_hit = true;
+                    self.res_stats.deadline_kills += 1;
+                }
+                self.complete(tid, SysReply::Err(SysError::DeadlineExceeded));
+                return;
+            }
+        }
 
         macro_rules! kv {
             ($e:expr) => {
@@ -656,6 +798,14 @@ impl Kernel {
                 if tokens.is_empty() {
                     self.complete(tid, SysReply::Err(SysError::BadArgument));
                     return;
+                }
+                // Bounded admission queue: shed before accounting the work.
+                if let Some(adm) = self.admission {
+                    if self.sched.pool_len() >= adm.max_queue {
+                        self.res_stats.preds_shed += 1;
+                        self.complete(tid, SysReply::Err(SysError::Busy));
+                        return;
+                    }
                 }
                 let limit = self.procs[&pid.0].limits.max_pred_tokens;
                 let rec = self.records.get_mut(&pid.0).expect("record");
@@ -681,6 +831,7 @@ impl Kernel {
                             owner,
                             tokens,
                         },
+                        requeues: 0,
                     },
                 );
                 // Thread stays parked; the batch scheduler will resume it.
@@ -766,6 +917,12 @@ impl Kernel {
                 self.events.schedule(at, Event::Resume(tid, SysReply::Unit));
             }
             Syscall::KvSwapIn { kv } => {
+                // Injected PCIe/host-memory fault: the transfer fails, the
+                // file stays swapped out, and the LIP may retry.
+                if self.injector.swap_in() {
+                    self.complete(tid, SysReply::Err(SysError::Fault("kv.swap_in")));
+                    return;
+                }
                 let tokens = kv!(self.store.swap_in(kv, owner));
                 let cost = self
                     .gpu
@@ -804,35 +961,130 @@ impl Kernel {
                         return;
                     }
                 }
-                self.records.get_mut(&pid.0).expect("record").usage.tool_calls += 1;
-                match self.tools.invoke(&name, &args, &mut self.rng) {
-                    None => self.complete(tid, SysReply::Err(SysError::NotFound)),
-                    Some((latency, outcome)) => {
-                        let result = match outcome {
-                            ToolOutcome::Ok(s) => Ok(s),
-                            ToolOutcome::Failed(msg) => Err(SysError::ToolFailed(msg)),
-                        };
-                        self.trace.record(
-                            self.events.now(),
-                            "io",
-                            format!("tool={} tid={} latency={}", name, tid.0, latency),
-                        );
-                        self.begin_io(pid, latency);
-                        self.events.schedule(
-                            self.events.now() + latency,
-                            Event::IoDone { tid, result },
-                        );
-                    }
-                }
-            }
-            Syscall::SendMsg { to, data } => {
-                if !self.procs.contains_key(&to.0)
-                    || self.procs[&to.0].finished
-                {
-                    self.complete(tid, SysReply::Err(SysError::NotFound));
+                // Unknown tool: typed error before any RNG draw, so adding
+                // a tool elsewhere never shifts unrelated latency streams.
+                if !self.tools.contains(&name) {
+                    self.complete(tid, SysReply::Err(SysError::NoSuchTool(name)));
                     return;
                 }
-                let target = self.procs.get_mut(&to.0).expect("checked");
+                self.records.get_mut(&pid.0).expect("record").usage.tool_calls += 1;
+                // Circuit breaker: fast-fail while open (no latency charge
+                // beyond the syscall cost — that is the point of breaking).
+                let now = self.events.now();
+                if let Some(bank) = self.breakers.as_mut() {
+                    match bank.admit(&name, now) {
+                        BreakerVerdict::Allow | BreakerVerdict::AllowTrial => {}
+                        BreakerVerdict::Reject => {
+                            self.trace.record(
+                                now,
+                                "io",
+                                format!("tool={} tid={} breaker_open", name, tid.0),
+                            );
+                            self.complete(tid, SysReply::Err(SysError::Unavailable));
+                            return;
+                        }
+                    }
+                }
+                // Per-tool policy overrides the kernel-wide default.
+                let policy = self
+                    .tools
+                    .retry_policy(&name)
+                    .or(self.tool_retry)
+                    .unwrap_or_default();
+                let timeout = self.procs[&pid.0].limits.tool_timeout;
+                // All attempts are planned synchronously: the virtual time
+                // the call occupies is the sum of per-attempt charges
+                // (latency clamped to the timeout) plus backoff delays, and
+                // one IoDone at the end delivers the final result.
+                let mut total = SimDuration::ZERO;
+                let mut failures = 0u32;
+                let final_result = loop {
+                    let fault = self.injector.tool_attempt();
+                    let (latency, outcome) = self
+                        .tools
+                        .invoke(&name, &args, &mut self.rng)
+                        .expect("existence checked above; registry is append-only");
+                    let mut eff_latency = match fault {
+                        Some(ToolFaultKind::Hang) => latency * self.injector.stall_factor(),
+                        _ => latency,
+                    };
+                    let mut attempt_result = match fault {
+                        Some(ToolFaultKind::Fail) => Err(SysError::Fault("tool")),
+                        _ => match outcome {
+                            ToolOutcome::Ok(s) => Ok(s),
+                            ToolOutcome::Failed(msg) => Err(SysError::ToolFailed(msg)),
+                        },
+                    };
+                    if let Some(to) = timeout {
+                        if eff_latency > to {
+                            eff_latency = to;
+                            attempt_result = Err(SysError::Timeout);
+                            self.res_stats.tool_timeouts += 1;
+                        }
+                    }
+                    total += eff_latency;
+                    match attempt_result {
+                        Ok(s) => break Ok(s),
+                        Err(e) => {
+                            failures += 1;
+                            if policy.should_retry(failures) {
+                                self.res_stats.tool_retries += 1;
+                                total += policy.backoff_after(failures, &mut self.rng);
+                            } else {
+                                self.res_stats.tool_calls_exhausted += 1;
+                                break Err(e);
+                            }
+                        }
+                    }
+                };
+                if let Some(bank) = self.breakers.as_mut() {
+                    bank.report(&name, final_result.is_ok(), now + total);
+                }
+                self.trace.record(
+                    now,
+                    "io",
+                    format!(
+                        "tool={} tid={} attempts={} latency={}",
+                        name,
+                        tid.0,
+                        failures + u32::from(final_result.is_ok()),
+                        total
+                    ),
+                );
+                self.begin_io(pid, total);
+                self.events.schedule(
+                    now + total,
+                    Event::IoDone {
+                        tid,
+                        result: final_result,
+                    },
+                );
+            }
+            Syscall::SendMsg { to, data } => {
+                match self.procs.get(&to.0) {
+                    Some(target) if !target.finished => {}
+                    _ => {
+                        self.complete(tid, SysReply::Err(SysError::NotFound));
+                        return;
+                    }
+                }
+                // Injected drop: the message vanishes in flight. The sender
+                // still sees success — IPC is at-most-once, like UDP — so
+                // resilient LIPs need acks/timeouts, which the chaos tests
+                // exercise.
+                if self.injector.ipc_send() {
+                    self.trace.record(
+                        self.events.now(),
+                        "kernel",
+                        format!("ipc_drop from={} to={}", pid.0, to.0),
+                    );
+                    self.complete(tid, SysReply::Unit);
+                    return;
+                }
+                let target = self
+                    .procs
+                    .get_mut(&to.0)
+                    .expect("liveness checked above; procs map is append-only");
                 if let Some(waiter) = target.recv_waiters.pop_front() {
                     self.complete(waiter, SysReply::Msg { from: pid, data });
                 } else {
@@ -935,6 +1187,17 @@ impl Kernel {
             let files = std::mem::take(&mut proc.offloaded);
             let owner = OwnerId(pid.0);
             for f in files {
+                // Injected restore fault: the file stays in host memory.
+                // The LIP's next `pred` on it sees `Kv(NotResident)` and
+                // can swap it in explicitly — containment, not a crash.
+                if self.injector.swap_in() {
+                    self.trace.record(
+                        self.events.now(),
+                        "io",
+                        format!("restore_fault pid={} file={}", pid.0, f.0),
+                    );
+                    continue;
+                }
                 if let Ok(moved) = self.store.swap_in(f, owner) {
                     restore_tokens += moved;
                 }

@@ -59,14 +59,18 @@
 //! assert!(kernel.record(pid).unwrap().status.is_ok());
 //! ```
 
+pub mod faults;
 pub mod kernel;
+pub mod resilience;
 pub mod sampling;
 pub mod sched;
 pub mod syscall;
 pub mod tools;
 pub mod types;
 
+pub use faults::{FaultInjector, FaultPlan, FaultStats, ToolFaultKind};
 pub use kernel::{Kernel, KernelConfig};
+pub use resilience::{AdmissionPolicy, BreakerPolicy, ResilienceStats};
 pub use sched::BatchPolicy;
 pub use syscall::Ctx;
 pub use tools::{ToolOutcome, ToolRegistry, ToolSpec};
@@ -75,4 +79,4 @@ pub use types::{ExitStatus, Limits, Pid, ProcessRecord, SysError, Tid};
 // Re-export the substrate types LIPs interact with.
 pub use symphony_kvfs::{FileId, FileStat, KvEntry, Mode, OwnerId, Residency};
 pub use symphony_model::{CtxFingerprint, Dist, ModelConfig, TokenId};
-pub use symphony_sim::{SimDuration, SimTime};
+pub use symphony_sim::{RetryPolicy, SimDuration, SimTime};

@@ -1,0 +1,268 @@
+//! Resilience mechanisms: per-tool circuit breakers and KV-pool admission
+//! control.
+//!
+//! Both run entirely on the virtual clock, so their state transitions are
+//! deterministic for a given `(seed, plan, workload)` and show up
+//! byte-identically in kernel stats across same-seed runs.
+
+use std::collections::BTreeMap;
+
+use symphony_sim::{SimDuration, SimTime};
+
+/// Circuit-breaker configuration, applied per tool name.
+///
+/// The breaker counts *whole-call* outcomes (after retries), not individual
+/// attempts: a call that succeeds on its third attempt resets the streak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive failed calls that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting a half-open trial.
+    pub cooldown: SimDuration,
+}
+
+impl BreakerPolicy {
+    /// A breaker tripping after `failure_threshold` failures with the given
+    /// cooldown.
+    pub fn new(failure_threshold: u32, cooldown: SimDuration) -> Self {
+        BreakerPolicy {
+            failure_threshold: failure_threshold.max(1),
+            cooldown,
+        }
+    }
+}
+
+/// One tool's breaker state machine: Closed → Open → HalfOpen → {Closed, Open}.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Calls flow; consecutive failures are counted.
+    Closed { consecutive_failures: u32 },
+    /// Calls fast-fail until the cooldown expires on the virtual clock.
+    Open { until: SimTime },
+    /// One trial call is in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+/// The admission verdict for a tool call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerVerdict {
+    /// Proceed normally.
+    Allow,
+    /// Proceed as the single half-open trial.
+    AllowTrial,
+    /// Fast-fail with `SysError::Unavailable`.
+    Reject,
+}
+
+/// All per-tool breakers plus trip counters.
+#[derive(Debug)]
+pub struct BreakerBank {
+    policy: BreakerPolicy,
+    states: BTreeMap<String, BreakerState>,
+    trips: u64,
+    rejections: u64,
+}
+
+impl BreakerBank {
+    /// A bank where every tool starts closed.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        BreakerBank {
+            policy,
+            states: BTreeMap::new(),
+            trips: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Times the breaker tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Calls fast-failed while open.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Whether `tool`'s breaker is currently open at `now`.
+    pub fn is_open(&self, tool: &str, now: SimTime) -> bool {
+        matches!(self.states.get(tool), Some(BreakerState::Open { until }) if now < *until)
+    }
+
+    /// Gate a call to `tool` at `now`.
+    pub fn admit(&mut self, tool: &str, now: SimTime) -> BreakerVerdict {
+        let state = self
+            .states
+            .entry(tool.to_string())
+            .or_insert(BreakerState::Closed {
+                consecutive_failures: 0,
+            });
+        match *state {
+            BreakerState::Closed { .. } => BreakerVerdict::Allow,
+            BreakerState::Open { until } => {
+                if now >= until {
+                    *state = BreakerState::HalfOpen;
+                    BreakerVerdict::AllowTrial
+                } else {
+                    self.rejections += 1;
+                    BreakerVerdict::Reject
+                }
+            }
+            // A trial is already in flight; other callers keep fast-failing
+            // until it reports back.
+            BreakerState::HalfOpen => {
+                self.rejections += 1;
+                BreakerVerdict::Reject
+            }
+        }
+    }
+
+    /// Report a whole call's outcome. `completed_at` is when the call (with
+    /// all its retries) finished on the virtual clock; an open breaker's
+    /// cooldown runs from there.
+    pub fn report(&mut self, tool: &str, success: bool, completed_at: SimTime) {
+        let state = self
+            .states
+            .entry(tool.to_string())
+            .or_insert(BreakerState::Closed {
+                consecutive_failures: 0,
+            });
+        if success {
+            *state = BreakerState::Closed {
+                consecutive_failures: 0,
+            };
+            return;
+        }
+        let trip = match *state {
+            BreakerState::Closed {
+                consecutive_failures,
+            } => {
+                let n = consecutive_failures + 1;
+                if n >= self.policy.failure_threshold {
+                    true
+                } else {
+                    *state = BreakerState::Closed {
+                        consecutive_failures: n,
+                    };
+                    false
+                }
+            }
+            // A failed half-open trial re-opens immediately.
+            BreakerState::HalfOpen => true,
+            // Late report while open (call was in flight when it tripped):
+            // extend the cooldown.
+            BreakerState::Open { .. } => true,
+        };
+        if trip {
+            self.trips += 1;
+            *state = BreakerState::Open {
+                until: completed_at + self.policy.cooldown,
+            };
+        }
+    }
+}
+
+/// Admission control for `pred` under KV-pool pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Shed a `pred` arrival with `SysError::Busy` once this many calls are
+    /// already pooled (bounded queue).
+    pub max_queue: usize,
+    /// On `NoGpuMemory` at batch time, requeue the request after this delay
+    /// instead of failing it...
+    pub retry_delay: SimDuration,
+    /// ...at most this many times, then fail with `SysError::Busy`.
+    pub max_retries: u32,
+}
+
+impl AdmissionPolicy {
+    /// Bounded queue of `max_queue` with requeue-on-pressure defaults.
+    pub fn bounded(max_queue: usize) -> Self {
+        AdmissionPolicy {
+            max_queue: max_queue.max(1),
+            retry_delay: SimDuration::from_millis(5),
+            max_retries: 8,
+        }
+    }
+}
+
+/// Resilience counters surfaced in kernel stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Tool attempts retried (attempt 2 and beyond).
+    pub tool_retries: u64,
+    /// Tool calls that failed after exhausting all attempts.
+    pub tool_calls_exhausted: u64,
+    /// Tool attempts that exceeded the per-call timeout.
+    pub tool_timeouts: u64,
+    /// Breaker trips (Closed/HalfOpen → Open).
+    pub breaker_trips: u64,
+    /// Calls fast-failed with `Unavailable` while a breaker was open.
+    pub breaker_rejections: u64,
+    /// `pred` arrivals shed with `Busy` at the admission queue.
+    pub preds_shed: u64,
+    /// `pred` requests requeued after KV-pool exhaustion.
+    pub preds_requeued: u64,
+    /// Processes terminated by their wall-clock deadline.
+    pub deadline_kills: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_cools_down() {
+        let mut bank = BreakerBank::new(BreakerPolicy::new(3, SimDuration::from_millis(100)));
+        // Two failures: still closed.
+        bank.report("api", false, at(1));
+        bank.report("api", false, at(2));
+        assert_eq!(bank.admit("api", at(3)), BreakerVerdict::Allow);
+        assert_eq!(bank.trips(), 0);
+        // Third consecutive failure trips it.
+        bank.report("api", false, at(3));
+        assert_eq!(bank.trips(), 1);
+        assert!(bank.is_open("api", at(50)));
+        assert_eq!(bank.admit("api", at(50)), BreakerVerdict::Reject);
+        assert_eq!(bank.rejections(), 1);
+        // Cooldown over: one half-open trial, others still rejected.
+        assert_eq!(bank.admit("api", at(103)), BreakerVerdict::AllowTrial);
+        assert_eq!(bank.admit("api", at(104)), BreakerVerdict::Reject);
+        // Trial succeeds: closed again.
+        bank.report("api", true, at(110));
+        assert_eq!(bank.admit("api", at(111)), BreakerVerdict::Allow);
+    }
+
+    #[test]
+    fn failed_trial_reopens() {
+        let mut bank = BreakerBank::new(BreakerPolicy::new(1, SimDuration::from_millis(10)));
+        bank.report("api", false, at(0));
+        assert_eq!(bank.trips(), 1);
+        assert_eq!(bank.admit("api", at(15)), BreakerVerdict::AllowTrial);
+        bank.report("api", false, at(16));
+        assert_eq!(bank.trips(), 2);
+        assert!(bank.is_open("api", at(20)));
+        assert!(!bank.is_open("api", at(26)), "cooldown from completion time");
+    }
+
+    #[test]
+    fn success_resets_streak() {
+        let mut bank = BreakerBank::new(BreakerPolicy::new(2, SimDuration::from_millis(10)));
+        bank.report("api", false, at(0));
+        bank.report("api", true, at(1));
+        bank.report("api", false, at(2));
+        assert_eq!(bank.trips(), 0, "streak broken by success");
+    }
+
+    #[test]
+    fn breakers_are_per_tool() {
+        let mut bank = BreakerBank::new(BreakerPolicy::new(1, SimDuration::from_secs(1)));
+        bank.report("bad", false, at(0));
+        assert_eq!(bank.admit("bad", at(1)), BreakerVerdict::Reject);
+        assert_eq!(bank.admit("good", at(1)), BreakerVerdict::Allow);
+    }
+}

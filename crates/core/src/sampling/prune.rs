@@ -51,7 +51,10 @@ impl StreamingWindow {
         }
         let tail_start = len - self.window;
         let pruned = if self.sink == 0 {
-            ctx.kv_extract(kv, &[tail_start..len])?
+            // kv_extract takes a slice of ranges; a sinkless prune keeps one.
+            #[allow(clippy::single_range_in_vec_init)]
+            let ranges = [tail_start..len];
+            ctx.kv_extract(kv, &ranges)?
         } else {
             ctx.kv_extract(kv, &[0..self.sink.min(tail_start), tail_start..len])?
         };

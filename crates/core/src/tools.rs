@@ -8,7 +8,9 @@
 
 use std::collections::BTreeMap;
 
-use symphony_sim::{LogNormal, Rng, SimDuration};
+use symphony_sim::{LogNormal, RetryPolicy, Rng, SimDuration};
+
+use crate::types::SysError;
 
 /// What a tool invocation produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +29,7 @@ pub struct ToolSpec {
     mean_latency: SimDuration,
     latency: Option<LogNormal>,
     handler: ToolHandler,
+    retry: Option<RetryPolicy>,
 }
 
 impl ToolSpec {
@@ -45,6 +48,7 @@ impl ToolSpec {
             mean_latency: mean,
             latency,
             handler: Box::new(handler),
+            retry: None,
         }
     }
 
@@ -57,7 +61,19 @@ impl ToolSpec {
             mean_latency: latency,
             latency: None,
             handler: Box::new(handler),
+            retry: None,
         }
+    }
+
+    /// Attaches a per-tool retry policy, overriding the kernel-wide default.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// The per-tool retry policy, if one was attached.
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        self.retry
     }
 
     /// The configured mean latency.
@@ -109,19 +125,29 @@ impl ToolRegistry {
         self.invocations
     }
 
+    /// The retry policy for `name`, if the tool exists and has one attached.
+    pub fn retry_policy(&self, name: &str) -> Option<RetryPolicy> {
+        self.tools.get(name).and_then(|s| s.retry_policy())
+    }
+
     /// Invokes a tool: returns the sampled latency and the outcome, or
-    /// `None` if the tool does not exist.
+    /// [`SysError::NoSuchTool`] if the tool does not exist. An unknown name
+    /// never perturbs the RNG, so registering an extra tool elsewhere does
+    /// not shift an unrelated process's latency draws.
     pub fn invoke(
         &mut self,
         name: &str,
         args: &str,
         rng: &mut Rng,
-    ) -> Option<(SimDuration, ToolOutcome)> {
-        let spec = self.tools.get(name)?;
+    ) -> Result<(SimDuration, ToolOutcome), SysError> {
+        let spec = self
+            .tools
+            .get(name)
+            .ok_or_else(|| SysError::NoSuchTool(name.to_string()))?;
         self.invocations += 1;
         let latency = spec.sample_latency(rng);
         let outcome = (spec.handler)(args);
-        Some((latency, outcome))
+        Ok((latency, outcome))
     }
 }
 
@@ -166,10 +192,31 @@ mod tests {
     }
 
     #[test]
-    fn unknown_tool_is_none() {
+    fn unknown_tool_is_typed_error() {
         let mut reg = ToolRegistry::new();
-        assert!(reg.invoke("nope", "", &mut Rng::new(1)).is_none());
+        assert_eq!(
+            reg.invoke("nope", "", &mut Rng::new(1)),
+            Err(SysError::NoSuchTool("nope".into()))
+        );
         assert!(!reg.contains("nope"));
+        assert_eq!(reg.invocations(), 0, "failed lookups are not invocations");
+    }
+
+    #[test]
+    fn retry_policy_attaches_per_tool() {
+        let mut reg = ToolRegistry::new();
+        reg.register(
+            "api",
+            ToolSpec::fixed(SimDuration::from_millis(1), |_| ToolOutcome::Ok(String::new()))
+                .with_retry(RetryPolicy::exponential(3, SimDuration::from_millis(2))),
+        );
+        reg.register(
+            "plain",
+            ToolSpec::fixed(SimDuration::ZERO, |_| ToolOutcome::Ok(String::new())),
+        );
+        assert_eq!(reg.retry_policy("api").unwrap().max_attempts, 3);
+        assert!(reg.retry_policy("plain").is_none());
+        assert!(reg.retry_policy("missing").is_none());
     }
 
     #[test]

@@ -16,14 +16,27 @@ pub struct Tid(pub u64);
 pub enum SysError {
     /// A KVFS operation failed.
     Kv(KvError),
-    /// Unknown KV handle, thread, process or tool name.
+    /// Unknown KV handle, thread or process.
     NotFound,
+    /// `call_tool` named a tool that is not registered.
+    NoSuchTool(String),
     /// A syscall argument was malformed (e.g. empty `pred` token list).
     BadArgument,
     /// The joined thread crashed or exited with an error.
     ThreadFailed,
     /// The tool reported an application-level failure.
     ToolFailed(String),
+    /// A tool call exceeded its per-call timeout (all retries included).
+    Timeout,
+    /// The process ran past its wall-clock (virtual time) deadline.
+    DeadlineExceeded,
+    /// The tool's circuit breaker is open; the call was fast-failed.
+    Unavailable,
+    /// The kernel shed this request under overload (admission control).
+    Busy,
+    /// A transient injected/hardware fault hit the operation and retries
+    /// (if any) were exhausted. The payload names the fault site.
+    Fault(&'static str),
     /// A per-process resource limit was exceeded.
     LimitExceeded(&'static str),
     /// The kernel is shutting down (the process is being torn down).
@@ -41,9 +54,15 @@ impl core::fmt::Display for SysError {
         match self {
             SysError::Kv(e) => write!(f, "kv: {e}"),
             SysError::NotFound => write!(f, "not found"),
+            SysError::NoSuchTool(name) => write!(f, "no such tool: {name}"),
             SysError::BadArgument => write!(f, "bad argument"),
             SysError::ThreadFailed => write!(f, "joined thread failed"),
             SysError::ToolFailed(msg) => write!(f, "tool failed: {msg}"),
+            SysError::Timeout => write!(f, "tool call timed out"),
+            SysError::DeadlineExceeded => write!(f, "process deadline exceeded"),
+            SysError::Unavailable => write!(f, "circuit breaker open"),
+            SysError::Busy => write!(f, "overloaded, request shed"),
+            SysError::Fault(site) => write!(f, "transient fault: {site}"),
             SysError::LimitExceeded(what) => write!(f, "limit exceeded: {what}"),
             SysError::Shutdown => write!(f, "kernel shutdown"),
         }
@@ -84,6 +103,13 @@ pub struct Limits {
     pub max_threads: Option<u32>,
     /// KVFS page quota (enforced by the store).
     pub kv_quota_pages: Option<usize>,
+    /// Per-tool-call timeout covering *one* attempt; a retried call charges
+    /// `min(latency, tool_timeout)` per attempt. `None` waits forever.
+    pub tool_timeout: Option<symphony_sim::SimDuration>,
+    /// Process wall-clock (virtual time) deadline measured from spawn.
+    /// Once past it, every further syscall fails with
+    /// [`SysError::DeadlineExceeded`] and blocked receives are woken.
+    pub deadline: Option<symphony_sim::SimDuration>,
 }
 
 /// Cumulative per-process accounting.
@@ -143,6 +169,21 @@ mod tests {
         assert_eq!(
             SysError::LimitExceeded("syscalls").to_string(),
             "limit exceeded: syscalls"
+        );
+        assert_eq!(
+            SysError::NoSuchTool("webcam".into()).to_string(),
+            "no such tool: webcam"
+        );
+        assert_eq!(SysError::Timeout.to_string(), "tool call timed out");
+        assert_eq!(
+            SysError::DeadlineExceeded.to_string(),
+            "process deadline exceeded"
+        );
+        assert_eq!(SysError::Unavailable.to_string(), "circuit breaker open");
+        assert_eq!(SysError::Busy.to_string(), "overloaded, request shed");
+        assert_eq!(
+            SysError::Fault("gpu.pred").to_string(),
+            "transient fault: gpu.pred"
         );
     }
 

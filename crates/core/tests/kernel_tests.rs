@@ -218,14 +218,18 @@ fn tool_calls_have_latency_and_results() {
         let after = ctx.now()?;
         assert_eq!(out, "sunny in banff");
         assert!(after.duration_since(before) >= SimDuration::from_millis(30));
-        // Unknown tool surfaces NotFound, not a crash.
-        assert_eq!(ctx.call_tool("nope", ""), Err(SysError::NotFound));
+        // Unknown tool surfaces a typed error, not a crash.
+        assert_eq!(
+            ctx.call_tool("nope", ""),
+            Err(SysError::NoSuchTool("nope".into()))
+        );
         Ok(())
     });
     k.run();
     let rec = k.record(pid).unwrap();
     assert!(rec.status.is_ok(), "{:?}", rec.status);
-    assert_eq!(rec.usage.tool_calls, 2);
+    // The failed lookup is not an invocation.
+    assert_eq!(rec.usage.tool_calls, 1);
 }
 
 #[test]

@@ -35,6 +35,9 @@ pub enum ExecError {
     NotResident,
     /// The request carried no tokens.
     EmptyRequest,
+    /// A transient execution fault hit this request (injected or hardware);
+    /// its work was lost and no KV entries were appended. Retryable.
+    Faulted,
 }
 
 impl core::fmt::Display for ExecError {
@@ -43,6 +46,7 @@ impl core::fmt::Display for ExecError {
             ExecError::Kv(e) => write!(f, "kv error: {e}"),
             ExecError::NotResident => write!(f, "file not resident in GPU tier"),
             ExecError::EmptyRequest => write!(f, "pred with no tokens"),
+            ExecError::Faulted => write!(f, "transient execution fault"),
         }
     }
 }
@@ -79,6 +83,8 @@ pub struct GpuMetrics {
     pub requests_ok: u64,
     /// Requests that failed inside batches.
     pub requests_failed: u64,
+    /// Requests lost to transient execution faults (subset of failed).
+    pub requests_faulted: u64,
 }
 
 /// The simulated GPU executor.
@@ -145,13 +151,34 @@ impl GpuExecutor {
         store: &mut KvStore,
         requests: &[PredRequest],
     ) -> (Vec<Result<PredResult, ExecError>>, BatchReport) {
+        self.execute_batch_with_faults(store, requests, &[])
+    }
+
+    /// [`GpuExecutor::execute_batch`] with per-request transient faults.
+    ///
+    /// `faulted[i]` marks request `i` as hit by a transient execution fault:
+    /// it performs no model work, appends nothing, and reports
+    /// [`ExecError::Faulted`]. Indices beyond `faulted.len()` are unfaulted,
+    /// so an empty slice means a clean batch.
+    pub fn execute_batch_with_faults(
+        &mut self,
+        store: &mut KvStore,
+        requests: &[PredRequest],
+        faulted: &[bool],
+    ) -> (Vec<Result<PredResult, ExecError>>, BatchReport) {
         let fpr = self.model.fingerprinter();
         let mut results = Vec::with_capacity(requests.len());
         let mut work = WorkEstimate::default();
         let mut new_tokens = 0u64;
         let mut past_tokens = 0u64;
 
-        for req in requests {
+        for (i, req) in requests.iter().enumerate() {
+            if faulted.get(i).copied().unwrap_or(false) {
+                results.push(Err(ExecError::Faulted));
+                self.metrics.requests_failed += 1;
+                self.metrics.requests_faulted += 1;
+                continue;
+            }
             if req.tokens.is_empty() {
                 results.push(Err(ExecError::EmptyRequest));
                 self.metrics.requests_failed += 1;
@@ -377,6 +404,27 @@ mod tests {
         assert_eq!(report.new_tokens, 1);
         assert_eq!(gpu.metrics().requests_ok, 1);
         assert_eq!(gpu.metrics().requests_failed, 2);
+        store.verify().unwrap();
+    }
+
+    #[test]
+    fn faulted_requests_do_no_work() {
+        let (mut gpu, mut store) = setup();
+        let a = store.create(U1).unwrap();
+        let b = store.create(U1).unwrap();
+        let (res, report) = gpu.execute_batch_with_faults(
+            &mut store,
+            &[req(a, vec![(1, 0)]), req(b, vec![(1, 0)])],
+            &[true, false],
+        );
+        assert_eq!(res[0], Err(ExecError::Faulted));
+        assert!(res[1].is_ok());
+        assert_eq!(store.len(a).unwrap(), 0, "faulted request must not append");
+        assert_eq!(store.len(b).unwrap(), 1);
+        assert_eq!(report.new_tokens, 1);
+        assert_eq!(gpu.metrics().requests_faulted, 1);
+        assert_eq!(gpu.metrics().requests_failed, 1);
+        assert_eq!(gpu.metrics().requests_ok, 1);
         store.verify().unwrap();
     }
 

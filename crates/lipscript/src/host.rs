@@ -150,7 +150,10 @@ impl Host for symphony::Ctx {
     }
 
     fn kv_extract(&mut self, kv: u64, start: usize, end: usize) -> HostResult<u64> {
-        symphony::Ctx::kv_extract(self, symphony::FileId(kv), &[start..end])
+        // kv_extract takes a slice of ranges; this host call extracts one.
+        #[allow(clippy::single_range_in_vec_init)]
+        let ranges = [start..end];
+        symphony::Ctx::kv_extract(self, symphony::FileId(kv), &ranges)
             .map(|f| f.0)
             .map_err(se)
     }

@@ -277,20 +277,15 @@ impl Parser {
 
     fn postfix(&mut self) -> Result<Expr, LipError> {
         let mut e = self.primary()?;
-        loop {
-            match self.peek() {
-                Tok::LBracket => {
-                    let span = self.span();
-                    self.bump();
-                    let idx = self.expr()?;
-                    self.expect(&Tok::RBracket, "`]`")?;
-                    e = Expr {
-                        kind: ExprKind::Index(Box::new(e), Box::new(idx)),
-                        span,
-                    };
-                }
-                _ => break,
-            }
+        while let Tok::LBracket = self.peek() {
+            let span = self.span();
+            self.bump();
+            let idx = self.expr()?;
+            self.expect(&Tok::RBracket, "`]`")?;
+            e = Expr {
+                kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                span,
+            };
         }
         Ok(e)
     }

@@ -28,6 +28,7 @@
 
 pub mod dist;
 pub mod events;
+pub mod retry;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -35,6 +36,7 @@ pub mod trace;
 
 pub use dist::{Categorical, Exponential, LogNormal, Pareto, PoissonProcess, Zipf};
 pub use events::EventQueue;
+pub use retry::RetryPolicy;
 pub use rng::Rng;
 pub use stats::{Histogram, OnlineStats, Series};
 pub use time::{SimDuration, SimTime};

@@ -86,7 +86,7 @@ impl SimDuration {
     /// Creates a duration from fractional seconds, saturating at the
     /// representable range and clamping negatives and NaN to zero.
     pub fn from_secs_f64(s: f64) -> Self {
-        if !(s > 0.0) {
+        if s.is_nan() || s <= 0.0 {
             return SimDuration(0);
         }
         let ns = s * 1e9;

@@ -156,7 +156,7 @@ impl Bpe {
             let mut best: Option<(u32, usize, TokenId)> = None;
             for (i, w) in sym.windows(2).enumerate() {
                 if let Some(&(rank, id)) = self.ranks.get(&(w[0], w[1])) {
-                    if best.map_or(true, |(r, _, _)| rank < r) {
+                    if best.is_none_or(|(r, _, _)| rank < r) {
                         best = Some((rank, i, id));
                     }
                 }

@@ -22,8 +22,8 @@ fn main() {
     let args = serialize_trace(&trace.initial_buffer, &trace.appends);
 
     let pid = kernel.spawn_process("editor", &args, move |ctx| {
-        let mut parts = ctx.args();
-        let (buffer, appends) = deserialize_trace(&mut parts).ok_or(SysError::BadArgument)?;
+        let parts = ctx.args();
+        let (buffer, appends) = deserialize_trace(&parts).ok_or(SysError::BadArgument)?;
 
         // One persistent KV file for the whole editing session.
         let kv = ctx.kv_create()?;
@@ -50,15 +50,13 @@ fn main() {
             let probe = ctx.kv_fork(kv)?;
             let mut suggestion = Vec::new();
             let mut d = dist.clone();
-            let mut p = pos;
-            for _ in 0..3 {
+            for p in pos..pos + 3 {
                 let t = d.argmax();
                 if t == ctx.eos() {
                     break;
                 }
                 suggestion.push(t);
                 d = ctx.pred(probe, &[(t, p)])?.remove(0);
-                p += 1;
             }
             ctx.kv_remove(probe)?;
             let t1 = ctx.now()?;
@@ -97,7 +95,7 @@ fn serialize_trace(buffer: &str, appends: &[String]) -> String {
 }
 
 /// Parses the argument string back into `(buffer, appends)`.
-fn deserialize_trace(args: &mut String) -> Option<(String, Vec<String>)> {
+fn deserialize_trace(args: &str) -> Option<(String, Vec<String>)> {
     let mut parts = args.split('\u{1f}');
     let buffer = parts.next()?.to_string();
     Some((buffer, parts.map(|s| s.to_string()).collect()))

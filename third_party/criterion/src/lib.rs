@@ -1,0 +1,172 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so this crate provides an
+//! API-compatible micro-benchmark harness. It measures wall-clock time with
+//! `std::time::Instant` over a fixed iteration budget and prints mean
+//! nanoseconds per iteration — enough to compare hot paths locally, without
+//! real criterion's statistical analysis, warm-up calibration, or HTML
+//! reports.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Units for per-iteration throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver; create with `Criterion::default()`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            group: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work amount for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter_ns = if bencher.iters > 0 {
+            bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+        } else {
+            0.0
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter_ns > 0.0 => {
+                format!(" ({:.1} Melem/s)", n as f64 / per_iter_ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if per_iter_ns > 0.0 => {
+                format!(" ({:.1} MB/s)", n as f64 / per_iter_ns * 1e3)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "  {}/{id}: {per_iter_ns:.0} ns/iter over {} iters{rate}",
+            self.group, bencher.iters
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Iteration budget: enough samples for a stable mean, small enough that a
+/// full bench run stays fast without warm-up calibration.
+const TARGET_ITERS: u64 = 50;
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the iteration budget.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..TARGET_ITERS {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += TARGET_ITERS;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..TARGET_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark entry point running each function in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($fun(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(10));
+        let mut runs = 0u64;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(runs, 50);
+    }
+}

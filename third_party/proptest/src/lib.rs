@@ -1,0 +1,842 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so this crate implements a
+//! small property-testing framework with the same API shape: `proptest!`,
+//! `prop_assert*`/`prop_assume!`, `prop_oneof!`, `Just`, `any::<T>()`,
+//! numeric range strategies, string-pattern strategies, tuple strategies,
+//! `prop_map`/`prop_recursive`/`boxed`, and `collection::{vec, btree_map}`.
+//!
+//! Differences from real proptest, deliberate for this environment:
+//! - **No shrinking.** A failing case reports its seed; re-running is
+//!   deterministic, so the seed is enough to reproduce.
+//! - **Deterministic seeding.** Cases derive from a fixed per-test seed, so
+//!   test runs are reproducible across machines and invocations (this repo
+//!   treats determinism as a feature, not a bug).
+//! - String patterns support the regex subset that appears in this
+//!   workspace: literal chars, `\PC`, classes like `[a-z \n\t]` with
+//!   ranges and escapes, and `*` / `{m}` / `{m,n}` quantifiers.
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// RNG
+
+/// Deterministic splitmix64 generator driving test-case generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`; `hi > lo` required.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi > lo);
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range_u64(lo as u64, hi as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core strategy abstraction
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Recursive strategy: values nest up to `depth` levels, where each
+    /// level is produced by `f` applied to the previous level's strategy.
+    /// `_desired_size` and `_expected_branch_size` are accepted for API
+    /// compatibility but unused (sizes are bounded by construction here).
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            rec: Arc::new(move |inner| f(inner).boxed()),
+            depth,
+        }
+    }
+}
+
+/// Object-safe view of [`Strategy`] backing [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn gen_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.gen_value(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.0.gen_dyn(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    rec: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        // Pick a nesting depth per case so shallow and deep values both
+        // occur, then build the strategy tower to that depth.
+        let d = rng.gen_range_u64(0, self.depth as u64 + 1) as usize;
+        let mut s = self.base.clone();
+        for _ in 0..d {
+            s = (self.rec)(s);
+        }
+        s.gen_value(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between type-erased strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(arms.iter().any(|&(w, _)| w > 0), "all prop_oneof! weights are zero");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|&(w, _)| w as u64).sum();
+        let mut r = rng.gen_range_u64(0, total);
+        for (w, s) in &self.arms {
+            if r < *w as u64 {
+                return s.gen_value(rng);
+            }
+            r -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() and primitive strategies
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {
+        $(impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        })*
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, moderately sized: property tests here use arithmetic on
+        // these values, and NaN/inf would make every assertion vacuous.
+        (rng.next_f64() - 0.5) * 2e9
+    }
+}
+
+/// Strategy for [`Arbitrary`] types; see [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The full-range strategy for `T`, e.g. `any::<u64>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($ty:ty),*) => {
+        $(impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                // Work in i128 so negative and full-width ranges are exact.
+                let lo = self.start as i128;
+                let span = self.end as i128 - lo;
+                (lo + (rng.next_u64() as i128).rem_euclid(span)) as $ty
+            }
+        })*
+    };
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($ty:ty),*) => {
+        $(impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.next_f64() as $ty) * (self.end - self.start)
+            }
+        })*
+    };
+}
+
+impl_strategy_float_range!(f32, f64);
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {
+        $(impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        })*
+    };
+}
+
+impl_strategy_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ---------------------------------------------------------------------------
+// String pattern strategies
+
+/// One parsed pattern atom plus its repetition bounds.
+struct PatAtom {
+    /// Inclusive char ranges this atom samples from.
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+/// Non-control character ranges used for `\PC` (anything but Unicode
+/// category C). A representative spread keeps round-trip tests honest about
+/// multi-byte UTF-8 without enumerating all of Unicode.
+const NON_CONTROL: &[(char, char)] = &[
+    (' ', '~'),                // ASCII printable
+    ('\u{A1}', '\u{17F}'),     // Latin-1 supplement + Latin Extended-A
+    ('\u{391}', '\u{3A9}'),    // Greek capitals
+    ('\u{4E00}', '\u{4EFF}'),  // CJK ideographs (3-byte UTF-8)
+    ('\u{1F600}', '\u{1F64F}'),// emoticons (4-byte UTF-8)
+];
+
+fn parse_pattern(pat: &str) -> Vec<PatAtom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges: Vec<(char, char)> = match chars[i] {
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') => {
+                        // `\PC` — not-category-C (not control).
+                        assert_eq!(chars.get(i + 1), Some(&'C'), "only \\PC is supported");
+                        i += 2;
+                        NON_CONTROL.to_vec()
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        let c = unescape(c);
+                        vec![(c, c)]
+                    }
+                    None => panic!("dangling backslash in pattern {pat:?}"),
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    if chars.get(i) == Some(&'-') && chars.get(i + 1) != Some(&']') {
+                        i += 1;
+                        let hi = if chars[i] == '\\' {
+                            i += 1;
+                            unescape(chars[i])
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        set.push((lo, hi));
+                    } else {
+                        set.push((lo, lo));
+                    }
+                }
+                i += 1; // closing ]
+                set
+            }
+            c => {
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                i += 1;
+                let mut lo = String::new();
+                while chars[i].is_ascii_digit() {
+                    lo.push(chars[i]);
+                    i += 1;
+                }
+                let lo: usize = lo.parse().expect("bad {m,n} quantifier");
+                let hi = if chars[i] == ',' {
+                    i += 1;
+                    let mut hi = String::new();
+                    while chars[i].is_ascii_digit() {
+                        hi.push(chars[i]);
+                        i += 1;
+                    }
+                    hi.parse().expect("bad {m,n} quantifier")
+                } else {
+                    lo
+                };
+                assert_eq!(chars[i], '}', "unterminated quantifier in {pat:?}");
+                i += 1;
+                (lo, hi)
+            }
+            _ => (1, 1),
+        };
+
+        atoms.push(PatAtom { ranges, min, max });
+    }
+    atoms
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other, // \\ \] \- etc. stand for themselves
+    }
+}
+
+fn sample_from_ranges(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges.iter().map(|&(lo, hi)| hi as u64 - lo as u64 + 1).sum();
+    let mut r = rng.gen_range_u64(0, total);
+    for &(lo, hi) in ranges {
+        let n = hi as u64 - lo as u64 + 1;
+        if r < n {
+            return char::from_u32(lo as u32 + r as u32).expect("range spans surrogate gap");
+        }
+        r -= n;
+    }
+    unreachable!()
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = if atom.max > atom.min {
+                rng.gen_range_usize(atom.min, atom.max + 1)
+            } else {
+                atom.min
+            };
+            for _ in 0..n {
+                out.push(sample_from_ranges(&atom.ranges, rng));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+
+pub mod collection {
+    use super::*;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors with length drawn from `len` and elements from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range_usize(self.len.start, self.len.end);
+            (0..n).map(|_| self.elem.gen_value(rng)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        len: Range<usize>,
+    }
+
+    /// Maps with size drawn from `len` (best-effort under key collisions).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        len: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, len }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = rng.gen_range_usize(self.len.start, self.len.end);
+            let mut map = BTreeMap::new();
+            // Allow a few extra draws to absorb key collisions.
+            for _ in 0..target.saturating_mul(4).max(4) {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.key.gen_value(rng), self.value.gen_value(rng));
+            }
+            map
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test runner
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps this workspace's suites
+        // fast while still exploring the space (cases are deterministic, so
+        // repeated CI runs don't add coverage anyway).
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Runs `f` against `config.cases` deterministic seeds derived from `name`.
+/// Panics (failing the enclosing `#[test]`) on the first `Fail`, or if the
+/// rejection budget is exhausted by `prop_assume!`.
+pub fn run_test<F>(config: ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case = 0u64;
+    let max_rejects = config.cases.saturating_mul(16).max(256);
+    while passed < config.cases {
+        let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        case += 1;
+        let mut rng = TestRng::new(seed);
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!("proptest `{name}`: too many rejected cases (last: {why})");
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed at case {} (seed {seed:#x}):\n{msg}",
+                    case - 1
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+
+/// Defines property tests. Supports an optional
+/// `#![proptest_config(...)]` header followed by `#[test] fn name(arg in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_test($config, stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::Strategy::gen_value(&($strat), __proptest_rng);)+
+                (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+    (($config:expr);) => {};
+}
+
+/// Fails the current case with a message if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), __l, __r
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), __l, __r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__l, __r) = (&$a, &$b);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($a), stringify!($b), __l
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  both: {:?}", format!($($fmt)+), __l
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (drawing a fresh one) if the condition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Weighted or unweighted choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// The glob-import surface test files use: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let v = (10u64..20).gen_value(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (-2.0f64..3.0).gen_value(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let i = (-1000i32..1000).gen_value(&mut rng);
+            assert!((-1000..1000).contains(&i));
+        }
+    }
+
+    #[test]
+    fn patterns_match_their_own_grammar() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..100 {
+            let s = "[a-z]{1,6}".gen_value(&mut rng);
+            assert!((1..=6).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let s = "[ -~\\n\\t]{0,40}".gen_value(&mut rng);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+
+            let s = "\\PC*".gen_value(&mut rng);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_and_types() {
+        let strat = prop_oneof![
+            3 => Just(0u8),
+            1 => (1u8..3).prop_map(|v| v),
+        ];
+        let mut rng = TestRng::new(3);
+        let mut zeros = 0;
+        for _ in 0..400 {
+            if strat.gen_value(&mut rng) == 0 {
+                zeros += 1;
+            }
+        }
+        // ~75% expected; wide tolerance keeps this robust.
+        assert!((200..=380).contains(&zeros), "zeros = {zeros}");
+    }
+
+    #[test]
+    fn recursion_bottoms_out() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!(*v < 10);
+                    0
+                }
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..10).prop_map(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::new(5);
+        for _ in 0..100 {
+            assert!(depth(&strat.gen_value(&mut rng)) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro surface itself: args, assume, assert variants.
+        #[test]
+        fn macro_roundtrip(a in 0u64..50, b in 1u64..50, s in "[a-z]{1,4}") {
+            prop_assume!(a != b);
+            prop_assert!(a + b < 100, "sum out of range: {a} + {b}");
+            prop_assert_eq!(s.len(), s.chars().count());
+            prop_assert_ne!(a, b);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! minimal replacements for its external dependencies. Everything here
+//! serializes directly to JSON text — there is no `Serializer` abstraction
+//! because the only consumer is `serde_json::to_string_pretty` writing
+//! experiment results. `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! come from the sibling `serde_derive` stub; `Deserialize` derives expand
+//! to nothing because no workspace code deserializes into typed structs.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can write themselves as a JSON value.
+pub trait Serialize {
+    /// Appends this value's JSON representation to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Escapes and quotes a string per JSON rules.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_display {
+    ($($ty:ty),*) => {
+        $(impl Serialize for $ty {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        })*
+    };
+}
+
+impl_serialize_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+macro_rules! impl_serialize_float {
+    ($($ty:ty),*) => {
+        $(impl Serialize for $ty {
+            fn serialize_json(&self, out: &mut String) {
+                // JSON has no NaN/Infinity literals; mirror serde_json's
+                // lossy behaviour of emitting null.
+                if self.is_finite() {
+                    out.push_str(&format!("{self}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+        })*
+    };
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(&self.to_string(), out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_json_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {
+        $(impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        })*
+    };
+}
+
+impl_serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        // Keys become strings (JSON object keys must be strings).
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mut key = String::new();
+            k.serialize_json(&mut key);
+            if key.starts_with('"') {
+                out.push_str(&key);
+            } else {
+                write_json_string(&key, out);
+            }
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize>(v: T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(json(3u32), "3");
+        assert_eq!(json(-4i64), "-4");
+        assert_eq!(json(true), "true");
+        assert_eq!(json(1.5f64), "1.5");
+        assert_eq!(json(f64::NAN), "null");
+        assert_eq!(json("a\"b\n"), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(json(vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(json((1u8, "x")), "[1,\"x\"]");
+        assert_eq!(json(Option::<u8>::None), "null");
+        assert_eq!(json(Some(7u8)), "7");
+    }
+}

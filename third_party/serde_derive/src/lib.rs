@@ -1,0 +1,229 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` without `syn`/`quote`
+//! by walking the raw `TokenStream`. It supports exactly the shapes that
+//! appear in this workspace: non-generic structs with named fields and
+//! non-generic tuple structs. Anything else produces a `compile_error!`
+//! so a future change fails loudly instead of serializing garbage.
+//!
+//! `Deserialize` expands to nothing: no workspace code deserializes into
+//! typed structs (the only deserialization is `serde_json::Value`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_impl(&item),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum Fields {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(T, U);` — number of unnamed fields.
+    Tuple(usize),
+}
+
+struct Item {
+    name: String,
+    fields: Fields,
+}
+
+/// Extracts the struct name and field layout from a derive input stream.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes, visibility, and doc comments until `struct`.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracket group that follows.
+                match iter.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" {
+                    break;
+                }
+                if s == "enum" || s == "union" {
+                    return Err(format!(
+                        "vendored serde_derive stub only supports structs, found `{s}`"
+                    ));
+                }
+                if s == "pub" {
+                    // `pub(crate)` etc.: a paren group may follow.
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                    continue;
+                }
+                return Err(format!("unexpected token `{s}` before `struct`"));
+            }
+            Some(other) => {
+                return Err(format!("unexpected token `{other}` before `struct`"));
+            }
+            None => return Err("no `struct` keyword in derive input".into()),
+        }
+    }
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+
+    match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+            "vendored serde_derive stub does not support generic struct `{name}`"
+        )),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+            name,
+            fields: Fields::Named(parse_named_fields(g.stream())?),
+        }),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+            name,
+            fields: Fields::Tuple(count_tuple_fields(g.stream())),
+        }),
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+            name,
+            fields: Fields::Tuple(0),
+        }),
+        other => Err(format!("unexpected struct body for `{name}`: {other:?}")),
+    }
+}
+
+/// Collects field names from a brace-group body: for each comma-separated
+/// entry, the identifier immediately before the first depth-0 `:`.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut depth = 0usize; // angle-bracket depth inside types
+    let mut last_ident: Option<String> = None;
+    let mut in_type = false; // true between `:` and the next depth-0 `,`
+
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' && !in_type => match iter.next() {
+                Some(TokenTree::Group(_)) => {}
+                _ => return Err("malformed field attribute".into()),
+            },
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ':' if depth == 0 && !in_type => {
+                    // `::` inside a path would also hit this arm, but a
+                    // depth-0 path can only appear inside a type (in_type).
+                    match last_ident.take() {
+                        Some(name) => {
+                            fields.push(name);
+                            in_type = true;
+                        }
+                        None => return Err("field `:` with no preceding name".into()),
+                    }
+                }
+                ',' if depth == 0 => {
+                    in_type = false;
+                    last_ident = None;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if !in_type => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            // visibility scope like `pub(crate)`
+            TokenTree::Group(g) if !in_type && g.delimiter() == Delimiter::Parenthesis => {}
+            TokenTree::Group(_) if !in_type => {
+                return Err("unexpected group in field position".into());
+            }
+            _ => {}
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts comma-separated entries in a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => count += 1,
+                _ => saw_any = true,
+            },
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn generate_impl(item: &Item) -> TokenStream {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.fields {
+        Fields::Named(fields) => {
+            body.push_str("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');\n");
+        }
+        Fields::Tuple(0) => {
+            // Unit / empty tuple struct: serialize as null, like serde.
+            body.push_str("out.push_str(\"null\");\n");
+        }
+        Fields::Tuple(1) => {
+            // Newtype: transparent, like serde.
+            body.push_str("serde::Serialize::serialize_json(&self.0, out);\n");
+        }
+        Fields::Tuple(n) => {
+            body.push_str("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "serde::Serialize::serialize_json(&self.{i}, out);\n"
+                ));
+            }
+            body.push_str("out.push(']');\n");
+        }
+    }
+
+    let code = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut String) {{\n\
+                 {body}\
+             }}\n\
+         }}\n"
+    );
+    code.parse().unwrap()
+}

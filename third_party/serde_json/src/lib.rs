@@ -1,0 +1,438 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! `to_string_pretty` for writing experiment results and
+//! `from_str::<Value>` for validating model-generated JSON.
+//!
+//! The parser is a complete RFC 8259 recogniser (objects, arrays, strings
+//! with escapes, numbers, literals) because `exp_constrained` relies on it
+//! to judge whether generated text is valid JSON — a sloppy recogniser
+//! would skew that experiment's results.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parse or serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, Error> {
+    Err(Error { msg: msg.into() })
+}
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent, like the
+/// real serde_json).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    // The Serialize impls emit valid JSON, so re-parse and pretty-print.
+    let parsed = from_str::<Value>(&compact)
+        .map_err(|e| Error { msg: format!("serializer produced invalid JSON: {e}") })?;
+    let mut out = String::new();
+    write_pretty(&parsed, 0, &mut out);
+    Ok(out)
+}
+
+/// Types constructible from a JSON document. The real serde_json bounds
+/// `from_str` on `Deserialize`; this workspace only ever deserializes to
+/// `Value`, so a local trait keeps the stub small.
+pub trait FromJson: Sized {
+    fn from_json_value(value: Value) -> Result<Self, Error>;
+}
+
+impl FromJson for Value {
+    fn from_json_value(value: Value) -> Result<Self, Error> {
+        Ok(value)
+    }
+}
+
+/// Parses a complete JSON document from `s`.
+pub fn from_str<T: FromJson>(s: &str) -> Result<T, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return err(format!("trailing characters at byte {}", p.pos));
+    }
+    T::from_json_value(v)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return err("recursion depth exceeded");
+        }
+        match self.peek() {
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(c) => err(format!("unexpected `{}` at byte {}", c as char, self.pos)),
+            None => err("unexpected end of input"),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let first = self.parse_hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\uXXXX` with a low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&first) {
+                                if self.peek() != Some(b'\\') {
+                                    return err("unpaired surrogate");
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return err("unpaired surrogate");
+                                }
+                                self.pos += 1;
+                                let second = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return err("invalid low surrogate");
+                                }
+                                let cp = 0x10000
+                                    + ((first - 0xD800) << 10)
+                                    + (second - 0xDC00);
+                                char::from_u32(cp).ok_or(Error {
+                                    msg: "invalid surrogate pair".into(),
+                                })?
+                            } else if (0xDC00..0xE000).contains(&first) {
+                                return err("unpaired low surrogate");
+                            } else {
+                                char::from_u32(first)
+                                    .ok_or(Error { msg: "invalid codepoint".into() })?
+                            };
+                            out.push(c);
+                            continue; // parse_hex4 already advanced pos
+                        }
+                        _ => return err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return err(format!("control character in string at byte {}", self.pos));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error { msg: "invalid utf-8".into() })?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parses exactly four hex digits, advancing past them.
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return err("truncated \\u escape");
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error { msg: "bad \\u escape".into() })?;
+        let v = u32::from_str_radix(s, 16)
+            .map_err(|_| Error { msg: "bad \\u escape".into() })?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` alone, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return err(format!("invalid number at byte {start}")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return err("digit required after decimal point");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return err("digit required in exponent");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error { msg: format!("unparseable number `{text}`") })
+    }
+}
+
+fn write_pretty(value: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_inner = "  ".repeat(indent + 1);
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => {
+            if n.is_finite() {
+                out.push_str(&format!("{n}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => serde::write_json_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_inner);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_inner);
+                serde::write_json_string(k, out);
+                out.push_str(": ");
+                write_pretty(v, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for s in [
+            "null",
+            "true",
+            "-0.5e3",
+            "\"a\\u0041\\n\"",
+            "[1, 2, [3]]",
+            "{\"a\": {\"b\": []}, \"c\": 1}",
+            "  { \"k\" : \"v\" }  ",
+            "\"\\ud83d\\ude00\"",
+        ] {
+            assert!(from_str::<Value>(s).is_ok(), "should parse: {s}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for s in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "01",
+            "1.",
+            "nul",
+            "\"unterminated",
+            "\"\\ud800\"",
+            "{\"a\":1} extra",
+            "'single'",
+        ] {
+            assert!(from_str::<Value>(s).is_err(), "should reject: {s}");
+        }
+    }
+
+    #[test]
+    fn pretty_prints() {
+        #[derive(Debug)]
+        struct P {
+            a: u32,
+            b: Vec<u32>,
+        }
+        impl serde::Serialize for P {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('{');
+                out.push_str("\"a\":");
+                self.a.serialize_json(out);
+                out.push_str(",\"b\":");
+                self.b.serialize_json(out);
+                out.push('}');
+            }
+        }
+        let s = to_string_pretty(&P { a: 1, b: vec![2, 3] }).unwrap();
+        assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": [\n    2,\n    3\n  ]\n}");
+    }
+}
