@@ -18,7 +18,7 @@
 
 use serde::Serialize;
 use symphony::{BatchPolicy, Kernel, KernelConfig, SimDuration, SimTime, SysError};
-use symphony_bench::{write_json, Table};
+use symphony_bench::{write_json_with_metrics, Table, TelemetryOpts};
 use symphony_sim::{PoissonProcess, Rng};
 
 const PROMPT_TOKENS: usize = 48;
@@ -35,11 +35,18 @@ struct Point {
     gpu_util: f64,
 }
 
-fn run_point(policy: BatchPolicy, policy_name: &str, load: f64) -> Point {
+fn run_point(
+    policy: BatchPolicy,
+    policy_name: &str,
+    load: f64,
+    telemetry: &TelemetryOpts,
+    designated: bool,
+) -> (Point, Option<symphony::MetricsSnapshot>) {
     let mut cfg = KernelConfig::paper_setup();
     cfg.batch_policy = policy;
     cfg.max_batch = 64;
     cfg.trace = false;
+    cfg.telemetry = designated && telemetry.wants_trace();
     let mut kernel = Kernel::new(cfg);
 
     let mut rng = Rng::new(0xE1);
@@ -77,7 +84,13 @@ fn run_point(policy: BatchPolicy, policy_name: &str, load: f64) -> Point {
     }
     let gm = kernel.gpu_metrics();
     let span = makespan.as_secs_f64().max(1e-9);
-    Point {
+    if designated {
+        if let Some(t) = telemetry.wants_trace().then(|| kernel.export_chrome_trace()) {
+            telemetry.write_trace(&t);
+        }
+    }
+    let snap = designated.then(|| kernel.metrics_snapshot());
+    let point = Point {
         policy: policy_name.to_string(),
         load_rps: load,
         mean_latency_ms: lat.mean(),
@@ -85,7 +98,8 @@ fn run_point(policy: BatchPolicy, policy_name: &str, load: f64) -> Point {
         throughput_req_s: REQUESTS as f64 / span,
         mean_batch_size: gm.requests_ok as f64 / gm.batches.max(1) as f64,
         gpu_util: gm.busy.as_secs_f64() / span,
-    }
+    };
+    (point, snap)
 }
 
 fn main() {
@@ -108,7 +122,10 @@ fn main() {
     ];
     let loads = [10.0, 40.0, 150.0, 600.0];
 
+    let opts = TelemetryOpts::from_args();
+    let designated_load = *loads.last().expect("non-empty");
     let mut results = Vec::new();
+    let mut captured: Option<symphony::MetricsSnapshot> = None;
     let mut table = Table::new(
         "E1 — batch policy ablation on single-pred classification requests",
         &["policy", "load(rps)", "mean lat", "p95 lat", "req/s", "batch size", "gpu%"],
@@ -116,7 +133,12 @@ fn main() {
     for &(name, policy) in &policies {
         for &load in &loads {
             eprintln!("E1: {name} @ {load} rps ...");
-            let p = run_point(policy, name, load);
+            // The designated telemetry run: adaptive at the highest load.
+            let designated = name == "adaptive" && load == designated_load;
+            let (p, snap) = run_point(policy, name, load, &opts, designated);
+            if let Some(s) = snap {
+                captured = Some(s);
+            }
             table.row(vec![
                 p.policy.clone(),
                 format!("{load}"),
@@ -133,5 +155,6 @@ fn main() {
     println!("\nShape check: immediate wins at low load (no wait tax) but saturates at");
     println!("batch≈1; the window amortises weight reads at high load; adaptive tracks");
     println!("whichever is better for the observed arrival rate.");
-    write_json("exp_batching", &results);
+    let metrics = captured.as_ref().filter(|_| opts.metrics);
+    write_json_with_metrics("exp_batching", &results, metrics);
 }

@@ -28,7 +28,7 @@ use symphony::{
     BreakerPolicy, FaultPlan, Kernel, KernelConfig, Limits, RetryPolicy, SimDuration, SysError,
     ToolOutcome, ToolSpec,
 };
-use symphony_bench::{write_json, Table};
+use symphony_bench::{write_json_with_metrics, Table, TelemetryOpts};
 
 const AGENTS: usize = 24;
 const CALLS_PER_AGENT: usize = 4;
@@ -52,10 +52,16 @@ struct Point {
     breaker_rejections: u64,
 }
 
-fn run_cell(policy: &str, fault_rate: f64) -> Point {
+fn run_cell(
+    policy: &str,
+    fault_rate: f64,
+    telemetry: &TelemetryOpts,
+    designated: bool,
+) -> (Point, Option<symphony::MetricsSnapshot>) {
     let mut cfg = KernelConfig::paper_setup();
     cfg.seed = SEED;
     cfg.trace = false;
+    cfg.telemetry = designated && telemetry.wants_trace();
     cfg.model = cfg.model.with_mean_output_tokens(1_000); // segments end by cap
     cfg.faults = FaultPlan {
         tool_fault_rate: fault_rate,
@@ -117,7 +123,13 @@ fn run_cell(policy: &str, fault_rate: f64) -> Point {
     }
     let fs = kernel.fault_stats();
     let rs = kernel.resilience_stats();
-    Point {
+    if designated {
+        if let Some(t) = telemetry.wants_trace().then(|| kernel.export_chrome_trace()) {
+            telemetry.write_trace(&t);
+        }
+    }
+    let snap = designated.then(|| kernel.metrics_snapshot());
+    let point = Point {
         policy: policy.to_string(),
         fault_rate,
         ok,
@@ -130,20 +142,35 @@ fn run_cell(policy: &str, fault_rate: f64) -> Point {
         calls_exhausted: rs.tool_calls_exhausted,
         breaker_trips: rs.breaker_trips,
         breaker_rejections: rs.breaker_rejections,
-    }
+    };
+    (point, snap)
 }
 
 fn main() {
+    let opts = TelemetryOpts::from_args();
     let policies = ["no-retry", "retry4", "retry4+breaker"];
     let rates = [0.0, 0.05, 0.1, 0.2, 0.4, 0.8];
+    let designated_rate = 0.2; // mid-sweep: faults fire, goodput still high
     let mut results = Vec::new();
+    let mut captured: Option<symphony::MetricsSnapshot> = None;
     let mut table = Table::new(
         "E11 — tool-fault resilience: goodput / mean latency (24 agents × 4 calls)",
         &["fault rate", "no-retry", "retry4", "retry4+breaker", "retries", "timeouts", "trips/rej"],
     );
     for &rate in &rates {
         eprintln!("E11: fault rate {rate} ...");
-        let pts: Vec<Point> = policies.iter().map(|p| run_cell(p, rate)).collect();
+        let pts: Vec<Point> = policies
+            .iter()
+            .map(|p| {
+                // The designated telemetry run: retry4+breaker mid-sweep.
+                let designated = *p == "retry4+breaker" && rate == designated_rate;
+                let (pt, snap) = run_cell(p, rate, &opts, designated);
+                if let Some(s) = snap {
+                    captured = Some(s);
+                }
+                pt
+            })
+            .collect();
         let cell = |p: &Point| {
             if p.ok > 0 {
                 format!("{}/{} {:.0}ms", p.ok, p.total, p.mean_ok_latency_ms)
@@ -167,5 +194,6 @@ fn main() {
         "\nShape check: retry4 holds goodput while no-retry decays ~(1-rate)^{CALLS_PER_AGENT}; \
          the price is latency (backoff + re-attempts). The breaker engages only at extreme rates."
     );
-    write_json("exp_faults", &results);
+    let metrics = captured.as_ref().filter(|_| opts.metrics);
+    write_json_with_metrics("exp_faults", &results, metrics);
 }

@@ -11,7 +11,7 @@
 use serde::Serialize;
 use symphony::sampling::{generate, GenOpts};
 use symphony::{Kernel, KernelConfig, SimDuration, SimTime, SysError, ToolOutcome, ToolSpec};
-use symphony_bench::{write_json, Table};
+use symphony_bench::{write_json_with_metrics, Table, TelemetryOpts};
 
 const AGENTS: usize = 6;
 const AGENT_CONTEXT_TOKENS: usize = 3_000;
@@ -27,7 +27,11 @@ struct Point {
     swapped_tokens: u64,
 }
 
-fn run_point(offload: bool) -> Point {
+fn run_point(
+    offload: bool,
+    telemetry: &TelemetryOpts,
+    designated: bool,
+) -> (Point, Option<symphony::MetricsSnapshot>) {
     let mut cfg = KernelConfig::paper_setup();
     cfg.model = cfg.model.with_mean_output_tokens(24);
     cfg.offload_on_io_wait = offload;
@@ -38,6 +42,7 @@ fn run_point(offload: bool) -> Point {
     cfg.gpu_kv_bytes_override =
         Some((AGENTS * AGENT_CONTEXT_TOKENS + 4_500) as u64 * kv_per_token);
     cfg.trace = false;
+    cfg.telemetry = designated && telemetry.wants_trace();
     let mut kernel = Kernel::new(cfg);
     kernel.register_tool(
         "slow-api",
@@ -131,24 +136,37 @@ fn run_point(offload: bool) -> Point {
             bg_failures += 1;
         }
     }
-    Point {
+    if designated {
+        if let Some(t) = telemetry.wants_trace().then(|| kernel.export_chrome_trace()) {
+            telemetry.write_trace(&t);
+        }
+    }
+    let snap = designated.then(|| kernel.metrics_snapshot());
+    let point = Point {
         offload,
         agent_mean_latency_ms: agent_lat.mean(),
         bg_mean_latency_ms: bg_lat.mean(),
         bg_failures,
         swapped_tokens: kernel.kv_stats().swapped_out_tokens,
-    }
+    };
+    (point, snap)
 }
 
 fn main() {
+    let opts = TelemetryOpts::from_args();
     let mut table = Table::new(
         "E6 — KV offload on I/O wait (6 agents x 3000-token contexts, 3s tool)",
         &["offload", "agent lat", "bg lat", "bg failures", "swapped tokens"],
     );
     let mut results = Vec::new();
+    let mut captured: Option<symphony::MetricsSnapshot> = None;
     for offload in [false, true] {
         eprintln!("E6: offload={offload} ...");
-        let p = run_point(offload);
+        // The designated telemetry run: offload enabled (swaps happen).
+        let (p, snap) = run_point(offload, &opts, offload);
+        if let Some(s) = snap {
+            captured = Some(s);
+        }
         table.row(vec![
             offload.to_string(),
             format!("{:.0}ms", p.agent_mean_latency_ms),
@@ -161,7 +179,8 @@ fn main() {
     table.print();
     println!("\nShape check: offload lets background jobs fit (fewer failures) at the");
     println!("price of agents paying PCIe swap time on resume.");
-    write_json("exp_offload", &results);
+    let metrics = captured.as_ref().filter(|_| opts.metrics);
+    write_json_with_metrics("exp_offload", &results, metrics);
 }
 
 // Referenced to keep the import used when assertions compile out.

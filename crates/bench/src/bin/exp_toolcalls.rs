@@ -17,8 +17,10 @@
 
 use serde::Serialize;
 use symphony::sampling::{generate, GenOpts};
-use symphony::{Ctx, Kernel, KernelConfig, SimDuration, SysError, ToolOutcome, ToolSpec};
-use symphony_bench::{write_json, Table};
+use symphony::{
+    Ctx, Kernel, KernelConfig, MetricsSnapshot, SimDuration, SysError, ToolOutcome, ToolSpec,
+};
+use symphony_bench::{write_json_with_metrics, Table, TelemetryOpts};
 
 const RTT: SimDuration = SimDuration::from_millis(40);
 const TOOL_LATENCY: SimDuration = SimDuration::from_millis(25);
@@ -90,10 +92,15 @@ fn client_prompt(ctx: &mut Ctx, calls: usize) -> Result<(), SysError> {
     Ok(())
 }
 
-fn run_mode(mode: &str, calls: usize) -> Point {
+/// Runs one `(mode, calls)` point. `trace` turns on event recording for
+/// this kernel (the Perfetto export); it never changes results — the bus
+/// only observes. The metrics snapshot is returned unconditionally (the
+/// counters run either way).
+fn run_mode(mode: &str, calls: usize, trace: bool) -> (Point, Option<String>, MetricsSnapshot) {
     let mut cfg = KernelConfig::paper_setup();
     cfg.model = cfg.model.with_mean_output_tokens(1_000); // segments end by cap
     cfg.trace = false;
+    cfg.telemetry = trace;
     let mut kernel = Kernel::new(cfg);
     kernel.register_tool(
         "api",
@@ -112,25 +119,45 @@ fn run_mode(mode: &str, calls: usize) -> Point {
     kernel.run();
     let rec = kernel.record(pid).expect("record");
     assert!(rec.status.is_ok(), "{mode}: {:?}", rec.status);
-    Point {
+    let point = Point {
         mode: mode.to_string(),
         calls,
         latency_ms: rec.latency().expect("exited").as_millis_f64(),
         pred_tokens: rec.usage.pred_tokens,
-    }
+    };
+    let trace_json = trace.then(|| kernel.export_chrome_trace());
+    (point, trace_json, kernel.metrics_snapshot())
 }
 
 fn main() {
+    let opts = TelemetryOpts::from_args();
     let modes = ["server-lip", "client-stateful", "client-prompt"];
     let call_counts = [1usize, 2, 4, 8, 16];
+    let designated_calls = *call_counts.last().expect("non-empty");
     let mut results = Vec::new();
+    let mut captured: Option<MetricsSnapshot> = None;
     let mut table = Table::new(
         "E2 — function calling: server-side vs client round trips (RTT 40ms)",
         &["calls", "server-lip", "client-stateful", "client-prompt", "prompt pred-tokens"],
     );
     for &calls in &call_counts {
         eprintln!("E2: {calls} calls ...");
-        let pts: Vec<Point> = modes.iter().map(|m| run_mode(m, calls)).collect();
+        let pts: Vec<Point> = modes
+            .iter()
+            .map(|m| {
+                // The designated telemetry run: server-lip at max calls.
+                let designated = *m == "server-lip" && calls == designated_calls;
+                let (pt, trace_json, snap) =
+                    run_mode(m, calls, designated && opts.wants_trace());
+                if designated {
+                    if let Some(t) = trace_json {
+                        opts.write_trace(&t);
+                    }
+                    captured = Some(snap);
+                }
+                pt
+            })
+            .collect();
         table.row(vec![
             calls.to_string(),
             format!("{:.0}ms", pts[0].latency_ms),
@@ -142,5 +169,6 @@ fn main() {
     }
     table.print();
     println!("\nShape check: client-stateful − server-lip ≈ 2·RTT·calls = round-trip overhead.");
-    write_json("exp_toolcalls", &results);
+    let metrics = captured.as_ref().filter(|_| opts.metrics);
+    write_json_with_metrics("exp_toolcalls", &results, metrics);
 }

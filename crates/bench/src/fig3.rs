@@ -292,6 +292,7 @@ pub fn run_symphony_point(
         seed: cfg.seed,
         default_limits: symphony::Limits::default(),
         trace: false,
+        telemetry: false,
         faults: symphony::FaultPlan::none(),
         tool_retry: None,
         breaker: None,

@@ -7,5 +7,7 @@
 
 pub mod fig3;
 pub mod report;
+pub mod telemetry;
 
-pub use report::{write_json, Table};
+pub use report::{write_json, write_json_with_metrics, Table};
+pub use telemetry::TelemetryOpts;

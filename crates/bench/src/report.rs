@@ -65,6 +65,33 @@ impl Table {
     }
 }
 
+/// Writes a serialisable result to `results/<name>.json`, folding a
+/// metrics snapshot in when one is given (`--metrics`). With `None` this
+/// is exactly [`write_json`] — the legacy report stays byte-identical.
+/// With `Some`, the payload becomes `{"results": ..., "metrics": ...}`.
+pub fn write_json_with_metrics<T: serde::Serialize>(
+    name: &str,
+    value: &T,
+    metrics: Option<&symphony::MetricsSnapshot>,
+) {
+    match metrics {
+        None => write_json(name, value),
+        Some(snap) => {
+            struct WithMetrics<'a, T>(&'a T, &'a symphony::MetricsSnapshot);
+            impl<T: serde::Serialize> serde::Serialize for WithMetrics<'_, T> {
+                fn serialize_json(&self, out: &mut String) {
+                    out.push_str("{\"results\":");
+                    self.0.serialize_json(out);
+                    out.push_str(",\"metrics\":");
+                    self.1.serialize_json(out);
+                    out.push('}');
+                }
+            }
+            write_json(name, &WithMetrics(value, snap));
+        }
+    }
+}
+
 /// Writes a serialisable result to `results/<name>.json` under the
 /// workspace root (created if needed). Failures are reported, not fatal —
 /// the printed table is the primary artifact.

@@ -17,6 +17,7 @@
 //! `(seed, plan, workload)` triple always faults the same operations.
 
 use symphony_sim::Rng;
+use symphony_telemetry::{Counter, MetricsRegistry};
 
 /// Salt XORed into the kernel seed for the injector's RNG stream.
 const FAULT_STREAM_SALT: u64 = 0x000F_A017_5EED_u64;
@@ -76,7 +77,8 @@ impl FaultPlan {
 }
 
 /// Counters of injected faults, included in kernel stats so two same-seed
-/// runs can be compared field-for-field.
+/// runs can be compared field-for-field. A point-in-time snapshot of the
+/// injector's counters in the unified metrics registry (`faults.*`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
     /// Tool attempts forced to fail.
@@ -91,21 +93,50 @@ pub struct FaultStats {
     pub ipc_drops: u64,
 }
 
+/// Live counter handles into the metrics registry backing [`FaultStats`].
+#[derive(Debug, Clone)]
+struct FaultCounters {
+    tool_failures: Counter,
+    tool_hangs: Counter,
+    pred_faults: Counter,
+    swap_in_failures: Counter,
+    ipc_drops: Counter,
+}
+
+impl FaultCounters {
+    fn register(registry: &MetricsRegistry) -> Self {
+        FaultCounters {
+            tool_failures: registry.counter("faults.tool_failures"),
+            tool_hangs: registry.counter("faults.tool_hangs"),
+            pred_faults: registry.counter("faults.pred_faults"),
+            swap_in_failures: registry.counter("faults.swap_in_failures"),
+            ipc_drops: registry.counter("faults.ipc_drops"),
+        }
+    }
+}
+
 /// Draws fault decisions from a dedicated RNG stream.
 #[derive(Debug)]
 pub struct FaultInjector {
     plan: FaultPlan,
     rng: Rng,
-    stats: FaultStats,
+    counters: FaultCounters,
 }
 
 impl FaultInjector {
-    /// Builds an injector whose stream is derived from the kernel seed.
+    /// Builds an injector whose stream is derived from the kernel seed,
+    /// with a private metrics registry.
     pub fn new(plan: FaultPlan, kernel_seed: u64) -> Self {
+        FaultInjector::with_registry(plan, kernel_seed, &MetricsRegistry::new())
+    }
+
+    /// Builds an injector whose counters live in `registry` under the
+    /// `faults.*` names.
+    pub fn with_registry(plan: FaultPlan, kernel_seed: u64, registry: &MetricsRegistry) -> Self {
         FaultInjector {
             plan,
             rng: Rng::new(kernel_seed ^ FAULT_STREAM_SALT),
-            stats: FaultStats::default(),
+            counters: FaultCounters::register(registry),
         }
     }
 
@@ -114,9 +145,15 @@ impl FaultInjector {
         &self.plan
     }
 
-    /// Injection counters so far.
+    /// Injection counters so far (a snapshot of the `faults.*` counters).
     pub fn stats(&self) -> FaultStats {
-        self.stats
+        FaultStats {
+            tool_failures: self.counters.tool_failures.get(),
+            tool_hangs: self.counters.tool_hangs.get(),
+            pred_faults: self.counters.pred_faults.get(),
+            swap_in_failures: self.counters.swap_in_failures.get(),
+            ipc_drops: self.counters.ipc_drops.get(),
+        }
     }
 
     /// Decides the fate of one tool-call attempt. `None` = run normally.
@@ -132,10 +169,10 @@ impl FaultInjector {
         let hang = self.plan.tool_hang_fraction > 0.0
             && self.rng.next_f64() < self.plan.tool_hang_fraction;
         if hang {
-            self.stats.tool_hangs += 1;
+            self.counters.tool_hangs.inc();
             Some(ToolFaultKind::Hang)
         } else {
-            self.stats.tool_failures += 1;
+            self.counters.tool_failures.inc();
             Some(ToolFaultKind::Fail)
         }
     }
@@ -156,7 +193,7 @@ impl FaultInjector {
         }
         let hit = self.rng.next_f64() < self.plan.pred_fault_rate;
         if hit {
-            self.stats.pred_faults += 1;
+            self.counters.pred_faults.inc();
         }
         hit
     }
@@ -168,7 +205,7 @@ impl FaultInjector {
         }
         let hit = self.rng.next_f64() < self.plan.swap_in_fault_rate;
         if hit {
-            self.stats.swap_in_failures += 1;
+            self.counters.swap_in_failures.inc();
         }
         hit
     }
@@ -180,7 +217,7 @@ impl FaultInjector {
         }
         let hit = self.rng.next_f64() < self.plan.ipc_drop_rate;
         if hit {
-            self.stats.ipc_drops += 1;
+            self.counters.ipc_drops.inc();
         }
         hit
     }

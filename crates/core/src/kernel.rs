@@ -17,11 +17,16 @@ use symphony_kvfs::{FileId, KvError, KvStats, KvStore, KvStoreConfig, Mode, Owne
 use symphony_model::{ModelConfig, Surrogate, TokenId};
 use symphony_model::surrogate::VocabInfo;
 use symphony_sim::{EventQueue, RetryPolicy, Rng, SimDuration, SimTime, Trace};
+use symphony_telemetry::{
+    export_chrome_trace, latency_bounds_ns, percent_bounds, Collector, EventBus, EventKind, Gauge,
+    Histogram, MetricsRegistry, MetricsSnapshot, SwapDir, TimedEvent,
+};
 use symphony_tokenizer::Bpe;
 
 use crate::faults::{FaultInjector, FaultPlan, FaultStats, ToolFaultKind};
 use crate::resilience::{
-    AdmissionPolicy, BreakerBank, BreakerPolicy, BreakerVerdict, ResilienceStats,
+    AdmissionPolicy, BreakerBank, BreakerPolicy, BreakerVerdict, ResilienceCounters,
+    ResilienceStats,
 };
 use crate::sched::{BatchPolicy, Decision, InferScheduler};
 use crate::syscall::{thread_main, Ctx, LipFn, SysReply, Syscall, UpCall};
@@ -59,6 +64,9 @@ pub struct KernelConfig {
     pub default_limits: Limits,
     /// Record a structured trace (disable for long benchmark runs).
     pub trace: bool,
+    /// Record typed telemetry events for Chrome-trace export. When `false`
+    /// (the default) the event bus is a no-op: no event is ever constructed.
+    pub telemetry: bool,
     /// Fault-injection plan (all-zero = no faults, no extra RNG draws).
     pub faults: FaultPlan,
     /// Kernel-wide tool retry policy; a [`ToolSpec::with_retry`] overrides
@@ -90,6 +98,7 @@ impl KernelConfig {
             seed: 42,
             default_limits: Limits::default(),
             trace: true,
+            telemetry: false,
             faults: FaultPlan::none(),
             tool_retry: None,
             breaker: None,
@@ -118,6 +127,7 @@ impl KernelConfig {
             seed: 42,
             default_limits: Limits::default(),
             trace: false,
+            telemetry: false,
             faults: FaultPlan::none(),
             tool_retry: None,
             breaker: None,
@@ -157,6 +167,9 @@ struct ThreadState {
     handle: Option<std::thread::JoinHandle<()>>,
     status: Option<ExitStatus>,
     join_waiters: Vec<Tid>,
+    /// Name of the syscall this thread is currently parked in, for the
+    /// telemetry `sys:*` span (closed when the reply is delivered).
+    open_syscall: Option<&'static str>,
 }
 
 struct Proc {
@@ -173,6 +186,10 @@ struct Proc {
     deadline_at: Option<SimTime>,
     /// Deadline already detected (counts once per process).
     deadline_hit: bool,
+    /// First `pred` completion observed (TTFT recorded).
+    ttft_done: bool,
+    /// Completion time of the last `pred` (inter-token latency).
+    last_pred_done: Option<SimTime>,
 }
 
 struct PendingPred {
@@ -180,6 +197,9 @@ struct PendingPred {
     req: PredRequest,
     /// Times this request was requeued after KV-pool exhaustion.
     requeues: u32,
+    /// When the `pred` first joined the pool (queue-delay metric; preserved
+    /// across requeues so the delay covers the whole wait).
+    enqueued_at: SimTime,
 }
 
 /// Ensure LIP-thread panics (crash tests, shutdown unwinds) do not spam
@@ -198,6 +218,35 @@ fn install_quiet_lip_panics() {
             }
         }));
     });
+}
+
+/// Kernel-level latency/occupancy metrics in the unified registry.
+struct KernelMetrics {
+    /// Virtual time from process spawn to its first `pred` completion.
+    ttft_ns: Histogram,
+    /// Virtual time between consecutive `pred` completions of a process.
+    inter_token_ns: Histogram,
+    /// Virtual time a `pred` waited in the pool before batch launch.
+    queue_delay_ns: Histogram,
+    /// Batch size as a percentage of `max_batch`, one sample per batch.
+    batch_occupancy_pct: Histogram,
+    /// Whole-tool-call virtual latency (all attempts plus backoff).
+    tool_latency_ns: Histogram,
+    /// GPU KV pages in use, sampled after each batch.
+    gpu_pages_used: Gauge,
+}
+
+impl KernelMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        KernelMetrics {
+            ttft_ns: registry.histogram("kernel.ttft_ns", &latency_bounds_ns()),
+            inter_token_ns: registry.histogram("kernel.inter_token_ns", &latency_bounds_ns()),
+            queue_delay_ns: registry.histogram("sched.queue_delay_ns", &latency_bounds_ns()),
+            batch_occupancy_pct: registry.histogram("gpu.batch_occupancy_pct", &percent_bounds()),
+            tool_latency_ns: registry.histogram("tools.call_latency_ns", &latency_bounds_ns()),
+            gpu_pages_used: registry.gauge("kvfs.gpu_pages_used"),
+        }
+    }
 }
 
 /// The Symphony kernel.
@@ -228,17 +277,22 @@ pub struct Kernel {
     up_rx: Receiver<UpCall>,
     rng: Rng,
     trace: Trace,
+    // Telemetry.
+    registry: MetricsRegistry,
+    bus: EventBus,
+    kmetrics: KernelMetrics,
     // Resilience.
     injector: FaultInjector,
     breakers: Option<BreakerBank>,
     admission: Option<AdmissionPolicy>,
     tool_retry: Option<RetryPolicy>,
-    res_stats: ResilienceStats,
+    res_counters: ResilienceCounters,
     // Config extracts.
     syscall_cost: SimDuration,
     offload_on_io_wait: bool,
     offload_min_latency: SimDuration,
     default_limits: Limits,
+    max_batch: usize,
 }
 
 impl Kernel {
@@ -251,16 +305,20 @@ impl Kernel {
         let gpu_kv_bytes = config
             .gpu_kv_bytes_override
             .unwrap_or_else(|| config.device.kv_budget_bytes(&config.model));
-        let store = KvStore::new(KvStoreConfig::from_bytes(
-            gpu_kv_bytes,
-            config.cpu_swap_bytes,
-            config.model.kv_bytes_per_token(),
-            config.page_tokens,
-        ));
+        let registry = MetricsRegistry::new();
+        let store = KvStore::with_registry(
+            KvStoreConfig::from_bytes(
+                gpu_kv_bytes,
+                config.cpu_swap_bytes,
+                config.model.kv_bytes_per_token(),
+                config.page_tokens,
+            ),
+            &registry,
+        );
         let (up_tx, up_rx) = unbounded();
         Kernel {
             store,
-            gpu: GpuExecutor::new(config.device, model),
+            gpu: GpuExecutor::with_registry(config.device, model, &registry),
             tokenizer,
             tools: ToolRegistry::new(),
             events: EventQueue::new(),
@@ -285,15 +343,25 @@ impl Kernel {
             } else {
                 Trace::disabled()
             },
-            injector: FaultInjector::new(config.faults, config.seed),
-            breakers: config.breaker.map(BreakerBank::new),
+            bus: if config.telemetry {
+                EventBus::recording()
+            } else {
+                EventBus::disabled()
+            },
+            kmetrics: KernelMetrics::register(&registry),
+            injector: FaultInjector::with_registry(config.faults, config.seed, &registry),
+            breakers: config
+                .breaker
+                .map(|p| BreakerBank::with_registry(p, &registry)),
             admission: config.admission,
             tool_retry: config.tool_retry,
-            res_stats: ResilienceStats::default(),
+            res_counters: ResilienceCounters::register(&registry),
+            registry,
             syscall_cost: config.syscall_cost,
             offload_on_io_wait: config.offload_on_io_wait,
             offload_min_latency: config.offload_min_latency,
             default_limits: config.default_limits,
+            max_batch: config.max_batch,
         }
     }
 
@@ -413,6 +481,8 @@ impl Kernel {
                 finished: false,
                 deadline_at,
                 deadline_hit: false,
+                ttft_done: false,
+                last_pred_done: None,
             },
         );
         pid
@@ -420,6 +490,12 @@ impl Kernel {
 
     fn start_process(&mut self, pid: Pid, args: String, f: LipFn) {
         self.procs.get_mut(&pid.0).expect("proc exists").args = args.clone();
+        if self.bus.is_enabled() {
+            let name = self.records[&pid.0].name.clone();
+            let at = self.events.now();
+            self.bus
+                .emit(at, move || EventKind::ProcessSpawn { pid: pid.0, name });
+        }
         let tid = self.spawn_thread(pid, args, f);
         let proc = self.procs.get_mut(&pid.0).expect("proc exists");
         proc.main_tid = tid;
@@ -456,8 +532,14 @@ impl Kernel {
                 handle: Some(handle),
                 status: None,
                 join_waiters: Vec::new(),
+                open_syscall: None,
             },
         );
+        let at = self.events.now();
+        self.bus.emit(at, || EventKind::ThreadSpawn {
+            pid: pid.0,
+            tid: tid.0,
+        });
         let proc = self.procs.get_mut(&pid.0).expect("proc exists");
         proc.live_threads += 1;
         if let Some(r) = self.records.get_mut(&pid.0) {
@@ -501,13 +583,47 @@ impl Kernel {
     }
 
     /// Resilience counters (retries, timeouts, breaker trips, shedding).
+    /// A snapshot of the `resilience.*` registry counters; the breaker bank
+    /// increments the same entries, so no merging is needed.
     pub fn resilience_stats(&self) -> ResilienceStats {
-        let mut s = self.res_stats;
-        if let Some(bank) = &self.breakers {
-            s.breaker_trips = bank.trips();
-            s.breaker_rejections = bank.rejections();
-        }
-        s
+        self.res_counters.snapshot()
+    }
+
+    /// The unified metrics registry (counters, gauges, histograms for every
+    /// subsystem: `kernel.*`, `sched.*`, `gpu.*`, `kvfs.*`, `tools.*`,
+    /// `faults.*`, `resilience.*`).
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// A point-in-time snapshot of every registered metric, in name order.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Telemetry events recorded so far (empty unless
+    /// [`KernelConfig::telemetry`] was set or a memory collector installed).
+    pub fn telemetry_events(&self) -> &[TimedEvent] {
+        self.bus.events()
+    }
+
+    /// Telemetry events constructed so far — stays 0 while the bus is
+    /// disabled, which is the zero-cost property the tests assert.
+    pub fn telemetry_constructed(&self) -> u64 {
+        self.bus.constructed()
+    }
+
+    /// Replaces the telemetry collector, returning the old one (tests use
+    /// this to install a counting collector mid-run).
+    pub fn set_event_collector(&mut self, collector: Collector) -> Collector {
+        self.bus.set_collector(collector)
+    }
+
+    /// Renders the recorded telemetry events as Chrome trace-event JSON
+    /// (Perfetto-loadable). Deterministic: same-seed runs export
+    /// byte-identical traces.
+    pub fn export_chrome_trace(&self) -> String {
+        export_chrome_trace(self.bus.events())
     }
 
     /// Read access to the KV store (tests and harnesses).
@@ -570,15 +686,31 @@ impl Kernel {
     }
 
     fn resume(&mut self, tid: Tid, reply: SysReply) {
-        let Some(ts) = self.threads.get(&tid.0) else {
-            return;
+        let (pid, open) = {
+            let Some(ts) = self.threads.get_mut(&tid.0) else {
+                return;
+            };
+            if ts.status.is_some() {
+                return; // Thread already exited (e.g. killed reply raced).
+            }
+            if ts.reply_tx.send(reply).is_err() {
+                return;
+            }
+            (ts.pid, ts.open_syscall.take())
         };
-        if ts.status.is_some() {
-            return; // Thread already exited (e.g. killed reply raced).
+        // Every reply delivery funnels through here, so this is the single
+        // point where a thread's syscall span closes and the CPU is handed
+        // back to it.
+        let at = self.events.now();
+        if let Some(name) = open {
+            self.bus.emit(at, || EventKind::SyscallExit {
+                pid: pid.0,
+                tid: tid.0,
+                name,
+            });
         }
-        if ts.reply_tx.send(reply).is_err() {
-            return;
-        }
+        self.bus
+            .emit(at, || EventKind::SchedDispatch { tid: tid.0 });
         let up = self
             .up_rx
             .recv()
@@ -598,12 +730,38 @@ impl Kernel {
                     .pending_batches
                     .remove(&batch_id)
                     .expect("batch results recorded at launch");
+                let now = self.events.now();
+                self.bus.emit(now, || EventKind::BatchEnd { id: batch_id });
                 self.trace.record(
-                    self.events.now(),
+                    now,
                     "infer_sched",
                     format!("batch_done id={batch_id} n={}", results.len()),
                 );
                 for (tid, reply) in results {
+                    // Token-latency metrics: a delivered distribution is a
+                    // decoded token from the process's point of view.
+                    if matches!(reply, SysReply::Dists(_)) {
+                        if let Some(ts) = self.threads.get(&tid.0) {
+                            let pid = ts.pid;
+                            let spawned_at =
+                                self.records.get(&pid.0).map(|r| r.spawned_at);
+                            if let (Some(proc), Some(spawned_at)) =
+                                (self.procs.get_mut(&pid.0), spawned_at)
+                            {
+                                if !proc.ttft_done {
+                                    proc.ttft_done = true;
+                                    self.kmetrics
+                                        .ttft_ns
+                                        .observe((now - spawned_at).as_nanos());
+                                } else if let Some(prev) = proc.last_pred_done {
+                                    self.kmetrics
+                                        .inter_token_ns
+                                        .observe((now - prev).as_nanos());
+                                }
+                                proc.last_pred_done = Some(now);
+                            }
+                        }
+                    }
                     self.ready.push_back((tid, reply));
                 }
             }
@@ -632,11 +790,14 @@ impl Kernel {
         if proc.finished {
             return;
         }
-        if !proc.deadline_hit {
-            proc.deadline_hit = true;
-            self.res_stats.deadline_kills += 1;
-        }
+        let first_hit = !proc.deadline_hit;
+        proc.deadline_hit = true;
         let waiters = std::mem::take(&mut proc.recv_waiters);
+        if first_hit {
+            self.res_counters.deadline_kills.inc();
+            let at = self.events.now();
+            self.bus.emit(at, || EventKind::DeadlineHit { pid: pid.0 });
+        }
         self.trace.record(
             self.events.now(),
             "kernel",
@@ -666,26 +827,60 @@ impl Kernel {
     fn launch_batch(&mut self) {
         let pending = self.sched.take_batch();
         debug_assert!(!pending.is_empty());
+        let now = self.events.now();
         let tids: Vec<Tid> = pending.iter().map(|p| p.tid).collect();
         let requeues: Vec<u32> = pending.iter().map(|p| p.requeues).collect();
+        let enqueued: Vec<SimTime> = pending.iter().map(|p| p.enqueued_at).collect();
         let requests: Vec<PredRequest> = pending.into_iter().map(|p| p.req).collect();
+        for &at in &enqueued {
+            self.kmetrics.queue_delay_ns.observe((now - at).as_nanos());
+        }
+        let occupancy_pct =
+            (requests.len() * 100 / self.max_batch.max(1)).min(100) as u32;
+        self.kmetrics
+            .batch_occupancy_pct
+            .observe(occupancy_pct as u64);
         // One fault draw per request, in pool order (rate 0 draws nothing).
         let faulted: Vec<bool> = requests
             .iter()
             .map(|_| self.injector.pred_request())
             .collect();
+        for f in &faulted {
+            if *f {
+                self.bus
+                    .emit(now, || EventKind::FaultInjected { site: "gpu.pred" });
+            }
+        }
+        let cow_before = self.store.stats().cow_copies;
         let (results, report) =
             self.gpu
                 .execute_batch_with_faults(&mut self.store, &requests, &faulted);
         let batch_id = self.next_batch;
         self.next_batch += 1;
+        let n_requests = requests.len() as u32;
+        let new_tokens = report.new_tokens;
+        self.bus.emit(now, || EventKind::BatchBegin {
+            id: batch_id,
+            requests: n_requests,
+            occupancy_pct,
+            new_tokens,
+        });
+        let cow_delta = self.store.stats().cow_copies - cow_before;
+        if cow_delta > 0 {
+            self.bus
+                .emit(now, || EventKind::KvCow { copies: cow_delta });
+        }
+        self.kmetrics
+            .gpu_pages_used
+            .set(self.store.gpu_pages_used() as i64);
         let adm = self.admission;
         let mut replies: Vec<(Tid, SysReply)> = Vec::with_capacity(requests.len());
-        for (((tid, res), req), requeues) in tids
+        for ((((tid, res), req), requeues), enqueued_at) in tids
             .into_iter()
             .zip(results)
             .zip(requests)
             .zip(requeues)
+            .zip(enqueued)
         {
             let reply = match res {
                 Ok(r) => SysReply::Dists(r.dists),
@@ -695,7 +890,11 @@ impl Kernel {
                     if adm.is_some_and(|a| requeues < a.max_retries) =>
                 {
                     let delay = adm.map(|a| a.retry_delay).unwrap_or_default();
-                    self.res_stats.preds_requeued += 1;
+                    self.res_counters.preds_requeued.inc();
+                    self.bus.emit(now, || EventKind::PredRequeue {
+                        tid: tid.0,
+                        attempt: requeues + 1,
+                    });
                     self.events.schedule(
                         self.events.now() + delay,
                         Event::RequeuePred {
@@ -703,6 +902,7 @@ impl Kernel {
                                 tid,
                                 req,
                                 requeues: requeues + 1,
+                                enqueued_at,
                             },
                         },
                     );
@@ -710,7 +910,9 @@ impl Kernel {
                 }
                 Err(ExecError::Kv(KvError::NoGpuMemory)) if adm.is_some() => {
                     // Requeue budget exhausted: shed the request.
-                    self.res_stats.preds_shed += 1;
+                    self.res_counters.preds_shed.inc();
+                    self.bus
+                        .emit(now, || EventKind::PredShed { tid: tid.0 });
                     SysReply::Err(SysError::Busy)
                 }
                 Err(ExecError::Kv(e)) => SysReply::Err(SysError::Kv(e)),
@@ -753,6 +955,18 @@ impl Kernel {
 
     fn handle_syscall(&mut self, tid: Tid, call: Syscall) {
         let (pid, owner) = self.owner_of(tid);
+        // Open a syscall span; `resume` closes it when the reply is
+        // delivered back to the LIP.
+        let sys_name = call.name();
+        let sys_at = self.events.now();
+        self.bus.emit(sys_at, || EventKind::SyscallEnter {
+            pid: pid.0,
+            tid: tid.0,
+            name: sys_name,
+        });
+        if let Some(ts) = self.threads.get_mut(&tid.0) {
+            ts.open_syscall = Some(sys_name);
+        }
         // Global syscall accounting and limit.
         let (syscalls_so_far, max_syscalls) = {
             let rec = self.records.get_mut(&pid.0).expect("record");
@@ -774,7 +988,9 @@ impl Kernel {
                 let proc = self.procs.get_mut(&pid.0).expect("proc exists");
                 if !proc.deadline_hit {
                     proc.deadline_hit = true;
-                    self.res_stats.deadline_kills += 1;
+                    self.res_counters.deadline_kills.inc();
+                    self.bus
+                        .emit(sys_at, || EventKind::DeadlineHit { pid: pid.0 });
                 }
                 self.complete(tid, SysReply::Err(SysError::DeadlineExceeded));
                 return;
@@ -802,7 +1018,9 @@ impl Kernel {
                 // Bounded admission queue: shed before accounting the work.
                 if let Some(adm) = self.admission {
                     if self.sched.pool_len() >= adm.max_queue {
-                        self.res_stats.preds_shed += 1;
+                        self.res_counters.preds_shed.inc();
+                        self.bus
+                            .emit(sys_at, || EventKind::PredShed { tid: tid.0 });
                         self.complete(tid, SysReply::Err(SysError::Busy));
                         return;
                     }
@@ -822,6 +1040,13 @@ impl Kernel {
                     "kernel",
                     format!("pred tid={} n={}", tid.0, tokens.len()),
                 );
+                let n_tokens = tokens.len() as u32;
+                let pool = self.sched.pool_len() as u32;
+                self.bus.emit(sys_at, || EventKind::PredEnqueue {
+                    tid: tid.0,
+                    tokens: n_tokens,
+                    pool,
+                });
                 self.sched.on_arrival(
                     self.events.now(),
                     PendingPred {
@@ -832,16 +1057,29 @@ impl Kernel {
                             tokens,
                         },
                         requeues: 0,
+                        enqueued_at: self.events.now(),
                     },
                 );
                 // Thread stays parked; the batch scheduler will resume it.
             }
             Syscall::KvCreate => {
                 let f = kv!(self.store.create(owner));
+                self.bus.emit(sys_at, || EventKind::KvOp {
+                    pid: pid.0,
+                    tid: tid.0,
+                    op: "kv_create",
+                    file: f.0,
+                });
                 self.complete(tid, SysReply::Handle(f));
             }
             Syscall::KvOpen { path } => {
                 let f = kv!(self.store.open(&path, owner));
+                self.bus.emit(sys_at, || EventKind::KvOp {
+                    pid: pid.0,
+                    tid: tid.0,
+                    op: "kv_open",
+                    file: f.0,
+                });
                 self.complete(tid, SysReply::Handle(f));
             }
             Syscall::KvLink { kv, path } => {
@@ -854,6 +1092,12 @@ impl Kernel {
             }
             Syscall::KvFork { kv } => {
                 let f = kv!(self.store.fork(kv, owner));
+                self.bus.emit(sys_at, || EventKind::KvOp {
+                    pid: pid.0,
+                    tid: tid.0,
+                    op: "kv_fork",
+                    file: f.0,
+                });
                 self.complete(tid, SysReply::Handle(f));
             }
             Syscall::KvRemove { kv } => {
@@ -874,14 +1118,32 @@ impl Kernel {
             }
             Syscall::KvExtract { kv, ranges } => {
                 let f = kv!(self.store.extract(kv, owner, &ranges));
+                self.bus.emit(sys_at, || EventKind::KvOp {
+                    pid: pid.0,
+                    tid: tid.0,
+                    op: "kv_extract",
+                    file: f.0,
+                });
                 self.complete(tid, SysReply::Handle(f));
             }
             Syscall::KvMerge { kvs } => {
                 let f = kv!(self.store.merge(&kvs, owner));
+                self.bus.emit(sys_at, || EventKind::KvOp {
+                    pid: pid.0,
+                    tid: tid.0,
+                    op: "kv_merge",
+                    file: f.0,
+                });
                 self.complete(tid, SysReply::Handle(f));
             }
             Syscall::KvRead { kv, start, count } => {
                 let e = kv!(self.store.read(kv, owner, start, count));
+                self.bus.emit(sys_at, || EventKind::KvOp {
+                    pid: pid.0,
+                    tid: tid.0,
+                    op: "kv_read",
+                    file: kv.0,
+                });
                 self.complete(tid, SysReply::Entries(e));
             }
             Syscall::KvPin { kv } => {
@@ -910,6 +1172,13 @@ impl Kernel {
             }
             Syscall::KvSwapOut { kv } => {
                 let tokens = kv!(self.store.swap_out(kv, owner));
+                self.bus.emit(sys_at, || EventKind::KvSwap {
+                    pid: pid.0,
+                    tid: tid.0,
+                    file: kv.0,
+                    tokens: tokens as u64,
+                    dir: SwapDir::Out,
+                });
                 let cost = self
                     .gpu
                     .swap_time(tokens as u64, self.store.bytes_per_token());
@@ -920,10 +1189,19 @@ impl Kernel {
                 // Injected PCIe/host-memory fault: the transfer fails, the
                 // file stays swapped out, and the LIP may retry.
                 if self.injector.swap_in() {
+                    self.bus
+                        .emit(sys_at, || EventKind::FaultInjected { site: "kv.swap_in" });
                     self.complete(tid, SysReply::Err(SysError::Fault("kv.swap_in")));
                     return;
                 }
                 let tokens = kv!(self.store.swap_in(kv, owner));
+                self.bus.emit(sys_at, || EventKind::KvSwap {
+                    pid: pid.0,
+                    tid: tid.0,
+                    file: kv.0,
+                    tokens: tokens as u64,
+                    dir: SwapDir::In,
+                });
                 let cost = self
                     .gpu
                     .swap_time(tokens as u64, self.store.bytes_per_token());
@@ -980,6 +1258,14 @@ impl Kernel {
                                 "io",
                                 format!("tool={} tid={} breaker_open", name, tid.0),
                             );
+                            if self.bus.is_enabled() {
+                                let tool = name.clone();
+                                self.bus.emit(now, || EventKind::BreakerReject {
+                                    pid: pid.0,
+                                    tid: tid.0,
+                                    tool,
+                                });
+                            }
                             self.complete(tid, SysReply::Err(SysError::Unavailable));
                             return;
                         }
@@ -1000,6 +1286,10 @@ impl Kernel {
                 let mut failures = 0u32;
                 let final_result = loop {
                     let fault = self.injector.tool_attempt();
+                    if fault.is_some() {
+                        self.bus
+                            .emit(now, || EventKind::FaultInjected { site: "tool" });
+                    }
                     let (latency, outcome) = self
                         .tools
                         .invoke(&name, &args, &mut self.rng)
@@ -1019,7 +1309,7 @@ impl Kernel {
                         if eff_latency > to {
                             eff_latency = to;
                             attempt_result = Err(SysError::Timeout);
-                            self.res_stats.tool_timeouts += 1;
+                            self.res_counters.tool_timeouts.inc();
                         }
                     }
                     total += eff_latency;
@@ -1028,17 +1318,31 @@ impl Kernel {
                         Err(e) => {
                             failures += 1;
                             if policy.should_retry(failures) {
-                                self.res_stats.tool_retries += 1;
+                                self.res_counters.tool_retries.inc();
+                                if self.bus.is_enabled() {
+                                    let tool = name.clone();
+                                    self.bus.emit(now, || EventKind::ToolRetry {
+                                        pid: pid.0,
+                                        tid: tid.0,
+                                        tool,
+                                        failures,
+                                    });
+                                }
                                 total += policy.backoff_after(failures, &mut self.rng);
                             } else {
-                                self.res_stats.tool_calls_exhausted += 1;
+                                self.res_counters.tool_calls_exhausted.inc();
                                 break Err(e);
                             }
                         }
                     }
                 };
                 if let Some(bank) = self.breakers.as_mut() {
+                    let trips_before = bank.trips();
                     bank.report(&name, final_result.is_ok(), now + total);
+                    if bank.trips() > trips_before && self.bus.is_enabled() {
+                        let tool = name.clone();
+                        self.bus.emit(now, || EventKind::BreakerTrip { tool });
+                    }
                 }
                 self.trace.record(
                     now,
@@ -1051,6 +1355,19 @@ impl Kernel {
                         total
                     ),
                 );
+                self.kmetrics.tool_latency_ns.observe(total.as_nanos());
+                if self.bus.is_enabled() {
+                    let tool = name.clone();
+                    let attempts = failures + u32::from(final_result.is_ok());
+                    let latency_ns = total.as_nanos();
+                    self.bus.emit(now, || EventKind::ToolInvoke {
+                        pid: pid.0,
+                        tid: tid.0,
+                        tool,
+                        attempts,
+                        latency_ns,
+                    });
+                }
                 self.begin_io(pid, total);
                 self.events.schedule(
                     now + total,
@@ -1078,6 +1395,10 @@ impl Kernel {
                         "kernel",
                         format!("ipc_drop from={} to={}", pid.0, to.0),
                     );
+                    self.bus.emit(sys_at, || EventKind::IpcDrop {
+                        from: pid.0,
+                        to: to.0,
+                    });
                     self.complete(tid, SysReply::Unit);
                     return;
                 }
@@ -1166,8 +1487,13 @@ impl Kernel {
                     .expect("proc")
                     .offloaded
                     .push(f);
+                let at = self.events.now();
+                self.bus.emit(at, || EventKind::KvOffload {
+                    pid: pid.0,
+                    file: f.0,
+                });
                 self.trace.record(
-                    self.events.now(),
+                    at,
                     "io",
                     format!("offload pid={} file={}", pid.0, f.0),
                 );
@@ -1191,8 +1517,11 @@ impl Kernel {
                 // The LIP's next `pred` on it sees `Kv(NotResident)` and
                 // can swap it in explicitly — containment, not a crash.
                 if self.injector.swap_in() {
+                    let at = self.events.now();
+                    self.bus
+                        .emit(at, || EventKind::FaultInjected { site: "kv.restore" });
                     self.trace.record(
-                        self.events.now(),
+                        at,
                         "io",
                         format!("restore_fault pid={} file={}", pid.0, f.0),
                     );
@@ -1212,8 +1541,13 @@ impl Kernel {
             let cost = self
                 .gpu
                 .swap_time(restore_tokens as u64, self.store.bytes_per_token());
+            let at = self.events.now();
+            self.bus.emit(at, || EventKind::KvRestore {
+                pid: pid.0,
+                tokens: restore_tokens as u64,
+            });
             self.trace.record(
-                self.events.now(),
+                at,
                 "io",
                 format!("restore pid={} tokens={restore_tokens}", pid.0),
             );
@@ -1250,8 +1584,15 @@ impl Kernel {
         if is_main {
             self.records.get_mut(&pid.0).expect("record").status = status.clone();
         }
+        let at = self.events.now();
+        let ok = status.is_ok();
+        self.bus.emit(at, || EventKind::ThreadExit {
+            pid: pid.0,
+            tid: tid.0,
+            ok,
+        });
         self.trace.record(
-            self.events.now(),
+            at,
             "kernel",
             format!("exit tid={} pid={} ok={}", tid.0, pid.0, status.is_ok()),
         );
@@ -1280,7 +1621,11 @@ impl Kernel {
         proc.finished = true;
         proc.mailbox.clear();
         let now = self.events.now();
-        self.records.get_mut(&pid.0).expect("record").exited_at = Some(now);
+        let rec = self.records.get_mut(&pid.0).expect("record");
+        rec.exited_at = Some(now);
+        let ok = rec.status.is_ok();
+        self.bus
+            .emit(now, || EventKind::ProcessExit { pid: pid.0, ok });
         self.trace
             .record(now, "kernel", format!("reap pid={}", pid.0));
     }

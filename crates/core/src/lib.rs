@@ -80,3 +80,11 @@ pub use types::{ExitStatus, Limits, Pid, ProcessRecord, SysError, Tid};
 pub use symphony_kvfs::{FileId, FileStat, KvEntry, Mode, OwnerId, Residency};
 pub use symphony_model::{CtxFingerprint, Dist, ModelConfig, TokenId};
 pub use symphony_sim::{RetryPolicy, SimDuration, SimTime};
+
+// Re-export the telemetry substrate so embedders can inspect traces and
+// metrics without depending on `symphony-telemetry` directly.
+pub use symphony_telemetry as telemetry;
+pub use symphony_telemetry::{
+    Collector, EventBus, EventKind, MetricValue, MetricsRegistry, MetricsSnapshot, SwapDir,
+    TimedEvent,
+};

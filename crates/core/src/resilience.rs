@@ -8,6 +8,7 @@
 use std::collections::BTreeMap;
 
 use symphony_sim::{SimDuration, SimTime};
+use symphony_telemetry::{Counter, MetricsRegistry};
 
 /// Circuit-breaker configuration, applied per tool name.
 ///
@@ -59,29 +60,36 @@ pub enum BreakerVerdict {
 pub struct BreakerBank {
     policy: BreakerPolicy,
     states: BTreeMap<String, BreakerState>,
-    trips: u64,
-    rejections: u64,
+    trips: Counter,
+    rejections: Counter,
 }
 
 impl BreakerBank {
-    /// A bank where every tool starts closed.
+    /// A bank where every tool starts closed, with a private metrics
+    /// registry.
     pub fn new(policy: BreakerPolicy) -> Self {
+        BreakerBank::with_registry(policy, &MetricsRegistry::new())
+    }
+
+    /// A bank whose trip/rejection counters live in `registry` under the
+    /// `resilience.breaker_*` names (shared with [`ResilienceCounters`]).
+    pub fn with_registry(policy: BreakerPolicy, registry: &MetricsRegistry) -> Self {
         BreakerBank {
             policy,
             states: BTreeMap::new(),
-            trips: 0,
-            rejections: 0,
+            trips: registry.counter("resilience.breaker_trips"),
+            rejections: registry.counter("resilience.breaker_rejections"),
         }
     }
 
     /// Times the breaker tripped open.
     pub fn trips(&self) -> u64 {
-        self.trips
+        self.trips.get()
     }
 
     /// Calls fast-failed while open.
     pub fn rejections(&self) -> u64 {
-        self.rejections
+        self.rejections.get()
     }
 
     /// Whether `tool`'s breaker is currently open at `now`.
@@ -104,14 +112,14 @@ impl BreakerBank {
                     *state = BreakerState::HalfOpen;
                     BreakerVerdict::AllowTrial
                 } else {
-                    self.rejections += 1;
+                    self.rejections.inc();
                     BreakerVerdict::Reject
                 }
             }
             // A trial is already in flight; other callers keep fast-failing
             // until it reports back.
             BreakerState::HalfOpen => {
-                self.rejections += 1;
+                self.rejections.inc();
                 BreakerVerdict::Reject
             }
         }
@@ -154,7 +162,7 @@ impl BreakerBank {
             BreakerState::Open { .. } => true,
         };
         if trip {
-            self.trips += 1;
+            self.trips.inc();
             *state = BreakerState::Open {
                 until: completed_at + self.policy.cooldown,
             };
@@ -205,6 +213,51 @@ pub struct ResilienceStats {
     pub preds_requeued: u64,
     /// Processes terminated by their wall-clock deadline.
     pub deadline_kills: u64,
+}
+
+/// Live counter handles into the metrics registry backing
+/// [`ResilienceStats`] (`resilience.*` names). The breaker counters are the
+/// same registry entries a [`BreakerBank::with_registry`] increments, so a
+/// snapshot needs no merging.
+#[derive(Debug, Clone)]
+pub(crate) struct ResilienceCounters {
+    pub(crate) tool_retries: Counter,
+    pub(crate) tool_calls_exhausted: Counter,
+    pub(crate) tool_timeouts: Counter,
+    breaker_trips: Counter,
+    breaker_rejections: Counter,
+    pub(crate) preds_shed: Counter,
+    pub(crate) preds_requeued: Counter,
+    pub(crate) deadline_kills: Counter,
+}
+
+impl ResilienceCounters {
+    pub(crate) fn register(registry: &MetricsRegistry) -> Self {
+        ResilienceCounters {
+            tool_retries: registry.counter("resilience.tool_retries"),
+            tool_calls_exhausted: registry.counter("resilience.tool_calls_exhausted"),
+            tool_timeouts: registry.counter("resilience.tool_timeouts"),
+            breaker_trips: registry.counter("resilience.breaker_trips"),
+            breaker_rejections: registry.counter("resilience.breaker_rejections"),
+            preds_shed: registry.counter("resilience.preds_shed"),
+            preds_requeued: registry.counter("resilience.preds_requeued"),
+            deadline_kills: registry.counter("resilience.deadline_kills"),
+        }
+    }
+
+    /// A point-in-time [`ResilienceStats`] snapshot.
+    pub(crate) fn snapshot(&self) -> ResilienceStats {
+        ResilienceStats {
+            tool_retries: self.tool_retries.get(),
+            tool_calls_exhausted: self.tool_calls_exhausted.get(),
+            tool_timeouts: self.tool_timeouts.get(),
+            breaker_trips: self.breaker_trips.get(),
+            breaker_rejections: self.breaker_rejections.get(),
+            preds_shed: self.preds_shed.get(),
+            preds_requeued: self.preds_requeued.get(),
+            deadline_kills: self.deadline_kills.get(),
+        }
+    }
 }
 
 #[cfg(test)]

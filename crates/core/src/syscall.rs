@@ -71,6 +71,48 @@ pub(crate) enum Syscall {
     Now,
 }
 
+impl Syscall {
+    /// The syscall's stable telemetry name (used as the `sys:<name>` span
+    /// label on a thread's trace track).
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            Syscall::Pred { .. } => "pred",
+            Syscall::KvCreate => "kv_create",
+            Syscall::KvOpen { .. } => "kv_open",
+            Syscall::KvLink { .. } => "kv_link",
+            Syscall::KvUnlink { .. } => "kv_unlink",
+            Syscall::KvFork { .. } => "kv_fork",
+            Syscall::KvRemove { .. } => "kv_remove",
+            Syscall::KvLen { .. } => "kv_len",
+            Syscall::KvNextPos { .. } => "kv_next_pos",
+            Syscall::KvTruncate { .. } => "kv_truncate",
+            Syscall::KvExtract { .. } => "kv_extract",
+            Syscall::KvMerge { .. } => "kv_merge",
+            Syscall::KvRead { .. } => "kv_read",
+            Syscall::KvPin { .. } => "kv_pin",
+            Syscall::KvUnpin { .. } => "kv_unpin",
+            Syscall::KvLock { .. } => "kv_lock",
+            Syscall::KvUnlock { .. } => "kv_unlock",
+            Syscall::KvChmod { .. } => "kv_chmod",
+            Syscall::KvStat { .. } => "kv_stat",
+            Syscall::KvSwapOut { .. } => "kv_swap_out",
+            Syscall::KvSwapIn { .. } => "kv_swap_in",
+            Syscall::Spawn { .. } => "spawn",
+            Syscall::Join { .. } => "join",
+            Syscall::CallTool { .. } => "call_tool",
+            Syscall::SendMsg { .. } => "send_msg",
+            Syscall::Recv => "recv",
+            Syscall::LookupProcess { .. } => "lookup_process",
+            Syscall::Sleep { .. } => "sleep",
+            Syscall::Emit { .. } => "emit",
+            Syscall::EmitTokens { .. } => "emit_tokens",
+            Syscall::Tokenize { .. } => "tokenize",
+            Syscall::Detokenize { .. } => "detokenize",
+            Syscall::Now => "now",
+        }
+    }
+}
+
 /// Kernel replies (wire format).
 pub(crate) enum SysReply {
     /// Initial "go" delivered to a freshly spawned thread.

@@ -4,6 +4,7 @@
 use symphony_kvfs::{FileId, KvEntry, KvError, KvStore, OwnerId, Residency};
 use symphony_model::{Dist, Surrogate, TokenId, WorkEstimate};
 use symphony_sim::SimDuration;
+use symphony_telemetry::{Counter, MetricsRegistry};
 
 use crate::device::DeviceSpec;
 
@@ -70,7 +71,8 @@ pub struct BatchReport {
     pub memory_time: SimDuration,
 }
 
-/// Cumulative executor metrics.
+/// Cumulative executor metrics — a point-in-time snapshot of the executor's
+/// counters in the unified metrics registry (`gpu.*`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GpuMetrics {
     /// Batches executed.
@@ -87,21 +89,52 @@ pub struct GpuMetrics {
     pub requests_faulted: u64,
 }
 
+/// Live counter handles into the metrics registry backing [`GpuMetrics`].
+#[derive(Debug, Clone)]
+struct GpuCounters {
+    batches: Counter,
+    tokens: Counter,
+    busy_ns: Counter,
+    requests_ok: Counter,
+    requests_failed: Counter,
+    requests_faulted: Counter,
+}
+
+impl GpuCounters {
+    fn register(registry: &MetricsRegistry) -> Self {
+        GpuCounters {
+            batches: registry.counter("gpu.batches"),
+            tokens: registry.counter("gpu.tokens"),
+            busy_ns: registry.counter("gpu.busy_ns"),
+            requests_ok: registry.counter("gpu.requests_ok"),
+            requests_failed: registry.counter("gpu.requests_failed"),
+            requests_faulted: registry.counter("gpu.requests_faulted"),
+        }
+    }
+}
+
 /// The simulated GPU executor.
 #[derive(Debug)]
 pub struct GpuExecutor {
     device: DeviceSpec,
     model: Surrogate,
-    metrics: GpuMetrics,
+    counters: GpuCounters,
 }
 
 impl GpuExecutor {
-    /// Creates an executor for a device/model pair.
+    /// Creates an executor for a device/model pair with a private metrics
+    /// registry.
     pub fn new(device: DeviceSpec, model: Surrogate) -> Self {
+        GpuExecutor::with_registry(device, model, &MetricsRegistry::new())
+    }
+
+    /// Creates an executor whose counters live in `registry` under the
+    /// `gpu.*` names.
+    pub fn with_registry(device: DeviceSpec, model: Surrogate, registry: &MetricsRegistry) -> Self {
         GpuExecutor {
             device,
             model,
-            metrics: GpuMetrics::default(),
+            counters: GpuCounters::register(registry),
         }
     }
 
@@ -115,9 +148,16 @@ impl GpuExecutor {
         &self.model
     }
 
-    /// Cumulative metrics.
+    /// Cumulative metrics (a snapshot of the `gpu.*` counters).
     pub fn metrics(&self) -> GpuMetrics {
-        self.metrics
+        GpuMetrics {
+            batches: self.counters.batches.get(),
+            tokens: self.counters.tokens.get(),
+            busy: SimDuration::from_nanos(self.counters.busy_ns.get()),
+            requests_ok: self.counters.requests_ok.get(),
+            requests_failed: self.counters.requests_failed.get(),
+            requests_faulted: self.counters.requests_faulted.get(),
+        }
     }
 
     /// Roofline time for a batch's accumulated work.
@@ -175,13 +215,13 @@ impl GpuExecutor {
         for (i, req) in requests.iter().enumerate() {
             if faulted.get(i).copied().unwrap_or(false) {
                 results.push(Err(ExecError::Faulted));
-                self.metrics.requests_failed += 1;
-                self.metrics.requests_faulted += 1;
+                self.counters.requests_failed.inc();
+                self.counters.requests_faulted.inc();
                 continue;
             }
             if req.tokens.is_empty() {
                 results.push(Err(ExecError::EmptyRequest));
-                self.metrics.requests_failed += 1;
+                self.counters.requests_failed.inc();
                 continue;
             }
             let resident = match store.residency(req.file) {
@@ -189,13 +229,13 @@ impl GpuExecutor {
                 Ok(_) => false,
                 Err(e) => {
                     results.push(Err(ExecError::Kv(e)));
-                    self.metrics.requests_failed += 1;
+                    self.counters.requests_failed.inc();
                     continue;
                 }
             };
             if !resident {
                 results.push(Err(ExecError::NotResident));
-                self.metrics.requests_failed += 1;
+                self.counters.requests_failed.inc();
                 continue;
             }
             // Fail fast if the entries cannot fit: computing distributions
@@ -204,12 +244,12 @@ impl GpuExecutor {
                 Ok(true) => {}
                 Ok(false) => {
                     results.push(Err(ExecError::Kv(KvError::NoGpuMemory)));
-                    self.metrics.requests_failed += 1;
+                    self.counters.requests_failed.inc();
                     continue;
                 }
                 Err(e) => {
                     results.push(Err(ExecError::Kv(e)));
-                    self.metrics.requests_failed += 1;
+                    self.counters.requests_failed.inc();
                     continue;
                 }
             }
@@ -236,11 +276,11 @@ impl GpuExecutor {
                     );
                     new_tokens += req.tokens.len() as u64;
                     past_tokens += past;
-                    self.metrics.requests_ok += 1;
+                    self.counters.requests_ok.inc();
                     results.push(Ok(PredResult { dists }));
                 }
                 Err(e) => {
-                    self.metrics.requests_failed += 1;
+                    self.counters.requests_failed.inc();
                     results.push(Err(ExecError::Kv(e)));
                 }
             }
@@ -252,9 +292,9 @@ impl GpuExecutor {
             SimDuration::ZERO
         };
         let (compute_time, memory_time) = self.roofline_parts(&work);
-        self.metrics.batches += 1;
-        self.metrics.tokens += new_tokens;
-        self.metrics.busy += duration;
+        self.counters.batches.inc();
+        self.counters.tokens.add(new_tokens);
+        self.counters.busy_ns.add(duration.as_nanos());
 
         (
             results,

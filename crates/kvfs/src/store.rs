@@ -4,6 +4,7 @@
 use std::collections::BTreeMap;
 
 use symphony_model::CtxFingerprint;
+use symphony_telemetry::{Counter, MetricsRegistry};
 
 use crate::error::KvError;
 use crate::page::{KvEntry, PagePool, Tier, PAGE_TOKENS_DEFAULT};
@@ -152,7 +153,8 @@ struct Quota {
     limit_pages: Option<usize>,
 }
 
-/// Cumulative store statistics.
+/// Cumulative store statistics — a point-in-time snapshot of the store's
+/// counters in the unified metrics registry (`kvfs.*`).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct KvStats {
     /// Tokens moved GPU→CPU.
@@ -165,6 +167,26 @@ pub struct KvStats {
     pub copied_entries: u64,
 }
 
+/// Live counter handles into the metrics registry backing [`KvStats`].
+#[derive(Debug, Clone)]
+struct KvCounters {
+    swapped_out_tokens: Counter,
+    swapped_in_tokens: Counter,
+    cow_copies: Counter,
+    copied_entries: Counter,
+}
+
+impl KvCounters {
+    fn register(registry: &MetricsRegistry) -> Self {
+        KvCounters {
+            swapped_out_tokens: registry.counter("kvfs.swapped_out_tokens"),
+            swapped_in_tokens: registry.counter("kvfs.swapped_in_tokens"),
+            cow_copies: registry.counter("kvfs.cow_copies"),
+            copied_entries: registry.counter("kvfs.copied_entries"),
+        }
+    }
+}
+
 /// The KV file store.
 #[derive(Debug)]
 pub struct KvStore {
@@ -175,12 +197,19 @@ pub struct KvStore {
     quotas: BTreeMap<OwnerId, Quota>,
     access_clock: u64,
     bytes_per_token: u64,
-    stats: KvStats,
+    counters: KvCounters,
 }
 
 impl KvStore {
-    /// Creates an empty store.
+    /// Creates an empty store with a private metrics registry.
     pub fn new(config: KvStoreConfig) -> Self {
+        KvStore::with_registry(config, &MetricsRegistry::new())
+    }
+
+    /// Creates an empty store whose counters live in `registry` under the
+    /// `kvfs.*` names, so the embedding kernel can snapshot them alongside
+    /// every other subsystem.
+    pub fn with_registry(config: KvStoreConfig, registry: &MetricsRegistry) -> Self {
         KvStore {
             pool: PagePool::new(config.page_tokens, config.gpu_pages, config.cpu_pages),
             files: BTreeMap::new(),
@@ -189,7 +218,7 @@ impl KvStore {
             quotas: BTreeMap::new(),
             access_clock: 0,
             bytes_per_token: config.bytes_per_token,
-            stats: KvStats::default(),
+            counters: KvCounters::register(registry),
         }
     }
 
@@ -235,9 +264,14 @@ impl KvStore {
         self.bytes_per_token
     }
 
-    /// Cumulative statistics.
+    /// Cumulative statistics (a snapshot of the `kvfs.*` counters).
     pub fn stats(&self) -> KvStats {
-        self.stats
+        KvStats {
+            swapped_out_tokens: self.counters.swapped_out_tokens.get(),
+            swapped_in_tokens: self.counters.swapped_in_tokens.get(),
+            cow_copies: self.counters.cow_copies.get(),
+            copied_entries: self.counters.copied_entries.get(),
+        }
     }
 
     /// Sets an owner's page quota (`None` = unlimited).
@@ -563,7 +597,7 @@ impl KvStore {
                 .pages
                 .last_mut()
                 .expect("tail") = copy;
-            self.stats.cow_copies += 1;
+            self.counters.cow_copies.inc();
         }
 
         let mut remaining = entries;
@@ -624,7 +658,7 @@ impl KvStore {
                     self.pool.page_mut(copy).entries = entries;
                     self.pool.release(last);
                     *self.meta_mut(id)?.pages.last_mut().expect("tail") = copy;
-                    self.stats.cow_copies += 1;
+                    self.counters.cow_copies.inc();
                 }
                 let last = *self.meta(id)?.pages.last().expect("tail");
                 self.pool.page_mut(last).entries.truncate(within);
@@ -697,7 +731,7 @@ impl KvStore {
         let new = self.create(caller)?;
         match self.append(new, caller, &picked) {
             Ok(()) => {
-                self.stats.copied_entries += picked.len() as u64;
+                self.counters.copied_entries.add(picked.len() as u64);
                 Ok(new)
             }
             Err(e) => {
@@ -723,7 +757,7 @@ impl KvStore {
         let new = self.create(caller)?;
         match self.append(new, caller, &all) {
             Ok(()) => {
-                self.stats.copied_entries += all.len() as u64;
+                self.counters.copied_entries.add(all.len() as u64);
                 Ok(new)
             }
             Err(e) => {
@@ -781,7 +815,7 @@ impl KvStore {
         for p in pages {
             moved += self.pool.migrate(p, Tier::Cpu)?;
         }
-        self.stats.swapped_out_tokens += moved as u64;
+        self.counters.swapped_out_tokens.add(moved as u64);
         Ok(moved)
     }
 
@@ -793,7 +827,7 @@ impl KvStore {
         for p in pages {
             moved += self.pool.migrate(p, Tier::Gpu)?;
         }
-        self.stats.swapped_in_tokens += moved as u64;
+        self.counters.swapped_in_tokens.add(moved as u64);
         self.touch(id);
         Ok(moved)
     }

@@ -1,0 +1,543 @@
+//! Chrome trace-event export.
+//!
+//! [`export_chrome_trace`] renders a recorded event stream as Chrome
+//! trace-event JSON (the format loaded by Perfetto and `chrome://tracing`).
+//! Track layout:
+//!
+//! * **kernel** (pid 0) — one `scheduler` thread carrying dispatch,
+//!   pred-pool, breaker, fault and IPC instants;
+//! * **gpu** (pid 1 000 000) — one `batches` thread carrying `gpu_batch`
+//!   spans and copy-on-write instants;
+//! * one process per LIP pid, with a thread track per tid carrying
+//!   syscall spans and KVFS/tool instants, plus process-level instants on
+//!   tid 0 (spawn/exit, deadlines, offload/restore).
+//!
+//! Virtual-time nanoseconds become fractional microseconds (`ts` is in µs
+//! in the trace format). The writer is hand-rolled and fully ordered —
+//! metadata first, then events in recorded order — so the same event
+//! stream always serialises to byte-identical output.
+
+use std::collections::BTreeMap;
+
+use symphony_sim::SimTime;
+
+use crate::event::{EventKind, SwapDir, TimedEvent};
+
+/// The synthetic pid hosting the scheduler track.
+pub const KERNEL_PID: u64 = 0;
+/// The scheduler track's tid inside [`KERNEL_PID`].
+pub const SCHED_TID: u64 = 1;
+/// The synthetic pid hosting the GPU track (far above any real LIP pid).
+pub const GPU_PID: u64 = 1_000_000;
+/// The batch track's tid inside [`GPU_PID`].
+pub const GPU_TID: u64 = 1;
+
+/// Virtual nanoseconds as a trace-format `ts` literal (microseconds with
+/// three decimals — exact, so no float formatting is involved).
+fn ts(at: SimTime) -> String {
+    let ns = at.as_nanos();
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn push_quoted(out: &mut String, s: &str) {
+    serde::write_json_string(s, out);
+}
+
+/// Appends one trace-event object line. `args` is pre-rendered JSON
+/// (`None` for no args); `scope` is the instant scope, if any.
+#[allow(clippy::too_many_arguments)]
+fn push_event(
+    out: &mut String,
+    first: &mut bool,
+    ph: &str,
+    at: Option<SimTime>,
+    pid: u64,
+    tid: u64,
+    name: &str,
+    args: Option<String>,
+    scope: Option<&str>,
+) {
+    if *first {
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+    out.push_str("    {\"ph\":\"");
+    out.push_str(ph);
+    out.push_str("\",\"ts\":");
+    out.push_str(&ts(at.unwrap_or(SimTime::ZERO)));
+    out.push_str(&format!(",\"pid\":{pid},\"tid\":{tid},\"name\":"));
+    push_quoted(out, name);
+    if let Some(s) = scope {
+        out.push_str(&format!(",\"s\":\"{s}\""));
+    }
+    if let Some(a) = args {
+        out.push_str(",\"args\":");
+        out.push_str(&a);
+    }
+    out.push('}');
+}
+
+struct Writer {
+    out: String,
+    first: bool,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer {
+            out: String::from("{\"traceEvents\":[\n"),
+            first: true,
+        }
+    }
+
+    fn meta(&mut self, pid: u64, tid: Option<u64>, kind: &str, args: String) {
+        push_event(
+            &mut self.out,
+            &mut self.first,
+            "M",
+            None,
+            pid,
+            tid.unwrap_or(0),
+            kind,
+            Some(args),
+            None,
+        );
+    }
+
+    fn span(&mut self, ph: &str, at: SimTime, pid: u64, tid: u64, name: &str, args: Option<String>) {
+        push_event(&mut self.out, &mut self.first, ph, Some(at), pid, tid, name, args, None);
+    }
+
+    fn instant(&mut self, at: SimTime, pid: u64, tid: u64, name: &str, args: Option<String>) {
+        push_event(
+            &mut self.out,
+            &mut self.first,
+            "i",
+            Some(at),
+            pid,
+            tid,
+            name,
+            args,
+            Some("t"),
+        );
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("\n  ],\"displayTimeUnit\":\"ms\"}\n");
+        self.out
+    }
+}
+
+fn quoted(s: &str) -> String {
+    let mut out = String::new();
+    serde::write_json_string(s, &mut out);
+    out
+}
+
+/// Renders a recorded event stream as Chrome trace-event JSON.
+///
+/// The output is deterministic: identical input slices yield byte-identical
+/// strings, making the trace itself a regression artifact.
+pub fn export_chrome_trace(events: &[TimedEvent]) -> String {
+    // First pass: discover LIP processes and their threads so every track
+    // gets a name. The first thread observed for a pid is its main thread.
+    let mut proc_names: BTreeMap<u64, String> = BTreeMap::new();
+    let mut threads: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::ProcessSpawn { pid, name } => {
+                proc_names.entry(*pid).or_insert_with(|| name.clone());
+            }
+            EventKind::ThreadSpawn { pid, tid } => {
+                let tids = threads.entry(*pid).or_default();
+                if !tids.contains(tid) {
+                    tids.push(*tid);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut w = Writer::new();
+
+    // Metadata: fixed tracks first, then LIP processes in pid order.
+    w.meta(KERNEL_PID, None, "process_name", "{\"name\":\"kernel\"}".into());
+    w.meta(KERNEL_PID, None, "process_sort_index", "{\"sort_index\":0}".into());
+    w.meta(
+        KERNEL_PID,
+        Some(SCHED_TID),
+        "thread_name",
+        "{\"name\":\"scheduler\"}".into(),
+    );
+    w.meta(GPU_PID, None, "process_name", "{\"name\":\"gpu\"}".into());
+    w.meta(GPU_PID, None, "process_sort_index", "{\"sort_index\":1}".into());
+    w.meta(GPU_PID, Some(GPU_TID), "thread_name", "{\"name\":\"batches\"}".into());
+    let pids: Vec<u64> = proc_names
+        .keys()
+        .chain(threads.keys())
+        .copied()
+        .collect::<std::collections::BTreeSet<u64>>()
+        .into_iter()
+        .collect();
+    for pid in pids {
+        let label = match proc_names.get(&pid) {
+            Some(name) => format!("{name} (pid {pid})"),
+            None => format!("pid {pid}"),
+        };
+        w.meta(pid, None, "process_name", format!("{{\"name\":{}}}", quoted(&label)));
+        w.meta(
+            pid,
+            None,
+            "process_sort_index",
+            format!("{{\"sort_index\":{}}}", pid + 2),
+        );
+        if let Some(tids) = threads.get(&pid) {
+            for (i, tid) in tids.iter().enumerate() {
+                let tname = if i == 0 {
+                    "main".to_string()
+                } else {
+                    format!("thread {tid}")
+                };
+                w.meta(
+                    pid,
+                    Some(*tid),
+                    "thread_name",
+                    format!("{{\"name\":{}}}", quoted(&tname)),
+                );
+            }
+        }
+    }
+
+    // Second pass: the events themselves, in recorded (virtual-time) order.
+    for ev in events {
+        let at = ev.at;
+        match &ev.kind {
+            EventKind::ProcessSpawn { pid, name } => {
+                w.instant(
+                    at,
+                    *pid,
+                    0,
+                    "process_spawn",
+                    Some(format!("{{\"name\":{}}}", quoted(name))),
+                );
+            }
+            EventKind::ProcessExit { pid, ok } => {
+                w.instant(at, *pid, 0, "process_exit", Some(format!("{{\"ok\":{ok}}}")));
+            }
+            EventKind::ThreadSpawn { pid, tid } => {
+                w.instant(at, *pid, *tid, "thread_spawn", None);
+            }
+            EventKind::ThreadExit { pid, tid, ok } => {
+                w.instant(at, *pid, *tid, "thread_exit", Some(format!("{{\"ok\":{ok}}}")));
+            }
+            EventKind::SyscallEnter { pid, tid, name } => {
+                w.span("B", at, *pid, *tid, &format!("sys:{name}"), None);
+            }
+            EventKind::SyscallExit { pid, tid, name } => {
+                w.span("E", at, *pid, *tid, &format!("sys:{name}"), None);
+            }
+            EventKind::SchedDispatch { tid } => {
+                w.instant(
+                    at,
+                    KERNEL_PID,
+                    SCHED_TID,
+                    "dispatch",
+                    Some(format!("{{\"tid\":{tid}}}")),
+                );
+            }
+            EventKind::PredEnqueue { tid, tokens, pool } => {
+                w.instant(
+                    at,
+                    KERNEL_PID,
+                    SCHED_TID,
+                    "pred_enqueue",
+                    Some(format!("{{\"tid\":{tid},\"tokens\":{tokens},\"pool\":{pool}}}")),
+                );
+            }
+            EventKind::PredRequeue { tid, attempt } => {
+                w.instant(
+                    at,
+                    KERNEL_PID,
+                    SCHED_TID,
+                    "pred_requeue",
+                    Some(format!("{{\"tid\":{tid},\"attempt\":{attempt}}}")),
+                );
+            }
+            EventKind::PredShed { tid } => {
+                w.instant(
+                    at,
+                    KERNEL_PID,
+                    SCHED_TID,
+                    "pred_shed",
+                    Some(format!("{{\"tid\":{tid}}}")),
+                );
+            }
+            EventKind::BatchBegin {
+                id,
+                requests,
+                occupancy_pct,
+                new_tokens,
+            } => {
+                w.span(
+                    "B",
+                    at,
+                    GPU_PID,
+                    GPU_TID,
+                    "gpu_batch",
+                    Some(format!(
+                        "{{\"id\":{id},\"requests\":{requests},\"occupancy_pct\":{occupancy_pct},\"new_tokens\":{new_tokens}}}"
+                    )),
+                );
+            }
+            EventKind::BatchEnd { id } => {
+                w.span(
+                    "E",
+                    at,
+                    GPU_PID,
+                    GPU_TID,
+                    "gpu_batch",
+                    Some(format!("{{\"id\":{id}}}")),
+                );
+            }
+            EventKind::KvOp { pid, tid, op, file } => {
+                w.instant(
+                    at,
+                    *pid,
+                    *tid,
+                    &format!("kv:{op}"),
+                    Some(format!("{{\"file\":{file}}}")),
+                );
+            }
+            EventKind::KvCow { copies } => {
+                w.instant(
+                    at,
+                    GPU_PID,
+                    GPU_TID,
+                    "kv_cow",
+                    Some(format!("{{\"copies\":{copies}}}")),
+                );
+            }
+            EventKind::KvSwap {
+                pid,
+                tid,
+                file,
+                tokens,
+                dir,
+            } => {
+                let name = match dir {
+                    SwapDir::In => "kv_swap_in",
+                    SwapDir::Out => "kv_swap_out",
+                };
+                w.instant(
+                    at,
+                    *pid,
+                    *tid,
+                    name,
+                    Some(format!("{{\"file\":{file},\"tokens\":{tokens}}}")),
+                );
+            }
+            EventKind::ToolInvoke {
+                pid,
+                tid,
+                tool,
+                attempts,
+                latency_ns,
+            } => {
+                w.instant(
+                    at,
+                    *pid,
+                    *tid,
+                    &format!("tool:{tool}"),
+                    Some(format!("{{\"attempts\":{attempts},\"latency_ns\":{latency_ns}}}")),
+                );
+            }
+            EventKind::ToolRetry {
+                pid,
+                tid,
+                tool,
+                failures,
+            } => {
+                w.instant(
+                    at,
+                    *pid,
+                    *tid,
+                    "tool_retry",
+                    Some(format!(
+                        "{{\"tool\":{},\"failures\":{failures}}}",
+                        quoted(tool)
+                    )),
+                );
+            }
+            EventKind::BreakerTrip { tool } => {
+                w.instant(
+                    at,
+                    KERNEL_PID,
+                    SCHED_TID,
+                    "breaker_trip",
+                    Some(format!("{{\"tool\":{}}}", quoted(tool))),
+                );
+            }
+            EventKind::BreakerReject { pid, tid, tool } => {
+                w.instant(
+                    at,
+                    *pid,
+                    *tid,
+                    "breaker_reject",
+                    Some(format!("{{\"tool\":{}}}", quoted(tool))),
+                );
+            }
+            EventKind::FaultInjected { site } => {
+                w.instant(
+                    at,
+                    KERNEL_PID,
+                    SCHED_TID,
+                    "fault",
+                    Some(format!("{{\"site\":{}}}", quoted(site))),
+                );
+            }
+            EventKind::DeadlineHit { pid } => {
+                w.instant(at, *pid, 0, "deadline_hit", None);
+            }
+            EventKind::KvOffload { pid, file } => {
+                w.instant(at, *pid, 0, "kv_offload", Some(format!("{{\"file\":{file}}}")));
+            }
+            EventKind::KvRestore { pid, tokens } => {
+                w.instant(
+                    at,
+                    *pid,
+                    0,
+                    "kv_restore",
+                    Some(format!("{{\"tokens\":{tokens}}}")),
+                );
+            }
+            EventKind::IpcDrop { from, to } => {
+                w.instant(
+                    at,
+                    KERNEL_PID,
+                    SCHED_TID,
+                    "ipc_drop",
+                    Some(format!("{{\"from\":{from},\"to\":{to}}}")),
+                );
+            }
+        }
+    }
+
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symphony_sim::SimTime;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn sample_events() -> Vec<TimedEvent> {
+        vec![
+            TimedEvent {
+                at: t(0),
+                kind: EventKind::ProcessSpawn {
+                    pid: 1,
+                    name: "demo".into(),
+                },
+            },
+            TimedEvent {
+                at: t(0),
+                kind: EventKind::ThreadSpawn { pid: 1, tid: 10 },
+            },
+            TimedEvent {
+                at: t(1_500),
+                kind: EventKind::SyscallEnter {
+                    pid: 1,
+                    tid: 10,
+                    name: "pred",
+                },
+            },
+            TimedEvent {
+                at: t(2_000),
+                kind: EventKind::BatchBegin {
+                    id: 0,
+                    requests: 1,
+                    occupancy_pct: 12,
+                    new_tokens: 4,
+                },
+            },
+            TimedEvent {
+                at: t(9_000),
+                kind: EventKind::BatchEnd { id: 0 },
+            },
+            TimedEvent {
+                at: t(9_250),
+                kind: EventKind::SyscallExit {
+                    pid: 1,
+                    tid: 10,
+                    name: "pred",
+                },
+            },
+            TimedEvent {
+                at: t(9_250),
+                kind: EventKind::SchedDispatch { tid: 10 },
+            },
+        ]
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_tracks() {
+        let json = export_chrome_trace(&sample_events());
+        let v = serde_json::from_str::<serde_json::Value>(&json).expect("valid JSON");
+        let events = match &v {
+            serde_json::Value::Object(o) => match o.get("traceEvents") {
+                Some(serde_json::Value::Array(a)) => a,
+                _ => panic!("missing traceEvents array"),
+            },
+            _ => panic!("expected object"),
+        };
+        let names: Vec<String> = events
+            .iter()
+            .filter_map(|e| match e {
+                serde_json::Value::Object(o) => match (o.get("ph"), o.get("name")) {
+                    (Some(serde_json::Value::String(ph)), Some(serde_json::Value::String(n)))
+                        if ph == "M" =>
+                    {
+                        match o.get("args") {
+                            Some(serde_json::Value::Object(a)) => match a.get("name") {
+                                Some(serde_json::Value::String(v)) => {
+                                    Some(format!("{n}={v}"))
+                                }
+                                _ => None,
+                            },
+                            _ => None,
+                        }
+                    }
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        assert!(names.contains(&"process_name=kernel".to_string()));
+        assert!(names.contains(&"thread_name=scheduler".to_string()));
+        assert!(names.contains(&"process_name=gpu".to_string()));
+        assert!(names.contains(&"thread_name=batches".to_string()));
+        assert!(names.contains(&"process_name=demo (pid 1)".to_string()));
+        assert!(names.contains(&"thread_name=main".to_string()));
+    }
+
+    #[test]
+    fn spans_pair_and_timestamps_scale_to_micros() {
+        let json = export_chrome_trace(&sample_events());
+        assert!(json.contains("\"ph\":\"B\",\"ts\":1.500"));
+        assert!(json.contains("\"ph\":\"E\",\"ts\":9.250"));
+        assert!(json.contains("\"name\":\"gpu_batch\""));
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
+    }
+
+    #[test]
+    fn export_is_byte_identical_for_same_input() {
+        let events = sample_events();
+        assert_eq!(export_chrome_trace(&events), export_chrome_trace(&events));
+    }
+}

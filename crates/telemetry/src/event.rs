@@ -1,0 +1,120 @@
+//! The typed event taxonomy recorded by the kernel on the virtual clock.
+//!
+//! Events are *data*, not strings: the hot path constructs an [`EventKind`]
+//! only when a collector is installed (see [`crate::EventBus::emit`]), and
+//! the Chrome exporter renders names/args at export time. Every event is
+//! stamped with the [`SimTime`] at which the kernel observed it, so two
+//! same-seed runs produce identical event streams.
+
+use symphony_sim::SimTime;
+
+/// Direction of a KV swap transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapDir {
+    /// CPU DRAM → GPU HBM.
+    In,
+    /// GPU HBM → CPU DRAM.
+    Out,
+}
+
+/// One telemetry event. Span events come in `*Enter`/`*Exit` (or
+/// `Batch{Begin,End}`) pairs on the same logical track; everything else is
+/// an instant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A process record was created and its main thread started.
+    ProcessSpawn { pid: u64, name: String },
+    /// All of a process's threads exited; resources reclaimed.
+    ProcessExit { pid: u64, ok: bool },
+    /// A LIP thread started (main or sibling).
+    ThreadSpawn { pid: u64, tid: u64 },
+    /// A LIP thread exited.
+    ThreadExit { pid: u64, tid: u64, ok: bool },
+    /// Span begin: a thread entered the kernel with a system call.
+    SyscallEnter {
+        pid: u64,
+        tid: u64,
+        name: &'static str,
+    },
+    /// Span end: the kernel delivered the reply and the thread resumed.
+    SyscallExit {
+        pid: u64,
+        tid: u64,
+        name: &'static str,
+    },
+    /// The thread scheduler handed the CPU to a thread (scheduler track).
+    SchedDispatch { tid: u64 },
+    /// A `pred` call joined the inference pool (scheduler track).
+    PredEnqueue { tid: u64, tokens: u32, pool: u32 },
+    /// A `pred` was re-pooled after KV-pool exhaustion (scheduler track).
+    PredRequeue { tid: u64, attempt: u32 },
+    /// A `pred` was shed by admission control (scheduler track).
+    PredShed { tid: u64 },
+    /// Span begin: a GPU batch launched (GPU track).
+    BatchBegin {
+        id: u64,
+        requests: u32,
+        /// Requests as a percentage of the global batch cap.
+        occupancy_pct: u32,
+        new_tokens: u64,
+    },
+    /// Span end: the GPU batch completed (GPU track).
+    BatchEnd { id: u64 },
+    /// A KVFS namespace/metadata/data operation (thread track).
+    KvOp {
+        pid: u64,
+        tid: u64,
+        op: &'static str,
+        file: u64,
+    },
+    /// Copy-on-write page copies performed while executing a batch
+    /// (GPU track; count is the delta for that batch).
+    KvCow { copies: u64 },
+    /// An explicit KV swap across the PCIe boundary (thread track).
+    KvSwap {
+        pid: u64,
+        tid: u64,
+        file: u64,
+        tokens: u64,
+        dir: SwapDir,
+    },
+    /// A whole tool call was planned: `attempts` tries totalling
+    /// `latency_ns` of virtual I/O time (thread track).
+    ToolInvoke {
+        pid: u64,
+        tid: u64,
+        tool: String,
+        attempts: u32,
+        latency_ns: u64,
+    },
+    /// One failed tool attempt will be retried (thread track).
+    ToolRetry {
+        pid: u64,
+        tid: u64,
+        tool: String,
+        failures: u32,
+    },
+    /// A circuit breaker tripped open (scheduler track).
+    BreakerTrip { tool: String },
+    /// A call was fast-failed by an open breaker (thread track).
+    BreakerReject { pid: u64, tid: u64, tool: String },
+    /// The fault injector fired at a site (scheduler track).
+    FaultInjected { site: &'static str },
+    /// A process's wall-clock deadline passed (process track).
+    DeadlineHit { pid: u64 },
+    /// A KV file was offloaded to host memory during an I/O wait.
+    KvOffload { pid: u64, file: u64 },
+    /// Offloaded KV was restored after I/O completion.
+    KvRestore { pid: u64, tokens: u64 },
+    /// An IPC message was dropped in flight (scheduler track).
+    IpcDrop { from: u64, to: u64 },
+}
+
+/// An event stamped with virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Virtual time at which the kernel observed the event.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: EventKind,
+}

@@ -1,0 +1,32 @@
+//! Kernel-wide telemetry for Symphony.
+//!
+//! Three pieces, all stamped on the deterministic virtual clock:
+//!
+//! * [`EventBus`] — a zero-cost-when-disabled sink for typed
+//!   [`EventKind`] events. Emission takes a closure, so a disabled bus
+//!   never constructs (or allocates for) an event.
+//! * [`MetricsRegistry`] — named counters, gauges and fixed-bucket
+//!   histograms shared across subsystems via cheap atomic handles; the
+//!   legacy `KvStats`/`FaultStats`/`ResilienceStats` structs are snapshot
+//!   views over it.
+//! * [`export_chrome_trace`] — renders a recorded event stream as Chrome
+//!   trace-event JSON loadable in Perfetto or `chrome://tracing`, with one
+//!   track per LIP process/thread plus dedicated GPU and scheduler tracks.
+//!
+//! Because every timestamp is virtual time from a same-seed-deterministic
+//! kernel, two identical runs export byte-identical traces — traces double
+//! as regression artifacts. See `docs/OBSERVABILITY.md` for the event
+//! taxonomy and metric catalogue.
+
+mod bus;
+mod chrome;
+mod event;
+mod metrics;
+
+pub use bus::{Collector, EventBus};
+pub use chrome::{export_chrome_trace, GPU_PID, GPU_TID, KERNEL_PID, SCHED_TID};
+pub use event::{EventKind, SwapDir, TimedEvent};
+pub use metrics::{
+    latency_bounds_ns, occupancy_bounds, percent_bounds, Counter, Gauge, Histogram, MetricValue,
+    MetricsRegistry, MetricsSnapshot,
+};

@@ -1,0 +1,459 @@
+//! The unified metrics registry: counters, gauges and fixed-bucket
+//! histograms shared by every kernel subsystem.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`-backed
+//! clones over atomics, so subsystems (KVFS, the GPU executor, the fault
+//! injector) hold their own handles while the kernel owns the registry and
+//! snapshots everything at once. Updates are relaxed atomic ops — there is
+//! no lock on the hot path; the registry map is only locked at
+//! registration and snapshot time.
+//!
+//! Metric names are dot-separated (`kvfs.cow_copies`, `kernel.ttft_ns`);
+//! units are suffixed (`_ns`, `_tokens`, `_pct`). The full catalogue lives
+//! in `docs/OBSERVABILITY.md`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A free-standing counter (not registered anywhere).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding the last sampled value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A free-standing gauge (not registered anywhere).
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by a signed delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Inclusive upper bounds of each bucket; an implicit `+inf` bucket
+    /// follows the last bound.
+    bounds: Vec<u64>,
+    /// `buckets.len() == bounds.len() + 1`.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram over `u64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    /// A free-standing histogram with the given inclusive upper bounds
+    /// (must be strictly increasing; an overflow bucket is added).
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                buckets,
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let idx = self
+            .inner
+            .bounds
+            .partition_point(|&b| b < v);
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Bucket upper bounds (the final `+inf` bucket is implicit).
+    pub fn bounds(&self) -> &[u64] {
+        &self.inner.bounds
+    }
+
+    /// Per-bucket counts, including the trailing overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Latency bucket bounds in nanoseconds: 1µs … 10s, roughly logarithmic.
+pub fn latency_bounds_ns() -> Vec<u64> {
+    vec![
+        1_000,
+        10_000,
+        100_000,
+        1_000_000,
+        2_000_000,
+        5_000_000,
+        10_000_000,
+        20_000_000,
+        50_000_000,
+        100_000_000,
+        200_000_000,
+        500_000_000,
+        1_000_000_000,
+        2_000_000_000,
+        5_000_000_000,
+        10_000_000_000,
+    ]
+}
+
+/// Power-of-two occupancy bounds: 1 … 128 requests.
+pub fn occupancy_bounds() -> Vec<u64> {
+    vec![1, 2, 4, 8, 16, 32, 64, 128]
+}
+
+/// Decile bounds for percentages.
+pub fn percent_bounds() -> Vec<u64> {
+    vec![0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The shared registry. Cloning yields another handle to the same metrics.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name} is not a counter"),
+        }
+    }
+
+    /// Returns the gauge `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} is not a gauge"),
+        }
+    }
+
+    /// Returns the histogram `name`, registering it with `bounds` on first
+    /// use (later calls ignore `bounds`).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::with_bounds(bounds)))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} is not a histogram"),
+        }
+    }
+
+    /// Reads a counter's value without registering (`None` if absent).
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        match map.get(name) {
+            Some(Metric::Counter(c)) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// A point-in-time copy of every registered metric, in name order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        let entries = map
+            .iter()
+            .map(|(name, m)| {
+                let value = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        bounds: h.bounds().to_vec(),
+                        buckets: h.bucket_counts(),
+                    },
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+}
+
+/// The value of one metric at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Cumulative count.
+    Counter(u64),
+    /// Last sampled value.
+    Gauge(i64),
+    /// Bucketed samples: `buckets.len() == bounds.len() + 1` (the last
+    /// bucket is the overflow).
+    Histogram {
+        count: u64,
+        sum: u64,
+        bounds: Vec<u64>,
+        buckets: Vec<u64>,
+    },
+}
+
+/// A point-in-time copy of a registry, ordered by metric name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs in lexicographic name order.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up one metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// A counter's value, or `None` if absent or a different kind.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Deterministic JSON rendering (name-ordered object).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            serde::write_json_string(name, &mut out);
+            out.push(':');
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{{\"type\":\"counter\",\"value\":{v}}}"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{{\"type\":\"gauge\",\"value\":{v}}}"));
+                }
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    bounds,
+                    buckets,
+                } => {
+                    out.push_str(&format!(
+                        "{{\"type\":\"histogram\",\"count\":{count},\"sum\":{sum},\"buckets\":["
+                    ));
+                    for (j, n) in buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        match bounds.get(j) {
+                            Some(le) => out.push_str(&format!("{{\"le\":{le},\"n\":{n}}}")),
+                            None => out.push_str(&format!("{{\"le\":\"+inf\",\"n\":{n}}}")),
+                        }
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl serde::Serialize for MetricsSnapshot {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(&self.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x.count");
+        let b = reg.counter("x.count");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5, "handles share storage");
+        assert_eq!(reg.counter_value("x.count"), Some(5));
+        assert_eq!(reg.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn gauges_set_and_adjust() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("pool.used");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_are_inclusive_upper_bounds() {
+        let h = Histogram::with_bounds(&[10, 100]);
+        h.observe(10); // first bucket (<= 10)
+        h.observe(11); // second
+        h.observe(100); // second
+        h.observe(101); // overflow
+        assert_eq!(h.bucket_counts(), vec![1, 2, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 222);
+        assert!((h.mean() - 55.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::with_bounds(&[10, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.gauge("m");
+        let _ = reg.counter("m");
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered_and_queryable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.second").add(2);
+        reg.counter("a.first").add(1);
+        reg.histogram("c.hist", &[5]).observe(3);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "b.second", "c.hist"]);
+        assert_eq!(snap.counter("a.first"), Some(1));
+        assert_eq!(snap.counter("c.hist"), None, "histogram is not a counter");
+        assert!(matches!(
+            snap.get("c.hist"),
+            Some(MetricValue::Histogram { count: 1, sum: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_parses() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(7);
+        reg.gauge("g").set(-2);
+        reg.histogram("h", &[1, 2]).observe(2);
+        let a = reg.snapshot().to_json();
+        let b = reg.snapshot().to_json();
+        assert_eq!(a, b);
+        let parsed = serde_json::from_str::<serde_json::Value>(&a).expect("valid JSON");
+        match parsed {
+            serde_json::Value::Object(o) => {
+                assert_eq!(o.len(), 3);
+                assert!(o.contains_key("h"));
+            }
+            _ => panic!("expected object"),
+        }
+    }
+}
