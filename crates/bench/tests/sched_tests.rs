@@ -1,0 +1,93 @@
+//! Trace regression tests for the continuous (iteration-level) executor:
+//! same seed ⇒ byte-identical Chrome trace, and a checked-in golden
+//! fixture so the `chunk`/`preempt` instrumentation cannot drift silently.
+
+use symphony::{
+    ContinuousConfig, Ctx, ExecMode, Kernel, KernelConfig, MlfqConfig, QueueDiscipline,
+    SysError,
+};
+
+/// A miniature exp_sched point: three programs racing chunked prefills and
+/// decode on a GPU pool too small for all of them, under MLFQ — the run
+/// exercises admission, chunking, and preemption in one trace.
+fn sched_kernel(seed: u64) -> (Kernel, Vec<symphony::Pid>) {
+    let mut cfg = KernelConfig::for_tests();
+    cfg.seed = seed;
+    cfg.telemetry = true;
+    cfg.exec = ExecMode::Continuous(ContinuousConfig {
+        chunk_tokens: Some(8),
+        discipline: QueueDiscipline::Mlfq(MlfqConfig {
+            levels: 3,
+            quantum_tokens: 16,
+        }),
+    });
+    // 14 pages of 4 tokens: the three programs cannot all stay resident.
+    cfg.gpu_kv_bytes_override = Some(14 * 4 * 512);
+    let mut k = Kernel::new(cfg);
+    let mut pids = Vec::new();
+    for p in 0..3usize {
+        pids.push(k.spawn_process(&format!("prog{p}"), "", move |ctx: &mut Ctx| {
+            let kv = ctx.kv_create()?;
+            let prompt: Vec<(u32, u32)> =
+                (0..24).map(|j| (1 + ((p * 31 + j * 7) % 300) as u32, j as u32)).collect();
+            let mut dist = ctx.pred(kv, &prompt)?.pop().ok_or(SysError::BadArgument)?;
+            for i in 0..6u32 {
+                dist = ctx.pred(kv, &[(dist.argmax(), 24 + i)])?.remove(0);
+            }
+            ctx.kv_remove(kv)?;
+            Ok(())
+        }));
+    }
+    (k, pids)
+}
+
+fn run_traced(seed: u64) -> (Kernel, Vec<symphony::Pid>, String) {
+    let (mut k, pids) = sched_kernel(seed);
+    k.run();
+    let trace = k.export_chrome_trace();
+    (k, pids, trace)
+}
+
+#[test]
+fn same_seed_continuous_run_exports_byte_identical_trace() {
+    let (ka, pids, a) = run_traced(42);
+    let (_, _, b) = run_traced(42);
+    assert_eq!(a, b, "same seed must export byte-identical traces");
+    for &pid in &pids {
+        let rec = ka.record(pid).unwrap();
+        assert!(rec.status.is_ok(), "{:?}", rec.status);
+    }
+    // The continuous executor's instrumentation is present: chunked
+    // prefill instants on the GPU track, preemptions on the scheduler
+    // track, and swaps from the recovery path.
+    assert!(ka.prefill_chunks() > 0, "run should chunk prefills");
+    assert!(ka.preemptions() > 0, "pool is too small; run should preempt");
+    for needle in ["\"chunk\"", "\"preempt\"", "kv_swap", "gpu_batch"] {
+        assert!(a.contains(needle), "trace missing {needle}");
+    }
+}
+
+/// A tiny fixed-seed continuous-mode run whose exported trace is checked
+/// into the repo. Regenerate after intentional format/instrumentation
+/// changes with:
+/// `UPDATE_GOLDEN=1 cargo test -p symphony-bench --test sched_tests golden`
+#[test]
+fn golden_sched_trace_matches() {
+    let (_, _, trace) = run_traced(0x5C_4E_D0);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/tiny_sched_trace.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir golden/");
+        std::fs::write(&path, &trace).expect("write golden");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden trace {}: {e}", path.display()));
+    assert_eq!(
+        trace,
+        golden,
+        "continuous-mode trace drifted from the golden fixture; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}

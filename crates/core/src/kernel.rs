@@ -18,8 +18,8 @@ use symphony_model::{ModelConfig, Surrogate, TokenId};
 use symphony_model::surrogate::VocabInfo;
 use symphony_sim::{EventQueue, RetryPolicy, Rng, SimDuration, SimTime, Trace};
 use symphony_telemetry::{
-    export_chrome_trace, latency_bounds_ns, percent_bounds, Collector, EventBus, EventKind, Gauge,
-    Histogram, MetricsRegistry, MetricsSnapshot, SwapDir, TimedEvent,
+    export_chrome_trace, latency_bounds_ns, percent_bounds, Collector, Counter, EventBus,
+    EventKind, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, SwapDir, TimedEvent,
 };
 use symphony_tokenizer::Bpe;
 
@@ -28,7 +28,9 @@ use crate::resilience::{
     AdmissionPolicy, BreakerBank, BreakerPolicy, BreakerVerdict, ResilienceCounters,
     ResilienceStats,
 };
-use crate::sched::{BatchPolicy, Decision, InferScheduler};
+use crate::sched::{
+    BatchPolicy, ContinuousConfig, Decision, ExecMode, InferScheduler, ProgramQueue,
+};
 use crate::syscall::{thread_main, Ctx, LipFn, SysReply, Syscall, UpCall};
 use crate::tools::{ToolOutcome, ToolRegistry, ToolSpec};
 use crate::types::{ExitStatus, Limits, Pid, ProcessRecord, ProcessUsage, SysError, Tid};
@@ -42,8 +44,14 @@ pub struct KernelConfig {
     pub model_seed: u64,
     /// Simulated accelerator.
     pub device: DeviceSpec,
-    /// Batch inference scheduling policy (§4.4).
+    /// Batch inference scheduling policy (§4.4). Only consulted in
+    /// [`ExecMode::Static`]; the continuous executor admits at iteration
+    /// boundaries instead of closing pool snapshots.
     pub batch_policy: BatchPolicy,
+    /// How the GPU loop forms batches: run-to-completion snapshots
+    /// ([`ExecMode::Static`]) or iteration-level continuous batching with
+    /// chunked prefill and KVFS preemption ([`ExecMode::Continuous`]).
+    pub exec: ExecMode,
     /// Global cap on requests per GPU batch.
     pub max_batch: usize,
     /// Tokens per KVFS page.
@@ -88,6 +96,7 @@ impl KernelConfig {
             model_seed: 7,
             device: DeviceSpec::test_device(),
             batch_policy: BatchPolicy::Immediate,
+            exec: ExecMode::Static,
             max_batch: 64,
             page_tokens: 4,
             cpu_swap_bytes: 4_000_000,
@@ -117,6 +126,7 @@ impl KernelConfig {
                 target_batch: 16,
                 max_wait: SimDuration::from_millis(10),
             },
+            exec: ExecMode::Static,
             max_batch: 64,
             page_tokens: 16,
             cpu_swap_bytes: 256_000_000_000,
@@ -200,6 +210,24 @@ struct PendingPred {
     /// When the `pred` first joined the pool (queue-delay metric; preserved
     /// across requeues so the delay covers the whole wait).
     enqueued_at: SimTime,
+    /// Owning program (MLFQ service accounting).
+    pid: Pid,
+    /// `true` when issued by the program's main thread: a blocking,
+    /// critical-path `pred`. Spawned threads' preds are treated as
+    /// speculative/background work by the program-aware queue.
+    critical: bool,
+    // ---- continuous-executor progress (unused in static mode) ----
+    /// Input tokens already executed in earlier iterations.
+    done: usize,
+    /// Distributions accumulated across chunks, delivered when `done`
+    /// reaches the request length.
+    dists: Vec<symphony_model::Dist>,
+    /// File length at first admission, for rollback when a later chunk
+    /// faults (a failed `pred` must leave no partial work, as in static
+    /// mode).
+    start_len: usize,
+    /// Queue delay observed (first admission only).
+    delay_recorded: bool,
 }
 
 /// Ensure LIP-thread panics (crash tests, shutdown unwinds) do not spam
@@ -234,6 +262,12 @@ struct KernelMetrics {
     tool_latency_ns: Histogram,
     /// GPU KV pages in use, sampled after each batch.
     gpu_pages_used: Gauge,
+    /// KV files swapped out to free GPU pages for an executing sequence
+    /// (continuous executor only).
+    preemptions: Counter,
+    /// Prefill chunks executed by the continuous executor (requests that
+    /// spanned more than one iteration).
+    prefill_chunks: Counter,
 }
 
 impl KernelMetrics {
@@ -245,6 +279,8 @@ impl KernelMetrics {
             batch_occupancy_pct: registry.histogram("gpu.batch_occupancy_pct", &percent_bounds()),
             tool_latency_ns: registry.histogram("tools.call_latency_ns", &latency_bounds_ns()),
             gpu_pages_used: registry.gauge("kvfs.gpu_pages_used"),
+            preemptions: registry.counter("sched.preemptions"),
+            prefill_chunks: registry.counter("sched.prefill_chunks"),
         }
     }
 }
@@ -260,6 +296,12 @@ pub struct Kernel {
     events: EventQueue<Event>,
     ready: VecDeque<(Tid, SysReply)>,
     sched: InferScheduler<PendingPred>,
+    exec: ExecMode,
+    /// Continuous-mode wait queue (FIFO or program-aware MLFQ).
+    cqueue: ProgramQueue<PendingPred>,
+    /// Continuous-mode sequences admitted to the GPU, carried across
+    /// iterations until they finish, fail or are preempted.
+    active: Vec<PendingPred>,
     gpu_busy: bool,
     pending_batches: BTreeMap<u64, Vec<(Tid, SysReply)>>,
     next_batch: u64,
@@ -324,6 +366,12 @@ impl Kernel {
             events: EventQueue::new(),
             ready: VecDeque::new(),
             sched: InferScheduler::new(config.batch_policy, config.max_batch),
+            exec: config.exec,
+            cqueue: ProgramQueue::new(match config.exec {
+                ExecMode::Static => crate::sched::QueueDiscipline::Fifo,
+                ExecMode::Continuous(c) => c.discipline,
+            }),
+            active: Vec::new(),
             gpu_busy: false,
             pending_batches: BTreeMap::new(),
             next_batch: 0,
@@ -577,6 +625,22 @@ impl Kernel {
         self.store.stats()
     }
 
+    /// Sequences preempted (KV swapped out) by the continuous executor to
+    /// free GPU pages. Always 0 in [`ExecMode::Static`].
+    pub fn preemptions(&self) -> u64 {
+        self.registry
+            .counter_value("sched.preemptions")
+            .unwrap_or(0)
+    }
+
+    /// Prefill chunks executed by the continuous executor (requests that
+    /// spanned more than one GPU iteration).
+    pub fn prefill_chunks(&self) -> u64 {
+        self.registry
+            .counter_value("sched.prefill_chunks")
+            .unwrap_or(0)
+    }
+
     /// Injected-fault counters for this run.
     pub fn fault_stats(&self) -> FaultStats {
         self.injector.stats()
@@ -773,9 +837,12 @@ impl Kernel {
                 self.start_process(pid, args, f);
             }
             Event::DeadlineCheck { pid } => self.enforce_deadline(pid),
-            Event::RequeuePred { pred } => {
-                self.sched.on_arrival(self.events.now(), pred);
-            }
+            Event::RequeuePred { pred } => match self.exec {
+                ExecMode::Static => self.sched.on_arrival(self.events.now(), pred),
+                ExecMode::Continuous(_) => {
+                    self.cqueue.push(pred.pid.0, pred.critical, pred);
+                }
+            },
         }
     }
 
@@ -811,6 +878,10 @@ impl Kernel {
     // ---- batch scheduling --------------------------------------------------------
 
     fn maybe_launch_batch(&mut self) {
+        if let ExecMode::Continuous(cfg) = self.exec {
+            self.maybe_launch_iteration(cfg);
+            return;
+        }
         match self.sched.decide(self.events.now(), !self.gpu_busy) {
             Decision::LaunchNow => self.launch_batch(),
             Decision::WaitUntil(t) => {
@@ -831,6 +902,7 @@ impl Kernel {
         let tids: Vec<Tid> = pending.iter().map(|p| p.tid).collect();
         let requeues: Vec<u32> = pending.iter().map(|p| p.requeues).collect();
         let enqueued: Vec<SimTime> = pending.iter().map(|p| p.enqueued_at).collect();
+        let metas: Vec<(Pid, bool)> = pending.iter().map(|p| (p.pid, p.critical)).collect();
         let requests: Vec<PredRequest> = pending.into_iter().map(|p| p.req).collect();
         for &at in &enqueued {
             self.kmetrics.queue_delay_ns.observe((now - at).as_nanos());
@@ -875,12 +947,13 @@ impl Kernel {
             .set(self.store.gpu_pages_used() as i64);
         let adm = self.admission;
         let mut replies: Vec<(Tid, SysReply)> = Vec::with_capacity(requests.len());
-        for ((((tid, res), req), requeues), enqueued_at) in tids
+        for (((((tid, res), req), requeues), enqueued_at), (ppid, critical)) in tids
             .into_iter()
             .zip(results)
             .zip(requests)
             .zip(requeues)
             .zip(enqueued)
+            .zip(metas)
         {
             let reply = match res {
                 Ok(r) => SysReply::Dists(r.dists),
@@ -903,6 +976,12 @@ impl Kernel {
                                 req,
                                 requeues: requeues + 1,
                                 enqueued_at,
+                                pid: ppid,
+                                critical,
+                                done: 0,
+                                dists: Vec::new(),
+                                start_len: 0,
+                                delay_recorded: false,
                             },
                         },
                     );
@@ -938,6 +1017,432 @@ impl Kernel {
             self.events.now() + report.duration,
             Event::BatchDone { batch_id },
         );
+    }
+
+    // ---- continuous (iteration-level) executor ---------------------------------
+
+    /// Waiting `pred`s in whichever queue the execution mode uses.
+    fn pred_queue_len(&self) -> usize {
+        match self.exec {
+            ExecMode::Static => self.sched.pool_len(),
+            ExecMode::Continuous(_) => self.cqueue.len(),
+        }
+    }
+
+    /// Iteration-level admission: runs one GPU iteration whenever the GPU
+    /// is idle and work is admitted or waiting.
+    fn maybe_launch_iteration(&mut self, cfg: ContinuousConfig) {
+        if self.gpu_busy {
+            return;
+        }
+        if self.active.is_empty() && self.cqueue.is_empty() {
+            return;
+        }
+        let now = self.events.now();
+        // Iteration boundary: let the current virtual instant drain first.
+        // Replies and syscalls cascade at one instant (per-syscall cost can
+        // be zero), so launching mid-cascade would fragment same-time
+        // arrivals into single-request iterations.
+        if self.events.peek_time() == Some(now) {
+            return;
+        }
+        // Admit from the wait queue — the program-aware (or FIFO) order.
+        while self.active.len() < self.max_batch {
+            let Some(mut pred) = self.cqueue.pop() else {
+                break;
+            };
+            if !pred.delay_recorded {
+                pred.delay_recorded = true;
+                self.kmetrics
+                    .queue_delay_ns
+                    .observe((now - pred.enqueued_at).as_nanos());
+            }
+            if pred.done == 0 {
+                pred.start_len = self.store.len(pred.req.file).unwrap_or(0);
+            }
+            self.active.push(pred);
+        }
+        if self.active.is_empty() {
+            return;
+        }
+        self.launch_iteration(cfg);
+    }
+
+    /// Picks the preemption victim among active peers of `i`: the
+    /// lowest-priority (highest MLFQ level, then latest-arrived) sequence
+    /// whose KV is GPU-resident and neither pinned nor locked. Sequences in
+    /// `retire` or `preempted` are already leaving the active set.
+    fn lowest_priority_peer(
+        &self,
+        i: usize,
+        retire: &[usize],
+        preempted: &[usize],
+    ) -> Option<usize> {
+        self.active
+            .iter()
+            .enumerate()
+            .filter(|(j, s)| {
+                *j != i
+                    && !retire.contains(j)
+                    && !preempted.contains(j)
+                    && matches!(
+                        self.store.residency(s.req.file),
+                        Ok(Residency::Gpu | Residency::Mixed)
+                    )
+                    && self
+                        .store
+                        .stat(s.req.file)
+                        .is_ok_and(|st| !st.pinned && st.locked_by.is_none())
+            })
+            .max_by_key(|(j, s)| {
+                (
+                    self.cqueue.level_for(s.pid.0, s.critical),
+                    s.enqueued_at,
+                    *j,
+                )
+            })
+            .map(|(j, _)| j)
+    }
+
+    /// Runs one token iteration: swap admitted-but-evicted KV back in,
+    /// execute one chunk of every resident sequence, retire finished
+    /// sequences, and recover from KV exhaustion by preempting.
+    fn launch_iteration(&mut self, cfg: ContinuousConfig) {
+        let now = self.events.now();
+        let chunk = cfg.chunk_tokens.unwrap_or(usize::MAX).max(1);
+        let bpt = self.store.bytes_per_token();
+        // PCIe time for swaps performed on behalf of this iteration is
+        // charged to the iteration's duration.
+        let mut swap_extra = SimDuration::ZERO;
+
+        // 1. Bring non-resident participants' KV back to the GPU (files
+        // evicted by an earlier preemption, or swapped while their owner
+        // was between `pred`s). A swap-in is only worth its PCIe time if
+        // the sequence can then actually *run*, so require headroom for
+        // the file plus its next chunk — otherwise the swapped-in file
+        // refills exactly the pages a preemption just freed and the
+        // iteration appends nothing, forever. Make headroom by evicting
+        // idle LRU files first, then by preempting the lowest-priority
+        // resident peer.
+        let pt = self.store.page_tokens().max(1);
+        let mut preempted: Vec<usize> = Vec::new();
+        for i in 0..self.active.len() {
+            if preempted.contains(&i) {
+                continue;
+            }
+            let (file, spid, stid, need_pages) = {
+                let s = &self.active[i];
+                let take = (s.req.tokens.len() - s.done).min(chunk);
+                let len = self.store.len(s.req.file).unwrap_or(0);
+                (
+                    s.req.file,
+                    s.pid,
+                    s.tid,
+                    len.div_ceil(pt) + take.div_ceil(pt),
+                )
+            };
+            if matches!(
+                self.store.residency(file),
+                Ok(Residency::Gpu | Residency::Empty)
+            ) {
+                continue;
+            }
+            while self.store.gpu_pages_free() < need_pages {
+                let exclude: Vec<FileId> = self
+                    .active
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| !preempted.contains(j))
+                    .map(|(_, s)| s.req.file)
+                    .collect();
+                if let Some((victim, moved)) = self.store.evict_lru(&exclude) {
+                    swap_extra += self.gpu.swap_time(moved as u64, bpt);
+                    self.kmetrics.preemptions.inc();
+                    self.bus.emit(now, || EventKind::Preempt {
+                        file: victim.0,
+                        tokens: moved as u64,
+                        victim_tid: 0,
+                    });
+                    continue;
+                }
+                let Some(j) = self.lowest_priority_peer(i, &[], &preempted) else {
+                    break;
+                };
+                let (vfile, vtid) = (self.active[j].req.file, self.active[j].tid);
+                match self.store.swap_out(vfile, OwnerId::ADMIN) {
+                    Ok(moved) => {
+                        swap_extra += self.gpu.swap_time(moved as u64, bpt);
+                        self.kmetrics.preemptions.inc();
+                        self.bus.emit(now, || EventKind::Preempt {
+                            file: vfile.0,
+                            tokens: moved as u64,
+                            victim_tid: vtid.0,
+                        });
+                        preempted.push(j);
+                    }
+                    Err(_) => break,
+                }
+            }
+            if self.store.gpu_pages_free() < need_pages {
+                continue; // cannot fit this iteration; retry later
+            }
+            if let Ok(moved) = self.store.swap_in(file, OwnerId::ADMIN) {
+                swap_extra += self.gpu.swap_time(moved as u64, bpt);
+                self.bus.emit(now, || EventKind::KvSwap {
+                    pid: spid.0,
+                    tid: stid.0,
+                    file: file.0,
+                    tokens: moved as u64,
+                    dir: SwapDir::In,
+                });
+            }
+        }
+
+        // 2. One slice per resident sequence, at most `chunk` tokens.
+        let mut parts: Vec<usize> = Vec::new();
+        let mut requests: Vec<PredRequest> = Vec::new();
+        for (i, s) in self.active.iter().enumerate() {
+            if !matches!(
+                self.store.residency(s.req.file),
+                Ok(Residency::Gpu | Residency::Empty)
+            ) {
+                continue;
+            }
+            let take = (s.req.tokens.len() - s.done).min(chunk);
+            requests.push(PredRequest {
+                file: s.req.file,
+                owner: s.req.owner,
+                tokens: s.req.tokens[s.done..s.done + take].to_vec(),
+            });
+            parts.push(i);
+        }
+        if parts.is_empty() {
+            return;
+        }
+
+        // 3. Fault draws, one per participating request, in admission
+        // order (all-zero plans draw nothing).
+        let faulted: Vec<bool> = requests
+            .iter()
+            .map(|_| self.injector.pred_request())
+            .collect();
+        for f in &faulted {
+            if *f {
+                self.bus
+                    .emit(now, || EventKind::FaultInjected { site: "gpu.pred" });
+            }
+        }
+        let cow_before = self.store.stats().cow_copies;
+        let (results, report) =
+            self.gpu
+                .execute_batch_with_faults(&mut self.store, &requests, &faulted);
+        let batch_id = self.next_batch;
+        self.next_batch += 1;
+        let occupancy_pct = (parts.len() * 100 / self.max_batch.max(1)).min(100) as u32;
+        self.kmetrics
+            .batch_occupancy_pct
+            .observe(occupancy_pct as u64);
+        let n_requests = parts.len() as u32;
+        let new_tokens = report.new_tokens;
+        self.bus.emit(now, || EventKind::BatchBegin {
+            id: batch_id,
+            requests: n_requests,
+            occupancy_pct,
+            new_tokens,
+        });
+        let cow_delta = self.store.stats().cow_copies - cow_before;
+        if cow_delta > 0 {
+            self.bus
+                .emit(now, || EventKind::KvCow { copies: cow_delta });
+        }
+
+        // 4. Apply results: accumulate chunk progress, retire finished or
+        // terminally failed sequences, collect KV-exhausted ones.
+        let adm = self.admission;
+        let mut replies: Vec<(Tid, SysReply)> = Vec::new();
+        let mut retire: Vec<usize> = Vec::new();
+        let mut failed_mem: Vec<usize> = Vec::new();
+        for (k, res) in results.into_iter().enumerate() {
+            let i = parts[k];
+            let take = requests[k].tokens.len();
+            match res {
+                Ok(r) => {
+                    let s = &mut self.active[i];
+                    s.dists.extend(r.dists);
+                    s.done += take;
+                    let total = s.req.tokens.len();
+                    if s.done < total || take < total {
+                        self.kmetrics.prefill_chunks.inc();
+                        let (ctid, ctk, cdone, ctotal) =
+                            (s.tid.0, take as u32, s.done as u32, total as u32);
+                        self.bus.emit(now, || EventKind::ChunkExec {
+                            tid: ctid,
+                            batch: batch_id,
+                            tokens: ctk,
+                            done: cdone,
+                            total: ctotal,
+                        });
+                    }
+                    let (cpid, ccrit) = (s.pid.0, s.critical);
+                    if s.done == total {
+                        let dists = std::mem::take(&mut s.dists);
+                        replies.push((s.tid, SysReply::Dists(dists)));
+                        retire.push(i);
+                    }
+                    self.cqueue.charge(cpid, ccrit, take as u64);
+                }
+                Err(ExecError::Kv(KvError::NoGpuMemory)) => failed_mem.push(i),
+                Err(e) => {
+                    let (file, owner, start_len, done, stid) = {
+                        let s = &self.active[i];
+                        (s.req.file, s.req.owner, s.start_len, s.done, s.tid)
+                    };
+                    // A failed pred leaves no partial work behind, exactly
+                    // as in static mode: roll earlier chunks back.
+                    if done > 0 {
+                        let _ = self.store.truncate(file, owner, start_len);
+                    }
+                    let reply = match e {
+                        ExecError::NotResident => {
+                            SysReply::Err(SysError::Kv(KvError::NotResident))
+                        }
+                        ExecError::EmptyRequest => SysReply::Err(SysError::BadArgument),
+                        ExecError::Faulted => SysReply::Err(SysError::Fault("gpu.pred")),
+                        ExecError::Kv(ke) => SysReply::Err(SysError::Kv(ke)),
+                    };
+                    replies.push((stid, reply));
+                    retire.push(i);
+                }
+            }
+        }
+
+        // 5. KV exhaustion: free pages by evicting idle files, then by
+        // preempting the lowest-priority co-running sequence; only when
+        // nothing is evictable fall back to admission-control requeue/shed
+        // (static-mode semantics). `preempted` carries over phase 1's
+        // swap-in victims so phase 6 requeues them too.
+        let mut requeued: Vec<usize> = Vec::new();
+        for &i in &failed_mem {
+            if preempted.contains(&i) {
+                continue; // became a victim of an earlier recovery
+            }
+            let file = self.active[i].req.file;
+            let need = (self.active[i].req.tokens.len() - self.active[i].done).min(chunk);
+            loop {
+                if self.store.can_append(file, need).unwrap_or(false) {
+                    break;
+                }
+                let exclude: Vec<FileId> = self
+                    .active
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| !retire.contains(j) && !preempted.contains(j))
+                    .map(|(_, s)| s.req.file)
+                    .collect();
+                if let Some((victim, moved)) = self.store.evict_lru(&exclude) {
+                    swap_extra += self.gpu.swap_time(moved as u64, bpt);
+                    self.kmetrics.preemptions.inc();
+                    self.bus.emit(now, || EventKind::Preempt {
+                        file: victim.0,
+                        tokens: moved as u64,
+                        victim_tid: 0,
+                    });
+                    continue;
+                }
+                // No idle victim left: preempt the lowest-priority peer
+                // (highest MLFQ level, then latest arrival).
+                let Some(j) = self.lowest_priority_peer(i, &retire, &preempted) else {
+                    break; // nothing evictable at all
+                };
+                let vfile = self.active[j].req.file;
+                let vtid = self.active[j].tid;
+                match self.store.swap_out(vfile, OwnerId::ADMIN) {
+                    Ok(moved) => {
+                        swap_extra += self.gpu.swap_time(moved as u64, bpt);
+                        self.kmetrics.preemptions.inc();
+                        self.bus.emit(now, || EventKind::Preempt {
+                            file: vfile.0,
+                            tokens: moved as u64,
+                            victim_tid: vtid.0,
+                        });
+                        preempted.push(j);
+                    }
+                    Err(_) => break,
+                }
+            }
+            if self.store.can_append(file, need).unwrap_or(false) {
+                continue; // stays active; next iteration makes progress
+            }
+            let (stid, srequeues, sdone) = {
+                let s = &self.active[i];
+                (s.tid, s.requeues, s.done)
+            };
+            if adm.is_some_and(|a| srequeues < a.max_retries) {
+                self.res_counters.preds_requeued.inc();
+                let attempt = srequeues + 1;
+                self.bus.emit(now, || EventKind::PredRequeue {
+                    tid: stid.0,
+                    attempt,
+                });
+                requeued.push(i);
+            } else {
+                let (file, owner, start_len) = {
+                    let s = &self.active[i];
+                    (s.req.file, s.req.owner, s.start_len)
+                };
+                if sdone > 0 {
+                    let _ = self.store.truncate(file, owner, start_len);
+                }
+                let reply = if adm.is_some() {
+                    self.res_counters.preds_shed.inc();
+                    self.bus.emit(now, || EventKind::PredShed { tid: stid.0 });
+                    SysReply::Err(SysError::Busy)
+                } else {
+                    SysReply::Err(SysError::Kv(KvError::NoGpuMemory))
+                };
+                replies.push((stid, reply));
+                retire.push(i);
+            }
+        }
+
+        // 6. Rebuild the active set: drop retired sequences, move preempted
+        // and requeued ones back to the wait queue (keeping their chunk
+        // progress — preemption only changes timing, never results).
+        let mut kept = Vec::with_capacity(self.active.len());
+        for (j, mut s) in std::mem::take(&mut self.active).into_iter().enumerate() {
+            if retire.contains(&j) {
+                continue;
+            }
+            if preempted.contains(&j) {
+                let (spid, scrit) = (s.pid.0, s.critical);
+                self.cqueue.push_front(spid, scrit, s);
+            } else if requeued.contains(&j) {
+                s.requeues += 1;
+                let delay = adm.map(|a| a.retry_delay).unwrap_or_default();
+                self.events
+                    .schedule(now + delay, Event::RequeuePred { pred: s });
+            } else {
+                kept.push(s);
+            }
+        }
+        self.active = kept;
+
+        self.kmetrics
+            .gpu_pages_used
+            .set(self.store.gpu_pages_used() as i64);
+        let duration = swap_extra + report.duration;
+        self.trace.record(
+            now,
+            "infer_sched",
+            format!(
+                "iter_launch id={batch_id} n={} new_tokens={} dur={duration}",
+                report.requests, report.new_tokens
+            ),
+        );
+        self.pending_batches.insert(batch_id, replies);
+        self.gpu_busy = true;
+        self.events
+            .schedule(now + duration, Event::BatchDone { batch_id });
     }
 
     // ---- syscall dispatch -----------------------------------------------------------
@@ -1017,7 +1522,7 @@ impl Kernel {
                 }
                 // Bounded admission queue: shed before accounting the work.
                 if let Some(adm) = self.admission {
-                    if self.sched.pool_len() >= adm.max_queue {
+                    if self.pred_queue_len() >= adm.max_queue {
                         self.res_counters.preds_shed.inc();
                         self.bus
                             .emit(sys_at, || EventKind::PredShed { tid: tid.0 });
@@ -1041,25 +1546,33 @@ impl Kernel {
                     format!("pred tid={} n={}", tid.0, tokens.len()),
                 );
                 let n_tokens = tokens.len() as u32;
-                let pool = self.sched.pool_len() as u32;
+                let pool = self.pred_queue_len() as u32;
                 self.bus.emit(sys_at, || EventKind::PredEnqueue {
                     tid: tid.0,
                     tokens: n_tokens,
                     pool,
                 });
-                self.sched.on_arrival(
-                    self.events.now(),
-                    PendingPred {
-                        tid,
-                        req: PredRequest {
-                            file: kv,
-                            owner,
-                            tokens,
-                        },
-                        requeues: 0,
-                        enqueued_at: self.events.now(),
+                let critical = self.procs[&pid.0].main_tid == tid;
+                let pending = PendingPred {
+                    tid,
+                    req: PredRequest {
+                        file: kv,
+                        owner,
+                        tokens,
                     },
-                );
+                    requeues: 0,
+                    enqueued_at: self.events.now(),
+                    pid,
+                    critical,
+                    done: 0,
+                    dists: Vec::new(),
+                    start_len: 0,
+                    delay_recorded: false,
+                };
+                match self.exec {
+                    ExecMode::Static => self.sched.on_arrival(self.events.now(), pending),
+                    ExecMode::Continuous(_) => self.cqueue.push(pid.0, critical, pending),
+                }
                 // Thread stays parked; the batch scheduler will resume it.
             }
             Syscall::KvCreate => {
@@ -1607,6 +2120,7 @@ impl Kernel {
     fn finalize_process(&mut self, pid: Pid) {
         let owner = OwnerId(pid.0);
         self.store.release_locks(owner);
+        self.cqueue.forget(pid.0);
         let victims: Vec<FileId> = self
             .store
             .list_files()

@@ -71,7 +71,7 @@ pub mod types;
 pub use faults::{FaultInjector, FaultPlan, FaultStats, ToolFaultKind};
 pub use kernel::{Kernel, KernelConfig};
 pub use resilience::{AdmissionPolicy, BreakerPolicy, ResilienceStats};
-pub use sched::BatchPolicy;
+pub use sched::{BatchPolicy, ContinuousConfig, ExecMode, MlfqConfig, ProgramQueue, QueueDiscipline};
 pub use syscall::Ctx;
 pub use tools::{ToolOutcome, ToolRegistry, ToolSpec};
 pub use types::{ExitStatus, Limits, Pid, ProcessRecord, SysError, Tid};

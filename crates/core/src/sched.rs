@@ -8,7 +8,7 @@
 //! policy that sizes the wait from the observed `pred` arrival rate
 //! (a Poisson-process view of syscall arrivals).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use symphony_sim::{SimDuration, SimTime};
 
@@ -49,6 +49,12 @@ pub enum Decision {
 
 /// EWMA weight for inter-arrival gaps.
 const GAP_ALPHA: f64 = 0.2;
+
+/// Floor for the estimated inter-arrival gap, in seconds. Simultaneous
+/// arrivals produce a zero gap; without the floor `estimated_rate` would
+/// report an infinite rate and the adaptive fill-time computation would
+/// degenerate. One virtual nanosecond.
+const MIN_GAP_SECS: f64 = 1e-9;
 
 /// The inference pool plus launch policy.
 #[derive(Debug)]
@@ -92,10 +98,17 @@ impl<T> InferScheduler<T> {
         self.pool.is_empty()
     }
 
-    /// Current arrival-rate estimate in calls/second (`None` before two
-    /// arrivals).
+    /// Current arrival-rate estimate in calls/second.
+    ///
+    /// Cold start is explicit: `None` until two arrivals have produced a
+    /// first inter-arrival gap, and the gap is floored at one virtual
+    /// nanosecond so a burst of simultaneous arrivals reports a large but
+    /// *finite* rate instead of dividing by zero. The adaptive policy maps
+    /// `None` to [`Decision::LaunchNow`] (see [`InferScheduler::decide`]);
+    /// it never guesses a wait from an estimate this method won't stand
+    /// behind.
     pub fn estimated_rate(&self) -> Option<f64> {
-        self.ewma_gap.map(|g| 1.0 / g.max(1e-9))
+        self.ewma_gap.map(|g| 1.0 / g.max(MIN_GAP_SECS))
     }
 
     /// Records a `pred` arrival.
@@ -143,11 +156,16 @@ impl<T> InferScheduler<T> {
                     return Decision::LaunchNow;
                 }
                 // Expected time to fill the rest of the batch at the
-                // observed rate; with no estimate yet, launch immediately
-                // rather than guess.
-                let Some(gap) = self.ewma_gap else {
+                // observed rate. Cold start: `estimated_rate` is the gate —
+                // before the estimator commits to a rate, launch immediately
+                // rather than guess a wait. The raw (unfloored) gap is used
+                // below so that a burst of simultaneous arrivals computes a
+                // zero fill time and launches now instead of arming a
+                // nanosecond timer.
+                if self.estimated_rate().is_none() {
                     return Decision::LaunchNow;
-                };
+                }
+                let gap = self.ewma_gap.expect("gated on estimated_rate");
                 // If not even one more call is expected within the wait cap,
                 // waiting cannot grow the batch: be work-conserving.
                 if SimDuration::from_secs_f64(gap) >= max_wait {
@@ -169,6 +187,177 @@ impl<T> InferScheduler<T> {
     pub fn take_batch(&mut self) -> Vec<T> {
         let n = self.pool.len().min(self.max_batch);
         self.pool.drain(..n).map(|(_, e)| e).collect()
+    }
+}
+
+/// How the GPU loop forms batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Run-to-completion batches: a pool snapshot closes into a batch
+    /// (per [`BatchPolicy`]) and runs until every request in it finishes.
+    Static,
+    /// Iteration-level continuous batching: sequences are admitted and
+    /// retired at token-iteration granularity, long prefills are split
+    /// into chunks, and sequences are preempted via KVFS swap when GPU
+    /// pages run out.
+    Continuous(ContinuousConfig),
+}
+
+/// Parameters of the continuous-batching executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContinuousConfig {
+    /// Maximum tokens one request contributes to a single iteration.
+    /// `None` runs each request's whole remaining prompt in one iteration
+    /// (continuous batching without chunked prefill). Smaller chunks bound
+    /// inter-token latency for co-scheduled decoders at the price of
+    /// re-streaming the model weights once per extra iteration.
+    pub chunk_tokens: Option<usize>,
+    /// Admission order for waiting `pred` calls.
+    pub discipline: QueueDiscipline,
+}
+
+impl Default for ContinuousConfig {
+    fn default() -> Self {
+        ContinuousConfig {
+            chunk_tokens: Some(256),
+            discipline: QueueDiscipline::Fifo,
+        }
+    }
+}
+
+/// Admission order for the continuous executor's wait queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueDiscipline {
+    /// First-come first-served, program-oblivious.
+    Fifo,
+    /// Program-aware non-clairvoyant multi-level feedback queue: programs
+    /// with little critical-path service so far are admitted first.
+    Mlfq(MlfqConfig),
+}
+
+/// MLFQ shape: `levels` queues with a geometric service ladder. A program
+/// starts at level 0 and demotes one level each time its accumulated
+/// critical-path service crosses the next threshold (`quantum_tokens`,
+/// then twice that, then four times, ...). Demotion is never reversed:
+/// the policy is non-clairvoyant — it approximates shortest-remaining-
+/// first using only the service a program has already consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MlfqConfig {
+    /// Number of priority levels (≥ 1).
+    pub levels: usize,
+    /// Critical-path tokens a program may consume before its first
+    /// demotion.
+    pub quantum_tokens: u64,
+}
+
+impl Default for MlfqConfig {
+    fn default() -> Self {
+        MlfqConfig {
+            levels: 4,
+            quantum_tokens: 512,
+        }
+    }
+}
+
+/// The continuous executor's wait queue: FIFO or program-aware MLFQ.
+///
+/// Entries are tagged with the owning program and whether the `pred` is on
+/// the program's *critical path* (issued by its main thread) or
+/// speculative/background (issued by a spawned thread). Only critical-path
+/// tokens accrue service — a program is not punished for background
+/// speculation — but speculative entries queue one level below the
+/// program's current level, so they never starve another program's
+/// blocking work.
+#[derive(Debug)]
+pub struct ProgramQueue<T> {
+    discipline: QueueDiscipline,
+    levels: Vec<VecDeque<T>>,
+    /// Accumulated critical-path service (tokens) per program id.
+    service: BTreeMap<u64, u64>,
+}
+
+impl<T> ProgramQueue<T> {
+    /// Creates an empty queue for a discipline.
+    pub fn new(discipline: QueueDiscipline) -> Self {
+        let n = match discipline {
+            QueueDiscipline::Fifo => 1,
+            // +1: speculative entries of bottom-level programs still get
+            // their own (lower) level.
+            QueueDiscipline::Mlfq(cfg) => cfg.levels.max(1) + 1,
+        };
+        ProgramQueue {
+            discipline,
+            levels: (0..n).map(|_| VecDeque::new()).collect(),
+            service: BTreeMap::new(),
+        }
+    }
+
+    /// Queued entries across all levels.
+    pub fn len(&self) -> usize {
+        self.levels.iter().map(VecDeque::len).sum()
+    }
+
+    /// Returns `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.levels.iter().all(VecDeque::is_empty)
+    }
+
+    /// The level an entry from `pid` would queue at right now.
+    pub fn level_for(&self, pid: u64, critical: bool) -> usize {
+        match self.discipline {
+            QueueDiscipline::Fifo => 0,
+            QueueDiscipline::Mlfq(cfg) => {
+                let service = self.service.get(&pid).copied().unwrap_or(0);
+                let mut level = 0usize;
+                let mut bound = cfg.quantum_tokens.max(1);
+                while service >= bound && level + 1 < cfg.levels.max(1) {
+                    level += 1;
+                    bound = bound.saturating_mul(2);
+                }
+                // Speculative/background preds yield to critical-path work.
+                if critical {
+                    level
+                } else {
+                    (level + 1).min(self.levels.len() - 1)
+                }
+            }
+        }
+    }
+
+    /// Enqueues at the back of the program's current level.
+    pub fn push(&mut self, pid: u64, critical: bool, entry: T) {
+        let level = self.level_for(pid, critical);
+        self.levels[level].push_back(entry);
+    }
+
+    /// Re-enqueues at the *front* of the program's current level: a
+    /// preempted sequence resumes before later arrivals of equal priority.
+    pub fn push_front(&mut self, pid: u64, critical: bool, entry: T) {
+        let level = self.level_for(pid, critical);
+        self.levels[level].push_front(entry);
+    }
+
+    /// Dequeues from the lowest-numbered non-empty level.
+    pub fn pop(&mut self) -> Option<T> {
+        self.levels.iter_mut().find_map(VecDeque::pop_front)
+    }
+
+    /// Records executed service. Only critical-path tokens move a program
+    /// down the ladder.
+    pub fn charge(&mut self, pid: u64, critical: bool, tokens: u64) {
+        if critical {
+            *self.service.entry(pid).or_insert(0) += tokens;
+        }
+    }
+
+    /// Accumulated critical-path service for a program.
+    pub fn service_of(&self, pid: u64) -> u64 {
+        self.service.get(&pid).copied().unwrap_or(0)
+    }
+
+    /// Drops the service record of a finished program.
+    pub fn forget(&mut self, pid: u64) {
+        self.service.remove(&pid);
     }
 }
 
@@ -303,6 +492,48 @@ mod tests {
     }
 
     #[test]
+    fn rate_estimate_cold_start_is_none_until_first_gap() {
+        let mut s = InferScheduler::new(
+            BatchPolicy::Adaptive {
+                target_batch: 8,
+                max_wait: SimDuration::from_millis(50),
+            },
+            8,
+        );
+        // Zero arrivals: no estimate, nothing to decide.
+        assert_eq!(s.estimated_rate(), None);
+        assert_eq!(s.decide(at(0), true), Decision::Idle);
+        // One arrival: still no gap, so still no estimate — the adaptive
+        // policy's explicit fallback is to launch, not to guess a wait.
+        s.on_arrival(at(0), ());
+        assert_eq!(s.estimated_rate(), None);
+        assert_eq!(s.decide(at(0), true), Decision::LaunchNow);
+        // Two arrivals: one gap, estimate commits.
+        s.on_arrival(at(10), ());
+        let rate = s.estimated_rate().expect("estimate after first gap");
+        assert!((rate - 100.0).abs() < 1.0, "rate={rate}");
+    }
+
+    #[test]
+    fn rate_estimate_simultaneous_arrivals_stay_finite() {
+        let mut s = InferScheduler::new(
+            BatchPolicy::Adaptive {
+                target_batch: 8,
+                max_wait: SimDuration::from_millis(50),
+            },
+            8,
+        );
+        // A burst at one instant: gap 0 must clamp, not divide by zero.
+        s.on_arrival(at(3), ());
+        s.on_arrival(at(3), ());
+        let rate = s.estimated_rate().expect("estimate exists");
+        assert!(rate.is_finite(), "rate={rate}");
+        // And with an (apparently) infinite rate the fill time is ~zero:
+        // launch immediately, don't wait on a degenerate deadline.
+        assert_eq!(s.decide(at(3), true), Decision::LaunchNow);
+    }
+
+    #[test]
     fn rate_estimate_converges() {
         let mut s: InferScheduler<()> = InferScheduler::new(BatchPolicy::Immediate, 8);
         assert_eq!(s.estimated_rate(), None);
@@ -314,5 +545,89 @@ mod tests {
         }
         let rate = s.estimated_rate().unwrap();
         assert!((rate - 100.0).abs() < 5.0, "rate={rate}");
+    }
+
+    #[test]
+    fn fifo_queue_preserves_arrival_order() {
+        let mut q = ProgramQueue::new(QueueDiscipline::Fifo);
+        q.push(1, true, "a");
+        q.push(2, false, "b");
+        q.push(1, true, "c");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), Some("c"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn mlfq_demotes_on_service_ladder() {
+        let cfg = MlfqConfig {
+            levels: 3,
+            quantum_tokens: 100,
+        };
+        let mut q: ProgramQueue<u32> = ProgramQueue::new(QueueDiscipline::Mlfq(cfg));
+        assert_eq!(q.level_for(1, true), 0);
+        q.charge(1, true, 99);
+        assert_eq!(q.level_for(1, true), 0, "under quantum");
+        q.charge(1, true, 1);
+        assert_eq!(q.level_for(1, true), 1, "first demotion at 100");
+        q.charge(1, true, 100);
+        assert_eq!(q.level_for(1, true), 2, "second demotion at 200");
+        q.charge(1, true, 10_000);
+        assert_eq!(q.level_for(1, true), 2, "bottoms out at levels-1");
+    }
+
+    #[test]
+    fn mlfq_prioritises_low_service_programs() {
+        let cfg = MlfqConfig {
+            levels: 4,
+            quantum_tokens: 10,
+        };
+        let mut q = ProgramQueue::new(QueueDiscipline::Mlfq(cfg));
+        q.charge(1, true, 1000); // long-running program
+        q.push(1, true, "old");
+        q.push(2, true, "new"); // fresh program, zero service
+        assert_eq!(q.pop(), Some("new"), "fresh program admitted first");
+        assert_eq!(q.pop(), Some("old"));
+    }
+
+    #[test]
+    fn mlfq_speculative_preds_yield_and_do_not_accrue_service() {
+        let cfg = MlfqConfig {
+            levels: 4,
+            quantum_tokens: 10,
+        };
+        let mut q = ProgramQueue::new(QueueDiscipline::Mlfq(cfg));
+        // Speculative work queues one level down...
+        assert_eq!(q.level_for(1, false), q.level_for(1, true) + 1);
+        q.push(1, false, "spec");
+        q.push(2, true, "crit");
+        assert_eq!(q.pop(), Some("crit"), "critical path first");
+        // ...and charging it does not demote the program.
+        q.charge(1, false, 10_000);
+        assert_eq!(q.service_of(1), 0);
+        assert_eq!(q.level_for(1, true), 0);
+    }
+
+    #[test]
+    fn mlfq_push_front_resumes_before_equal_priority() {
+        let cfg = MlfqConfig::default();
+        let mut q = ProgramQueue::new(QueueDiscipline::Mlfq(cfg));
+        q.push(1, true, "waiting");
+        q.push_front(2, true, "preempted");
+        assert_eq!(q.pop(), Some("preempted"));
+        assert_eq!(q.pop(), Some("waiting"));
+    }
+
+    #[test]
+    fn program_queue_forget_resets_service() {
+        let mut q: ProgramQueue<()> =
+            ProgramQueue::new(QueueDiscipline::Mlfq(MlfqConfig::default()));
+        q.charge(7, true, 99_999);
+        assert!(q.service_of(7) > 0);
+        q.forget(7);
+        assert_eq!(q.service_of(7), 0);
+        assert_eq!(q.level_for(7, true), 0);
     }
 }

@@ -832,6 +832,29 @@ impl KvStore {
         Ok(moved)
     }
 
+    /// Preemption eviction hook: swaps out the least-recently-used
+    /// GPU-resident file to free pages, skipping pinned, locked and
+    /// `exclude`d files (the scheduler excludes files of sequences still
+    /// executing). Returns the victim and tokens moved, or `None` when no
+    /// file is evictable. Deterministic: ties on `last_access` break by
+    /// file id.
+    pub fn evict_lru(&mut self, exclude: &[FileId]) -> Option<(FileId, usize)> {
+        let victim = self
+            .list_files()
+            .into_iter()
+            .filter(|s| {
+                !s.pinned
+                    && s.locked_by.is_none()
+                    && matches!(s.residency, Residency::Gpu | Residency::Mixed)
+                    && !exclude.contains(&s.id)
+            })
+            .min_by_key(|s| (s.last_access, s.id))?;
+        let moved = self
+            .swap_out(victim.id, OwnerId::ADMIN)
+            .expect("victim passed the evictability filter");
+        Some((victim.id, moved))
+    }
+
     /// Releases every lock held by `owner` (kernel cleanup when a process
     /// exits or crashes). Returns the number of locks released.
     pub fn release_locks(&mut self, owner: OwnerId) -> usize {
@@ -1277,6 +1300,44 @@ mod tests {
         let sa = s.stat(a).unwrap().last_access;
         let sb = s.stat(b).unwrap().last_access;
         assert!(sa > sb, "a was accessed more recently");
+    }
+
+    #[test]
+    fn evict_lru_picks_least_recent_and_respects_filters() {
+        let mut s = store();
+        let a = s.create(U1).unwrap();
+        let b = s.create(U1).unwrap();
+        let c = s.create(U2).unwrap();
+        s.append(a, U1, &entries(0..4)).unwrap();
+        s.append(b, U1, &entries(0..4)).unwrap();
+        s.append(c, U2, &entries(0..4)).unwrap();
+        // Touch a so b becomes the LRU file.
+        let _ = s.read(a, U1, 0, 1).unwrap();
+        let (victim, moved) = s.evict_lru(&[]).unwrap();
+        assert_eq!(victim, b);
+        assert_eq!(moved, 4);
+        assert_eq!(s.residency(b).unwrap(), Residency::Cpu);
+        // Already-swapped files are no longer candidates; with c excluded
+        // and b on CPU, the only remaining candidate is a.
+        let (victim, _) = s.evict_lru(&[c]).unwrap();
+        assert_eq!(victim, a);
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn evict_lru_skips_pinned_and_locked() {
+        let mut s = store();
+        let a = s.create(U1).unwrap();
+        let b = s.create(U2).unwrap();
+        s.append(a, U1, &entries(0..2)).unwrap();
+        s.append(b, U2, &entries(0..2)).unwrap();
+        s.pin(a, U1).unwrap();
+        s.lock(b, U2).unwrap();
+        assert_eq!(s.evict_lru(&[]), None, "pinned and locked are immune");
+        s.unlock(b, U2).unwrap();
+        assert_eq!(s.evict_lru(&[]).unwrap().0, b);
+        assert_eq!(s.evict_lru(&[]), None, "nothing left on the GPU");
+        s.verify().unwrap();
     }
 
     #[test]

@@ -67,6 +67,32 @@ impl ModelConfig {
             kv_write_bytes: new_tokens * kv,
         }
     }
+
+    /// Estimates the work of the same prefill split into `chunk`-token
+    /// iterations, as the continuous-batching executor runs it: the
+    /// `k`-th chunk sees all earlier chunks as cached past.
+    ///
+    /// Attention FLOPs are *identical* to the unchunked prefill — splitting
+    /// Σ over the triangular prefill structure is exact — so chunking's
+    /// only throughput cost is re-streaming the weights once per extra
+    /// iteration (visible here as `weight_bytes` being per-iteration; the
+    /// caller pays it `ceil(new/chunk)` times instead of once).
+    pub fn chunked_prefill_work(
+        &self,
+        new_tokens: u64,
+        past_tokens: u64,
+        chunk: u64,
+    ) -> Vec<WorkEstimate> {
+        let chunk = chunk.max(1);
+        let mut out = Vec::new();
+        let mut done = 0;
+        while done < new_tokens {
+            let take = chunk.min(new_tokens - done);
+            out.push(self.forward_work(take, past_tokens + done));
+            done += take;
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +146,44 @@ mod tests {
         assert_eq!(batch.weight_bytes, c.weight_bytes());
         assert_eq!(batch.kv_write_bytes, a.kv_write_bytes + b.kv_write_bytes);
         assert!((batch.flops - (a.flops + b.flops)).abs() < 1.0);
+    }
+
+    #[test]
+    fn chunked_prefill_preserves_attention_flops_exactly() {
+        // Σ_k 4LH·c_k·(past_k + (c_k+1)/2) telescopes to the unchunked
+        // n·(past + (n+1)/2): chunking may never change the attention work,
+        // only when it happens.
+        let c = ModelConfig::llama_13b();
+        for (n, past, chunk) in [(1024, 0, 256), (1000, 0, 256), (777, 123, 100), (5, 0, 8)] {
+            let whole = c.forward_work(n, past);
+            let chunks = c.chunked_prefill_work(n, past, chunk);
+            let sum_flops: f64 = chunks.iter().map(|w| w.flops).sum();
+            let rel = (sum_flops - whole.flops).abs() / whole.flops;
+            assert!(rel < 1e-12, "n={n} chunk={chunk}: rel error {rel}");
+            let sum_writes: u64 = chunks.iter().map(|w| w.kv_write_bytes).sum();
+            assert_eq!(sum_writes, whole.kv_write_bytes);
+        }
+    }
+
+    #[test]
+    fn chunking_tax_is_weight_restreaming() {
+        // Each chunk is its own iteration, so the weights stream once per
+        // chunk instead of once per prefill — that is the entire
+        // throughput cost of bounding inter-token latency.
+        let c = ModelConfig::llama_13b();
+        let chunks = c.chunked_prefill_work(1024, 0, 256);
+        assert_eq!(chunks.len(), 4);
+        for w in &chunks {
+            assert_eq!(w.weight_bytes, c.weight_bytes());
+        }
+        // Uneven tail chunk still covers every token.
+        let uneven = c.chunked_prefill_work(1000, 0, 256);
+        assert_eq!(uneven.len(), 4);
+        let total: u64 = uneven
+            .iter()
+            .map(|w| w.kv_write_bytes / c.kv_bytes_per_token())
+            .sum();
+        assert_eq!(total, 1000);
     }
 
     #[test]

@@ -300,6 +300,38 @@ pub fn export_chrome_trace(events: &[TimedEvent]) -> String {
                     Some(format!("{{\"id\":{id}}}")),
                 );
             }
+            EventKind::ChunkExec {
+                tid,
+                batch,
+                tokens,
+                done,
+                total,
+            } => {
+                w.instant(
+                    at,
+                    GPU_PID,
+                    GPU_TID,
+                    "chunk",
+                    Some(format!(
+                        "{{\"tid\":{tid},\"batch\":{batch},\"tokens\":{tokens},\"done\":{done},\"total\":{total}}}"
+                    )),
+                );
+            }
+            EventKind::Preempt {
+                file,
+                tokens,
+                victim_tid,
+            } => {
+                w.instant(
+                    at,
+                    KERNEL_PID,
+                    SCHED_TID,
+                    "preempt",
+                    Some(format!(
+                        "{{\"file\":{file},\"tokens\":{tokens},\"victim_tid\":{victim_tid}}}"
+                    )),
+                );
+            }
             EventKind::KvOp { pid, tid, op, file } => {
                 w.instant(
                     at,

@@ -60,6 +60,23 @@ pub enum EventKind {
     },
     /// Span end: the GPU batch completed (GPU track).
     BatchEnd { id: u64 },
+    /// One chunk of a chunked prefill ran inside an iteration (GPU track).
+    /// `done`/`total` track the request's progress after this chunk.
+    ChunkExec {
+        tid: u64,
+        batch: u64,
+        tokens: u32,
+        done: u32,
+        total: u32,
+    },
+    /// A KV file was swapped out to free GPU pages for an executing
+    /// request (scheduler track). `victim_tid` is the preempted sequence's
+    /// thread, or 0 when the victim was an idle file.
+    Preempt {
+        file: u64,
+        tokens: u64,
+        victim_tid: u64,
+    },
     /// A KVFS namespace/metadata/data operation (thread track).
     KvOp {
         pid: u64,
