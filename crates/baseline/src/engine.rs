@@ -232,6 +232,7 @@ impl Engine {
                 }
                 Ev::StepDone => {
                     let batch = inflight.take().expect("one batch in flight");
+                    // lint:allow(d1): host-side profiling only; never feeds virtual time
                     let t = std::time::Instant::now();
                     self.apply_step(batch, &mut running, &mut waiting, &mut completions, now);
                     t_apply += t.elapsed();
@@ -239,6 +240,7 @@ impl Engine {
             }
             if inflight.is_none() {
                 self.admit(&mut waiting, &mut running, &mut completions, now);
+                // lint:allow(d1): host-side profiling only; never feeds virtual time
                 let t = std::time::Instant::now();
                 let built = self.build_and_exec(&mut running);
                 t_exec += t.elapsed();
@@ -250,6 +252,7 @@ impl Engine {
             }
         }
         if debug {
+            // lint:allow(o1): ENGINE_DEBUG-gated diagnostics, off by default
             eprintln!(
                 "engine {}: steps={steps} exec={t_exec:?} apply={t_apply:?}",
                 self.cfg.name
@@ -418,10 +421,12 @@ impl Engine {
         if reqs.is_empty() {
             return None;
         }
+        // lint:allow(d1): host-side profiling only; never feeds virtual time
         let tdbg = std::time::Instant::now();
         let (results, report) = self.gpu.execute_batch(&mut self.store, &reqs);
         if std::env::var_os("ENGINE_DEBUG").is_some() && tdbg.elapsed().as_millis() > 5 {
             let total: usize = reqs.iter().map(|r| r.tokens.len()).sum();
+            // lint:allow(o1): ENGINE_DEBUG-gated diagnostics, off by default
             eprintln!("slow step: {:?} reqs={} tokens={}", tdbg.elapsed(), reqs.len(), total);
         }
         let results = results.into_iter().map(|r| r.map(|p| p.dists)).collect();

@@ -537,7 +537,13 @@ impl Kernel {
     }
 
     fn start_process(&mut self, pid: Pid, args: String, f: LipFn) {
-        self.procs.get_mut(&pid.0).expect("proc exists").args = args.clone();
+        // `spawn` just inserted the record; a miss would mean the caller
+        // passed a foreign pid. Degrade to a no-op instead of panicking.
+        let Some(proc) = self.procs.get_mut(&pid.0) else {
+            debug_assert!(false, "start_process: unknown pid {}", pid.0);
+            return;
+        };
+        proc.args = args.clone();
         if self.bus.is_enabled() {
             let name = self.records[&pid.0].name.clone();
             let at = self.events.now();
@@ -545,8 +551,9 @@ impl Kernel {
                 .emit(at, move || EventKind::ProcessSpawn { pid: pid.0, name });
         }
         let tid = self.spawn_thread(pid, args, f);
-        let proc = self.procs.get_mut(&pid.0).expect("proc exists");
-        proc.main_tid = tid;
+        if let Some(proc) = self.procs.get_mut(&pid.0) {
+            proc.main_tid = tid;
+        }
         self.trace.record(
             self.events.now(),
             "kernel",
@@ -571,6 +578,7 @@ impl Kernel {
             .name(format!("lip-{}", tid.0))
             .stack_size(512 * 1024)
             .spawn(move || thread_main(ctx, f))
+            // lint:allow(k1): OS thread spawn failing at kernel boot is unrecoverable
             .expect("spawn LIP thread");
         self.threads.insert(
             tid.0,
@@ -588,8 +596,9 @@ impl Kernel {
             pid: pid.0,
             tid: tid.0,
         });
-        let proc = self.procs.get_mut(&pid.0).expect("proc exists");
-        proc.live_threads += 1;
+        if let Some(proc) = self.procs.get_mut(&pid.0) {
+            proc.live_threads += 1;
+        }
         if let Some(r) = self.records.get_mut(&pid.0) {
             r.usage.threads_spawned += 1;
         }
@@ -778,6 +787,7 @@ impl Kernel {
         let up = self
             .up_rx
             .recv()
+            // lint:allow(k1): the kernel holds up_tx, so the channel cannot close
             .expect("a resumed LIP thread must issue a syscall or exit");
         match up {
             UpCall::Syscall { tid, call } => self.handle_syscall(tid, call),
@@ -790,10 +800,12 @@ impl Kernel {
             Event::Resume(tid, reply) => self.ready.push_back((tid, reply)),
             Event::BatchDone { batch_id } => {
                 self.gpu_busy = false;
-                let results = self
-                    .pending_batches
-                    .remove(&batch_id)
-                    .expect("batch results recorded at launch");
+                // Results are recorded at launch; an unknown id would mean a
+                // duplicate BatchDone. Drop it rather than panic the kernel.
+                let Some(results) = self.pending_batches.remove(&batch_id) else {
+                    debug_assert!(false, "BatchDone for unknown batch {batch_id}");
+                    return;
+                };
                 let now = self.events.now();
                 self.bus.emit(now, || EventKind::BatchEnd { id: batch_id });
                 self.trace.record(
@@ -1453,13 +1465,18 @@ impl Kernel {
         self.events.schedule(at, Event::Resume(tid, reply));
     }
 
-    fn owner_of(&self, tid: Tid) -> (Pid, OwnerId) {
-        let pid = self.threads.get(&tid.0).expect("live thread").pid;
-        (pid, OwnerId(pid.0))
+    fn owner_of(&self, tid: Tid) -> Option<(Pid, OwnerId)> {
+        let pid = self.threads.get(&tid.0)?.pid;
+        Some((pid, OwnerId(pid.0)))
     }
 
     fn handle_syscall(&mut self, tid: Tid, call: Syscall) {
-        let (pid, owner) = self.owner_of(tid);
+        // A syscall from a thread the kernel no longer tracks has no owner
+        // to charge or answer; drop it instead of panicking the kernel.
+        let Some((pid, owner)) = self.owner_of(tid) else {
+            debug_assert!(false, "syscall from unknown tid {}", tid.0);
+            return;
+        };
         // Open a syscall span; `resume` closes it when the reply is
         // delivered back to the LIP.
         let sys_name = call.name();
@@ -1472,9 +1489,23 @@ impl Kernel {
         if let Some(ts) = self.threads.get_mut(&tid.0) {
             ts.open_syscall = Some(sys_name);
         }
+        // Fails the syscall with a typed error when a bookkeeping lookup
+        // that "cannot" miss does miss (lint rule k1: no kernel panics).
+        macro_rules! sys {
+            ($opt:expr, $what:literal) => {
+                match $opt {
+                    Some(v) => v,
+                    None => {
+                        self.complete(tid, SysReply::Err(SysError::Internal($what)));
+                        return;
+                    }
+                }
+            };
+        }
+
         // Global syscall accounting and limit.
         let (syscalls_so_far, max_syscalls) = {
-            let rec = self.records.get_mut(&pid.0).expect("record");
+            let rec = sys!(self.records.get_mut(&pid.0), "process record missing");
             rec.usage.syscalls += 1;
             (
                 rec.usage.syscalls,
@@ -1490,7 +1521,7 @@ impl Kernel {
         // Wall-clock deadline: once past it, every syscall fails.
         if let Some(t) = self.procs[&pid.0].deadline_at {
             if self.events.now() >= t {
-                let proc = self.procs.get_mut(&pid.0).expect("proc exists");
+                let proc = sys!(self.procs.get_mut(&pid.0), "process missing");
                 if !proc.deadline_hit {
                     proc.deadline_hit = true;
                     self.res_counters.deadline_kills.inc();
@@ -1531,7 +1562,7 @@ impl Kernel {
                     }
                 }
                 let limit = self.procs[&pid.0].limits.max_pred_tokens;
-                let rec = self.records.get_mut(&pid.0).expect("record");
+                let rec = sys!(self.records.get_mut(&pid.0), "process record missing");
                 rec.usage.pred_calls += 1;
                 rec.usage.pred_tokens += tokens.len() as u64;
                 if let Some(max) = limit {
@@ -1745,7 +1776,7 @@ impl Kernel {
                 },
             },
             Syscall::CallTool { name, args } => {
-                let proc = self.procs.get_mut(&pid.0).expect("proc");
+                let proc = sys!(self.procs.get_mut(&pid.0), "process missing");
                 if let Some(max) = proc.limits.max_tool_calls {
                     if self.records[&pid.0].usage.tool_calls >= max {
                         self.complete(tid, SysReply::Err(SysError::LimitExceeded("tool_calls")));
@@ -1758,7 +1789,9 @@ impl Kernel {
                     self.complete(tid, SysReply::Err(SysError::NoSuchTool(name)));
                     return;
                 }
-                self.records.get_mut(&pid.0).expect("record").usage.tool_calls += 1;
+                sys!(self.records.get_mut(&pid.0), "process record missing")
+                    .usage
+                    .tool_calls += 1;
                 // Circuit breaker: fast-fail while open (no latency charge
                 // beyond the syscall cost — that is the point of breaking).
                 let now = self.events.now();
@@ -1803,10 +1836,14 @@ impl Kernel {
                         self.bus
                             .emit(now, || EventKind::FaultInjected { site: "tool" });
                     }
-                    let (latency, outcome) = self
-                        .tools
-                        .invoke(&name, &args, &mut self.rng)
-                        .expect("existence checked above; registry is append-only");
+                    // Existence was checked above and the registry is
+                    // append-only; if the lookup fails anyway, that error
+                    // becomes the call's final result instead of a panic.
+                    let (latency, outcome) =
+                        match self.tools.invoke(&name, &args, &mut self.rng) {
+                            Ok(v) => v,
+                            Err(e) => break Err(e),
+                        };
                     let mut eff_latency = match fault {
                         Some(ToolFaultKind::Hang) => latency * self.injector.stall_factor(),
                         _ => latency,
@@ -1915,10 +1952,7 @@ impl Kernel {
                     self.complete(tid, SysReply::Unit);
                     return;
                 }
-                let target = self
-                    .procs
-                    .get_mut(&to.0)
-                    .expect("liveness checked above; procs map is append-only");
+                let target = sys!(self.procs.get_mut(&to.0), "ipc target missing");
                 if let Some(waiter) = target.recv_waiters.pop_front() {
                     self.complete(waiter, SysReply::Msg { from: pid, data });
                 } else {
@@ -1927,7 +1961,7 @@ impl Kernel {
                 self.complete(tid, SysReply::Unit);
             }
             Syscall::Recv => {
-                let proc = self.procs.get_mut(&pid.0).expect("proc");
+                let proc = sys!(self.procs.get_mut(&pid.0), "process missing");
                 if let Some((from, data)) = proc.mailbox.pop_front() {
                     self.complete(tid, SysReply::Msg { from, data });
                 } else {
@@ -1947,16 +1981,14 @@ impl Kernel {
                 self.events.schedule(at, Event::Resume(tid, SysReply::Unit));
             }
             Syscall::Emit { text } => {
-                self.records
-                    .get_mut(&pid.0)
-                    .expect("record")
+                sys!(self.records.get_mut(&pid.0), "process record missing")
                     .output
                     .push_str(&text);
                 self.complete(tid, SysReply::Unit);
             }
             Syscall::EmitTokens { tokens } => {
                 let text = self.tokenizer.decode(&tokens);
-                let rec = self.records.get_mut(&pid.0).expect("record");
+                let rec = sys!(self.records.get_mut(&pid.0), "process record missing");
                 rec.output.push_str(&text);
                 rec.usage.emitted_tokens += tokens.len() as u64;
                 self.complete(tid, SysReply::Unit);
@@ -1979,7 +2011,10 @@ impl Kernel {
     // ---- I/O with KV offload (§4.3) ------------------------------------------------
 
     fn begin_io(&mut self, pid: Pid, latency: SimDuration) {
-        let proc = self.procs.get_mut(&pid.0).expect("proc");
+        let Some(proc) = self.procs.get_mut(&pid.0) else {
+            debug_assert!(false, "begin_io: unknown pid {}", pid.0);
+            return;
+        };
         proc.io_waiting += 1;
         if !self.offload_on_io_wait || latency < self.offload_min_latency {
             return;
@@ -1995,11 +2030,9 @@ impl Kernel {
             .collect();
         for f in victims {
             if self.store.swap_out(f, owner).is_ok() {
-                self.procs
-                    .get_mut(&pid.0)
-                    .expect("proc")
-                    .offloaded
-                    .push(f);
+                if let Some(proc) = self.procs.get_mut(&pid.0) {
+                    proc.offloaded.push(f);
+                }
                 let at = self.events.now();
                 self.bus.emit(at, || EventKind::KvOffload {
                     pid: pid.0,
@@ -2019,7 +2052,17 @@ impl Kernel {
             return;
         };
         let pid = ts.pid;
-        let proc = self.procs.get_mut(&pid.0).expect("proc");
+        // A missing process record still must not swallow the reply: skip
+        // the offload bookkeeping but deliver the result to the thread.
+        let Some(proc) = self.procs.get_mut(&pid.0) else {
+            debug_assert!(false, "finish_io: unknown pid {}", pid.0);
+            let reply = match result {
+                Ok(s) => SysReply::Text(s),
+                Err(e) => SysReply::Err(e),
+            };
+            self.ready.push_back((tid, reply));
+            return;
+        };
         proc.io_waiting = proc.io_waiting.saturating_sub(1);
         let mut restore_tokens = 0usize;
         if proc.io_waiting == 0 && !proc.offloaded.is_empty() {
@@ -2074,9 +2117,13 @@ impl Kernel {
     // ---- exit and cleanup --------------------------------------------------------
 
     fn handle_exit(&mut self, tid: Tid, status: ExitStatus) {
-        self.live_threads -= 1;
         let (pid, waiters, handle) = {
-            let ts = self.threads.get_mut(&tid.0).expect("thread exists");
+            // An exit from a thread the kernel never tracked has nothing to
+            // clean up; the count is only decremented on a real exit.
+            let Some(ts) = self.threads.get_mut(&tid.0) else {
+                debug_assert!(false, "exit from unknown tid {}", tid.0);
+                return;
+            };
             ts.status = Some(status.clone());
             (
                 ts.pid,
@@ -2084,18 +2131,24 @@ impl Kernel {
                 ts.handle.take(),
             )
         };
+        self.live_threads -= 1;
         if let Some(h) = handle {
             let _ = h.join();
         }
         for w in waiters {
             self.complete(w, SysReply::Joined(status.clone()));
         }
-        let proc = self.procs.get_mut(&pid.0).expect("proc exists");
+        let Some(proc) = self.procs.get_mut(&pid.0) else {
+            debug_assert!(false, "exit for unknown pid {}", pid.0);
+            return;
+        };
         proc.live_threads -= 1;
         let is_main = proc.main_tid == tid;
         let process_done = proc.live_threads == 0;
         if is_main {
-            self.records.get_mut(&pid.0).expect("record").status = status.clone();
+            if let Some(rec) = self.records.get_mut(&pid.0) {
+                rec.status = status.clone();
+            }
         }
         let at = self.events.now();
         let ok = status.is_ok();
@@ -2131,11 +2184,15 @@ impl Kernel {
         for f in victims {
             let _ = self.store.remove(f, OwnerId::ADMIN);
         }
-        let proc = self.procs.get_mut(&pid.0).expect("proc exists");
-        proc.finished = true;
-        proc.mailbox.clear();
+        if let Some(proc) = self.procs.get_mut(&pid.0) {
+            proc.finished = true;
+            proc.mailbox.clear();
+        }
         let now = self.events.now();
-        let rec = self.records.get_mut(&pid.0).expect("record");
+        let Some(rec) = self.records.get_mut(&pid.0) else {
+            debug_assert!(false, "finalize for unknown pid {}", pid.0);
+            return;
+        };
         rec.exited_at = Some(now);
         let ok = rec.status.is_ok();
         self.bus

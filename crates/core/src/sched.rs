@@ -127,10 +127,12 @@ impl<T> InferScheduler<T> {
     /// Decides what to do given the GPU's state. Idempotent: safe to call
     /// after every kernel state change and on stale timers.
     pub fn decide(&self, now: SimTime, gpu_idle: bool) -> Decision {
-        if !gpu_idle || self.pool.is_empty() {
+        if !gpu_idle {
             return Decision::Idle;
         }
-        let oldest = self.pool.front().expect("non-empty").0;
+        let Some(oldest) = self.pool.front().map(|e| e.0) else {
+            return Decision::Idle;
+        };
         match self.policy {
             BatchPolicy::Immediate => Decision::LaunchNow,
             BatchPolicy::FixedWindow {
@@ -156,16 +158,15 @@ impl<T> InferScheduler<T> {
                     return Decision::LaunchNow;
                 }
                 // Expected time to fill the rest of the batch at the
-                // observed rate. Cold start: `estimated_rate` is the gate —
-                // before the estimator commits to a rate, launch immediately
+                // observed rate. Cold start: until the estimator has a gap
+                // (`estimated_rate` would be `None`), launch immediately
                 // rather than guess a wait. The raw (unfloored) gap is used
                 // below so that a burst of simultaneous arrivals computes a
                 // zero fill time and launches now instead of arming a
                 // nanosecond timer.
-                if self.estimated_rate().is_none() {
+                let Some(gap) = self.ewma_gap else {
                     return Decision::LaunchNow;
-                }
-                let gap = self.ewma_gap.expect("gated on estimated_rate");
+                };
                 // If not even one more call is expected within the wait cap,
                 // waiting cannot grow the batch: be work-conserving.
                 if SimDuration::from_secs_f64(gap) >= max_wait {

@@ -41,6 +41,12 @@ pub enum SysError {
     LimitExceeded(&'static str),
     /// The kernel is shutting down (the process is being torn down).
     Shutdown,
+    /// A kernel bookkeeping invariant did not hold (e.g. a live thread
+    /// without a process record). Never expected in practice; surfaced as a
+    /// typed error instead of a panic so one corrupted record cannot take
+    /// down every in-flight program (lint rule `k1`). The payload names the
+    /// violated invariant.
+    Internal(&'static str),
 }
 
 impl From<KvError> for SysError {
@@ -65,6 +71,7 @@ impl core::fmt::Display for SysError {
             SysError::Fault(site) => write!(f, "transient fault: {site}"),
             SysError::LimitExceeded(what) => write!(f, "limit exceeded: {what}"),
             SysError::Shutdown => write!(f, "kernel shutdown"),
+            SysError::Internal(what) => write!(f, "kernel invariant violated: {what}"),
         }
     }
 }
@@ -184,6 +191,10 @@ mod tests {
         assert_eq!(
             SysError::Fault("gpu.pred").to_string(),
             "transient fault: gpu.pred"
+        );
+        assert_eq!(
+            SysError::Internal("process record missing").to_string(),
+            "kernel invariant violated: process record missing"
         );
     }
 

@@ -253,11 +253,18 @@ impl GpuExecutor {
                     continue;
                 }
             }
-            let past = store.len(req.file).expect("residency checked") as u64;
-            let mut fp = store
-                .tail_fingerprint(req.file)
-                .expect("residency checked")
-                .unwrap_or_else(|| fpr.origin());
+            // `can_append` above vouched for the file, but surface any
+            // late lookup failure as a typed per-request error rather than
+            // panicking the executor (lint rule k1).
+            let (past, tail) = match (store.len(req.file), store.tail_fingerprint(req.file)) {
+                (Ok(len), Ok(tail)) => (len as u64, tail),
+                (Err(e), _) | (_, Err(e)) => {
+                    results.push(Err(ExecError::Kv(e)));
+                    self.counters.requests_failed.inc();
+                    continue;
+                }
+            };
+            let mut fp = tail.unwrap_or_else(|| fpr.origin());
 
             let mut dists = Vec::with_capacity(req.tokens.len());
             let mut entries = Vec::with_capacity(req.tokens.len());

@@ -73,7 +73,7 @@ pub(crate) struct PagePool {
 }
 
 impl PagePool {
-    pub fn new(page_tokens: usize, gpu_capacity: usize, cpu_capacity: usize) -> Self {
+    pub(crate) fn new(page_tokens: usize, gpu_capacity: usize, cpu_capacity: usize) -> Self {
         assert!(page_tokens > 0, "page size must be positive");
         PagePool {
             slots: Vec::new(),
@@ -86,28 +86,28 @@ impl PagePool {
         }
     }
 
-    pub fn page_tokens(&self) -> usize {
+    pub(crate) fn page_tokens(&self) -> usize {
         self.page_tokens
     }
 
-    pub fn gpu_used(&self) -> usize {
+    pub(crate) fn gpu_used(&self) -> usize {
         self.gpu_used
     }
 
-    pub fn cpu_used(&self) -> usize {
+    pub(crate) fn cpu_used(&self) -> usize {
         self.cpu_used
     }
 
-    pub fn gpu_capacity(&self) -> usize {
+    pub(crate) fn gpu_capacity(&self) -> usize {
         self.gpu_capacity
     }
 
-    pub fn cpu_capacity(&self) -> usize {
+    pub(crate) fn cpu_capacity(&self) -> usize {
         self.cpu_capacity
     }
 
     /// Allocates an empty page in `tier` with refcount 1.
-    pub fn alloc(&mut self, tier: Tier) -> Result<PageId, KvError> {
+    pub(crate) fn alloc(&mut self, tier: Tier) -> Result<PageId, KvError> {
         match tier {
             Tier::Gpu if self.gpu_used >= self.gpu_capacity => return Err(KvError::NoGpuMemory),
             Tier::Cpu if self.cpu_used >= self.cpu_capacity => return Err(KvError::NoCpuMemory),
@@ -133,12 +133,12 @@ impl PagePool {
     }
 
     /// Increments a page's refcount (a new file now references it).
-    pub fn retain(&mut self, id: PageId) {
+    pub(crate) fn retain(&mut self, id: PageId) {
         self.page_mut(id).refcount += 1;
     }
 
     /// Decrements a page's refcount, freeing the slot at zero.
-    pub fn release(&mut self, id: PageId) {
+    pub(crate) fn release(&mut self, id: PageId) {
         let tier;
         {
             let page = self.page_mut(id);
@@ -158,7 +158,7 @@ impl PagePool {
     }
 
     /// Moves a page between tiers; returns the number of tokens moved.
-    pub fn migrate(&mut self, id: PageId, to: Tier) -> Result<usize, KvError> {
+    pub(crate) fn migrate(&mut self, id: PageId, to: Tier) -> Result<usize, KvError> {
         let from = self.page(id).tier;
         if from == to {
             return Ok(0);
@@ -181,25 +181,30 @@ impl PagePool {
         Ok(page.entries.len())
     }
 
-    pub fn page(&self, id: PageId) -> &Page {
+    pub(crate) fn page(&self, id: PageId) -> &Page {
+        // Page ids are kernel-internal, never user-supplied; a dangling id
+        // is a kvfs refcount bug that `Store::verify()` catches in tests,
+        // and propagating an error here would poison every caller signature.
         self.slots[id.0 as usize]
             .as_ref()
-            .expect("dangling page id")
+            .expect("dangling page id") // lint:allow(k1): internal id, see above
     }
 
-    pub fn page_mut(&mut self, id: PageId) -> &mut Page {
+    pub(crate) fn page_mut(&mut self, id: PageId) -> &mut Page {
+        // Same invariant as `page` above — ids come from `alloc` and are
+        // released exactly once; `verify()` guards this in every test.
         self.slots[id.0 as usize]
             .as_mut()
-            .expect("dangling page id")
+            .expect("dangling page id") // lint:allow(k1): internal id, see above
     }
 
     /// Number of live pages (for invariant checks).
-    pub fn live_pages(&self) -> usize {
+    pub(crate) fn live_pages(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
 
     /// Iterates over live pages.
-    pub fn iter(&self) -> impl Iterator<Item = (PageId, &Page)> {
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (PageId, &Page)> {
         self.slots
             .iter()
             .enumerate()

@@ -1,0 +1,15 @@
+// Fixture: wall-clock reads (rule d1). Never compiled; linted by
+// fixtures_tests.rs under a pseudo-path.
+
+fn elapsed() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}
+
+fn epoch() -> u64 {
+    use std::time::SystemTime;
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -1,0 +1,14 @@
+// Fixture: ambient randomness (rule d2).
+
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn coin() -> bool {
+    rand::random()
+}
+
+fn hasher() -> std::collections::hash_map::RandomState {
+    std::collections::hash_map::RandomState::new()
+}

@@ -1,0 +1,16 @@
+// Fixture: order-unstable collections in a deterministic crate (rule d3).
+
+use std::collections::HashMap;
+
+fn tally(keys: &[u64]) -> Vec<(u64, u32)> {
+    let mut counts: HashMap<u64, u32> = HashMap::new();
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    // Iteration order here depends on the hasher seed: nondeterministic.
+    counts.into_iter().collect()
+}
+
+fn seen() -> std::collections::HashSet<u64> {
+    std::collections::HashSet::new()
+}

@@ -1,0 +1,26 @@
+// Fixture: panicking calls on a kernel path (rule k1).
+
+fn lookup(map: &std::collections::BTreeMap<u64, u32>, pid: u64) -> u32 {
+    *map.get(&pid).unwrap()
+}
+
+fn lookup2(map: &std::collections::BTreeMap<u64, u32>, pid: u64) -> u32 {
+    *map.get(&pid).expect("proc exists")
+}
+
+fn boom() {
+    panic!("kernel died");
+}
+
+fn never() {
+    unreachable!()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

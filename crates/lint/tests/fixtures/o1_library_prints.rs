@@ -1,0 +1,19 @@
+// Fixture: stdout/stderr printing from a library (rule o1).
+
+fn report(x: u64) {
+    println!("x = {x}");
+}
+
+fn warn(msg: &str) {
+    eprintln!("warning: {msg}");
+}
+
+fn peek(v: u64) -> u64 {
+    dbg!(v)
+}
+
+fn not_a_print() {
+    // These must NOT fire: the tokens appear in strings and comments only.
+    let _doc = "call println! from binaries, never libraries";
+    // println! in a comment is fine.
+}

@@ -1,0 +1,10 @@
+// Fixture: telemetry span constants with a begin but no end (rule o2).
+
+pub enum EventKind {
+    SyscallEnter { tid: u64 },
+    SyscallExit { tid: u64 },
+    BatchBegin { id: u64 },
+    // BatchEnd is missing: o2 must flag BatchBegin.
+    PredEnter { tid: u64 },
+    // PredExit is missing too.
+}

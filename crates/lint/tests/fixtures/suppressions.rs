@@ -1,0 +1,16 @@
+// Fixture: inline suppression forms (good, missing reason, wrong rule).
+
+fn suppressed_with_reason() -> std::time::Instant {
+    // lint:allow(d1): fixture exercising a well-formed suppression
+    std::time::Instant::now()
+}
+
+fn suppressed_without_reason() -> std::time::Instant {
+    // lint:allow(d1)
+    std::time::Instant::now()
+}
+
+fn suppressed_wrong_rule() -> std::time::Instant {
+    // lint:allow(d2): wrong rule id, d1 must still fire
+    std::time::Instant::now()
+}

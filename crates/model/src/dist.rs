@@ -44,7 +44,7 @@ impl Dist {
             tail_weight >= 0.0 && tail_weight.is_finite(),
             "tail weight must be non-negative"
         );
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut total = 0.0;
         for &(t, w) in &entries {
             assert!(w.is_finite() && w >= 0.0, "weights must be non-negative");
@@ -205,7 +205,7 @@ impl Dist {
         } else {
             self.tail_mass / self.tail_tokens as f64
         };
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let entries: Vec<(TokenId, f64)> = allowed
             .iter()
             .filter(|&&t| seen.insert(t))

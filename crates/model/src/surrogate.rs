@@ -115,7 +115,7 @@ impl Surrogate {
         let gate_open = unit(mix(h0 ^ 0x0E05_0E05_0E05_0E05)) < p_gate;
 
         let mut entries: Vec<(TokenId, f64)> = Vec::with_capacity(CANDIDATES + 1);
-        let mut used = std::collections::HashSet::with_capacity(CANDIDATES + 1);
+        let mut used = std::collections::BTreeSet::new();
         if gate_open {
             entries.push((self.vocab.eos, 10.0));
             used.insert(self.vocab.eos);

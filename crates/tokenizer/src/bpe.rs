@@ -19,16 +19,16 @@ use crate::vocab::{SpecialTokens, TokenId, Vocab, BYTE_TOKENS};
 mod parking_lot_shim {
     /// A mutex whose `lock` never returns a poisoned error.
     #[derive(Debug, Default)]
-    pub struct Mutex<T>(std::sync::Mutex<T>);
+    pub(super) struct Mutex<T>(std::sync::Mutex<T>);
 
     impl<T> Mutex<T> {
         /// Creates a new mutex.
-        pub fn new(v: T) -> Self {
+        pub(super) fn new(v: T) -> Self {
             Mutex(std::sync::Mutex::new(v))
         }
 
         /// Locks, recovering from poisoning (state is a plain cache here).
-        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        pub(super) fn lock(&self) -> std::sync::MutexGuard<'_, T> {
             self.0.lock().unwrap_or_else(|e| e.into_inner())
         }
     }
