@@ -211,6 +211,7 @@ mod tests {
             page_tokens: 4,
             gpu_pages: 256,
             cpu_pages: 0,
+            disk_pages: 0,
             bytes_per_token: 1,
         })
     }

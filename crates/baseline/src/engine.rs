@@ -181,6 +181,7 @@ impl Engine {
         let store = KvStore::new(KvStoreConfig::from_bytes(
             gpu_kv_bytes,
             0,
+            0,
             cfg.model.kv_bytes_per_token(),
             cfg.page_tokens,
         ));

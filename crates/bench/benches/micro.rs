@@ -20,6 +20,7 @@ fn store() -> KvStore {
         page_tokens: 16,
         gpu_pages: 65_536,
         cpu_pages: 65_536,
+        disk_pages: 0,
         bytes_per_token: 819_200,
     })
 }

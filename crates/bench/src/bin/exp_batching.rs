@@ -94,7 +94,7 @@ fn run_point(
         policy: policy_name.to_string(),
         load_rps: load,
         mean_latency_ms: lat.mean(),
-        p95_latency_ms: lat.percentile(0.95).unwrap_or(0.0),
+        p95_latency_ms: lat.percentiles(&[0.95])[0].unwrap_or(0.0),
         throughput_req_s: REQUESTS as f64 / span,
         mean_batch_size: gm.requests_ok as f64 / gm.batches.max(1) as f64,
         gpu_util: gm.busy.as_secs_f64() / span,

@@ -21,14 +21,17 @@ const TOOL_LATENCY: SimDuration = SimDuration::from_secs(3);
 #[derive(Debug, Clone, Serialize)]
 struct Point {
     offload: bool,
+    disk_tier: bool,
     agent_mean_latency_ms: f64,
     bg_mean_latency_ms: f64,
     bg_failures: usize,
     swapped_tokens: u64,
+    disk_spilled_tokens: u64,
 }
 
 fn run_point(
     offload: bool,
+    disk_tier: bool,
     telemetry: &TelemetryOpts,
     designated: bool,
 ) -> (Point, Option<symphony::MetricsSnapshot>) {
@@ -41,6 +44,13 @@ fn run_point(
     let kv_per_token = cfg.model.kv_bytes_per_token();
     cfg.gpu_kv_bytes_override =
         Some((AGENTS * AGENT_CONTEXT_TOKENS + 4_500) as u64 * kv_per_token);
+    if disk_tier {
+        // Shrink DRAM to two agents' worth of context: offloading the other
+        // four cascades onto the NVMe tier, and they pay the disk lane on
+        // resume. Without the disk tier this configuration would simply
+        // refuse the swap-outs (NoCpuMemory) and keep HBM full.
+        cfg.cpu_swap_bytes = (2 * AGENT_CONTEXT_TOKENS) as u64 * kv_per_token;
+    }
     cfg.trace = false;
     cfg.telemetry = designated && telemetry.wants_trace();
     let mut kernel = Kernel::new(cfg);
@@ -142,12 +152,15 @@ fn run_point(
         }
     }
     let snap = designated.then(|| kernel.metrics_snapshot());
+    let stats = kernel.kv_stats();
     let point = Point {
         offload,
+        disk_tier,
         agent_mean_latency_ms: agent_lat.mean(),
         bg_mean_latency_ms: bg_lat.mean(),
         bg_failures,
-        swapped_tokens: kernel.kv_stats().swapped_out_tokens,
+        swapped_tokens: stats.swapped_out_tokens,
+        disk_spilled_tokens: stats.disk_spilled_tokens,
     };
     (point, snap)
 }
@@ -156,29 +169,33 @@ fn main() {
     let opts = TelemetryOpts::from_args();
     let mut table = Table::new(
         "E6 — KV offload on I/O wait (6 agents x 3000-token contexts, 3s tool)",
-        &["offload", "agent lat", "bg lat", "bg failures", "swapped tokens"],
+        &["offload", "tier", "agent lat", "bg lat", "bg failures", "swapped", "disk spill"],
     );
     let mut results = Vec::new();
     let mut captured: Option<symphony::MetricsSnapshot> = None;
-    for offload in [false, true] {
-        eprintln!("E6: offload={offload} ...");
-        // The designated telemetry run: offload enabled (swaps happen).
-        let (p, snap) = run_point(offload, &opts, offload);
+    for (offload, disk) in [(false, false), (true, false), (true, true)] {
+        eprintln!("E6: offload={offload} disk={disk} ...");
+        // The designated telemetry run: offload enabled, DRAM-only (swaps
+        // happen and the output stays comparable with older traces).
+        let (p, snap) = run_point(offload, disk, &opts, offload && !disk);
         if let Some(s) = snap {
             captured = Some(s);
         }
         table.row(vec![
             offload.to_string(),
+            if disk { "dram+nvme" } else { "dram" }.to_string(),
             format!("{:.0}ms", p.agent_mean_latency_ms),
             format!("{:.0}ms", p.bg_mean_latency_ms),
             p.bg_failures.to_string(),
             p.swapped_tokens.to_string(),
+            p.disk_spilled_tokens.to_string(),
         ]);
         results.push(p);
     }
     table.print();
     println!("\nShape check: offload lets background jobs fit (fewer failures) at the");
-    println!("price of agents paying PCIe swap time on resume.");
+    println!("price of agents paying PCIe swap time on resume; with DRAM squeezed to");
+    println!("two contexts the overflow spills to NVMe and resume gets dearer still.");
     let metrics = captured.as_ref().filter(|_| opts.metrics);
     write_json_with_metrics("exp_offload", &results, metrics);
 }

@@ -263,14 +263,16 @@ fn run_point(
         }
     }
     let snap = designated.then(|| kernel.metrics_snapshot());
+    // One sort for both ITL quantiles.
+    let itl_q = itl.percentiles(&[0.50, 0.99]);
     let point = Point {
         mode: mode_name.to_string(),
         workload: match workload {
             Workload::Agent => "agent".to_string(),
             Workload::Rag => "rag".to_string(),
         },
-        p50_itl_ms: itl.percentile(0.50).unwrap_or(0.0),
-        p99_itl_ms: itl.percentile(0.99).unwrap_or(0.0),
+        p50_itl_ms: itl_q[0].unwrap_or(0.0),
+        p99_itl_ms: itl_q[1].unwrap_or(0.0),
         mean_ttft_ms: ttft.mean(),
         throughput_tok_s: gm.tokens as f64 / span,
         preemptions: kernel.preemptions(),

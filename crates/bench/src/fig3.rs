@@ -275,6 +275,21 @@ pub fn run_symphony_point(
     pareto: f64,
     load: f64,
 ) -> PointResult {
+    run_symphony_point_persist(cfg, scale, pareto, load, None, None).0
+}
+
+/// Runs Symphony at one point with optional warm-restart journaling (E13):
+/// boots from `boot_journal` when the file exists, and snapshots the
+/// post-run store to `persist_to`. Returns the restore report when the
+/// kernel warm-started.
+pub fn run_symphony_point_persist(
+    cfg: &Fig3Config,
+    scale: &Scale,
+    pareto: f64,
+    load: f64,
+    boot_journal: Option<&std::path::Path>,
+    persist_to: Option<&std::path::Path>,
+) -> (PointResult, Option<symphony::RestoreReport>) {
     let kcfg = KernelConfig {
         model: scale.model,
         model_seed: scale.model_seed,
@@ -286,6 +301,8 @@ pub fn run_symphony_point(
         max_batch: 64,
         page_tokens: scale.page_tokens,
         cpu_swap_bytes: 256_000_000_000,
+        disk_swap_bytes: 0,
+        journal_path: boot_journal.map(|p| p.to_path_buf()),
         gpu_kv_bytes_override: scale.gpu_kv_override,
         syscall_cost: SimDuration::from_micros(2),
         offload_on_io_wait: false,
@@ -319,6 +336,10 @@ pub fn run_symphony_point(
         pids.push(kernel.schedule_process(r.at, &format!("rag{i}"), &args, rag_lip));
     }
     kernel.run();
+    let restored = kernel.restored().copied();
+    if let Some(p) = persist_to {
+        kernel.persist_kv(p).expect("journal write");
+    }
 
     // Collect metrics.
     let mut lat = symphony_sim::Series::new();
@@ -352,14 +373,14 @@ pub fn run_symphony_point(
         }
     }
     let span = makespan.as_secs_f64().max(1e-9);
-    PointResult {
+    let point = PointResult {
         system: "symphony".into(),
         pareto_index: pareto,
         load_rps: load,
         completed,
         failed,
         mean_latency_s: lat.mean(),
-        p95_latency_s: lat.percentile(0.95).unwrap_or(0.0),
+        p95_latency_s: lat.percentiles(&[0.95])[0].unwrap_or(0.0),
         latency_per_token_ms: lat_per_tok.mean(),
         throughput_tok_s: tokens as f64 / span,
         throughput_req_s: completed as f64 / span,
@@ -369,7 +390,8 @@ pub fn run_symphony_point(
             0.0
         },
         gpu_util: kernel.gpu_metrics().busy.as_secs_f64() / span,
-    }
+    };
+    (point, restored)
 }
 
 /// Runs a prompt-serving baseline at one `(pareto, load)` point.
@@ -449,7 +471,7 @@ pub fn run_engine_point(
         completed,
         failed,
         mean_latency_s: lat.mean(),
-        p95_latency_s: lat.percentile(0.95).unwrap_or(0.0),
+        p95_latency_s: lat.percentiles(&[0.95])[0].unwrap_or(0.0),
         latency_per_token_ms: lat_per_tok.mean(),
         throughput_tok_s: tokens as f64 / span,
         throughput_req_s: completed as f64 / span,

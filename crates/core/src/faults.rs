@@ -50,6 +50,9 @@ pub struct FaultPlan {
     pub swap_in_fault_rate: f64,
     /// Probability an IPC `send_msg` is silently dropped.
     pub ipc_drop_rate: f64,
+    /// Probability a KV journal write is torn mid-record (crash during
+    /// persistence; the tail record is truncated).
+    pub journal_write_fault_rate: f64,
 }
 
 impl FaultPlan {
@@ -64,6 +67,7 @@ impl FaultPlan {
             && self.pred_fault_rate == 0.0
             && self.swap_in_fault_rate == 0.0
             && self.ipc_drop_rate == 0.0
+            && self.journal_write_fault_rate == 0.0
     }
 
     /// A plan faulting only tool calls at `rate` (all failures, no hangs).
@@ -91,6 +95,8 @@ pub struct FaultStats {
     pub swap_in_failures: u64,
     /// IPC messages dropped.
     pub ipc_drops: u64,
+    /// KV journal writes torn mid-record.
+    pub journal_write_failures: u64,
 }
 
 /// Live counter handles into the metrics registry backing [`FaultStats`].
@@ -101,6 +107,7 @@ struct FaultCounters {
     pred_faults: Counter,
     swap_in_failures: Counter,
     ipc_drops: Counter,
+    journal_write_failures: Counter,
 }
 
 impl FaultCounters {
@@ -111,6 +118,7 @@ impl FaultCounters {
             pred_faults: registry.counter("faults.pred_faults"),
             swap_in_failures: registry.counter("faults.swap_in_failures"),
             ipc_drops: registry.counter("faults.ipc_drops"),
+            journal_write_failures: registry.counter("faults.journal_write_failures"),
         }
     }
 }
@@ -153,6 +161,7 @@ impl FaultInjector {
             pred_faults: self.counters.pred_faults.get(),
             swap_in_failures: self.counters.swap_in_failures.get(),
             ipc_drops: self.counters.ipc_drops.get(),
+            journal_write_failures: self.counters.journal_write_failures.get(),
         }
     }
 
@@ -210,6 +219,18 @@ impl FaultInjector {
         hit
     }
 
+    /// Decides whether one KV journal write is torn mid-record.
+    pub fn journal_write(&mut self) -> bool {
+        if self.plan.journal_write_fault_rate == 0.0 {
+            return false;
+        }
+        let hit = self.rng.next_f64() < self.plan.journal_write_fault_rate;
+        if hit {
+            self.counters.journal_write_failures.inc();
+        }
+        hit
+    }
+
     /// Decides whether one IPC message is dropped.
     pub fn ipc_send(&mut self) -> bool {
         if self.plan.ipc_drop_rate == 0.0 {
@@ -235,6 +256,7 @@ mod tests {
             assert!(!inj.pred_request());
             assert!(!inj.swap_in());
             assert!(!inj.ipc_send());
+            assert!(!inj.journal_write());
         }
         assert_eq!(inj.stats(), FaultStats::default());
         // No draws consumed: the stream equals a fresh one.

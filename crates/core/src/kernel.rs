@@ -13,7 +13,10 @@ use std::collections::{BTreeMap, VecDeque};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use symphony_gpu::{DeviceSpec, ExecError, GpuExecutor, GpuMetrics, PredRequest};
-use symphony_kvfs::{FileId, KvError, KvStats, KvStore, KvStoreConfig, Mode, OwnerId, Residency};
+use symphony_kvfs::{
+    FileId, KvError, KvStats, KvStore, KvStoreConfig, Mode, OwnerId, Residency, RestoreReport,
+    SwapReport,
+};
 use symphony_model::{ModelConfig, Surrogate, TokenId};
 use symphony_model::surrogate::VocabInfo;
 use symphony_sim::{EventQueue, RetryPolicy, Rng, SimDuration, SimTime, Trace};
@@ -58,6 +61,12 @@ pub struct KernelConfig {
     pub page_tokens: usize,
     /// Host-memory KV swap space in bytes.
     pub cpu_swap_bytes: u64,
+    /// NVMe disk-tier KV spill space in bytes. Zero disables the disk tier:
+    /// DRAM exhaustion surfaces as `NoCpuMemory` exactly as before.
+    pub disk_swap_bytes: u64,
+    /// Restore the KV store from this journal at boot when the file exists
+    /// (warm restart); [`Kernel::persist_kv`] writes it at shutdown.
+    pub journal_path: Option<std::path::PathBuf>,
     /// Overrides the device-derived GPU KV budget (tests use tiny pools).
     pub gpu_kv_bytes_override: Option<u64>,
     /// Virtual CPU cost charged per system call.
@@ -100,6 +109,10 @@ impl KernelConfig {
             max_batch: 64,
             page_tokens: 4,
             cpu_swap_bytes: 4_000_000,
+            // No disk tier in tests by default: golden traces and capacity
+            // assertions depend on the two-tier behaviour.
+            disk_swap_bytes: 0,
+            journal_path: None,
             gpu_kv_bytes_override: None,
             syscall_cost: SimDuration::ZERO,
             offload_on_io_wait: false,
@@ -130,6 +143,8 @@ impl KernelConfig {
             max_batch: 64,
             page_tokens: 16,
             cpu_swap_bytes: 256_000_000_000,
+            disk_swap_bytes: 1_000_000_000_000,
+            journal_path: None,
             gpu_kv_bytes_override: None,
             syscall_cost: SimDuration::from_micros(2),
             offload_on_io_wait: true,
@@ -262,6 +277,8 @@ struct KernelMetrics {
     tool_latency_ns: Histogram,
     /// GPU KV pages in use, sampled after each batch.
     gpu_pages_used: Gauge,
+    /// Disk-tier KV pages in use, sampled after each batch.
+    disk_pages_used: Gauge,
     /// KV files swapped out to free GPU pages for an executing sequence
     /// (continuous executor only).
     preemptions: Counter,
@@ -279,6 +296,7 @@ impl KernelMetrics {
             batch_occupancy_pct: registry.histogram("gpu.batch_occupancy_pct", &percent_bounds()),
             tool_latency_ns: registry.histogram("tools.call_latency_ns", &latency_bounds_ns()),
             gpu_pages_used: registry.gauge("kvfs.gpu_pages_used"),
+            disk_pages_used: registry.gauge("kvfs.disk_pages_used"),
             preemptions: registry.counter("sched.preemptions"),
             prefill_chunks: registry.counter("sched.prefill_chunks"),
         }
@@ -289,6 +307,8 @@ impl KernelMetrics {
 pub struct Kernel {
     // Substrate.
     store: KvStore,
+    /// Warm-restart report when the store was restored from a journal.
+    restored: Option<RestoreReport>,
     gpu: GpuExecutor,
     tokenizer: &'static Bpe,
     tools: ToolRegistry,
@@ -348,18 +368,33 @@ impl Kernel {
             .gpu_kv_bytes_override
             .unwrap_or_else(|| config.device.kv_budget_bytes(&config.model));
         let registry = MetricsRegistry::new();
-        let store = KvStore::with_registry(
-            KvStoreConfig::from_bytes(
-                gpu_kv_bytes,
-                config.cpu_swap_bytes,
-                config.model.kv_bytes_per_token(),
-                config.page_tokens,
-            ),
-            &registry,
+        let store_config = KvStoreConfig::from_bytes(
+            gpu_kv_bytes,
+            config.cpu_swap_bytes,
+            config.disk_swap_bytes,
+            config.model.kv_bytes_per_token(),
+            config.page_tokens,
         );
+        // Warm restart: replay the journal when one exists at the configured
+        // path. Any failure (missing file, incompatible geometry) falls back
+        // to a cold store — a serving kernel must boot either way.
+        let mut restored = None;
+        let store = match config
+            .journal_path
+            .as_deref()
+            .filter(|p| p.exists())
+            .and_then(|p| KvStore::restore_from_journal(p, store_config, &registry).ok())
+        {
+            Some((store, report)) => {
+                restored = Some(report);
+                store
+            }
+            None => KvStore::with_registry(store_config, &registry),
+        };
         let (up_tx, up_rx) = unbounded();
         Kernel {
             store,
+            restored,
             gpu: GpuExecutor::with_registry(config.device, model, &registry),
             tokenizer,
             tools: ToolRegistry::new(),
@@ -448,6 +483,32 @@ impl Kernel {
         }
         self.store.link(f, path, OwnerId::ADMIN)?;
         Ok(f)
+    }
+
+    /// The warm-restart report when this kernel booted from a journal
+    /// (`KernelConfig::journal_path`); `None` after a cold start.
+    pub fn restored(&self) -> Option<&RestoreReport> {
+        self.restored.as_ref()
+    }
+
+    /// Snapshots the KV store to an append-only journal at `path` for a
+    /// later warm restart. Returns `Ok(true)` when the journal landed
+    /// complete; under an injected `kv.journal_write` fault the write is
+    /// torn mid-record (the tail third is lost) and `Ok(false)` is returned
+    /// — replay will recover the valid prefix.
+    pub fn persist_kv(&mut self, path: &std::path::Path) -> std::io::Result<bool> {
+        let mut bytes = self.store.journal_bytes();
+        let torn = self.injector.journal_write();
+        if torn {
+            let cut = bytes.len() - bytes.len() / 3;
+            bytes.truncate(cut);
+            let at = self.events.now();
+            self.bus.emit(at, || EventKind::FaultInjected {
+                site: "kv.journal_write",
+            });
+        }
+        std::fs::write(path, bytes)?;
+        Ok(!torn)
     }
 
     /// Spawns a LIP immediately (at the current virtual time) with the
@@ -957,6 +1018,9 @@ impl Kernel {
         self.kmetrics
             .gpu_pages_used
             .set(self.store.gpu_pages_used() as i64);
+        self.kmetrics
+            .disk_pages_used
+            .set(self.store.disk_pages_used() as i64);
         let adm = self.admission;
         let mut replies: Vec<(Tid, SysReply)> = Vec::with_capacity(requests.len());
         for (((((tid, res), req), requeues), enqueued_at), (ppid, critical)) in tids
@@ -1116,14 +1180,21 @@ impl Kernel {
             .map(|(j, _)| j)
     }
 
+    /// Virtual time to move one swap's traffic: DRAM-tier tokens cross
+    /// PCIe, disk-tier tokens additionally cross the (slower) NVMe lane.
+    fn swap_cost(&self, moved: SwapReport) -> SimDuration {
+        let bpt = self.store.bytes_per_token();
+        self.gpu.swap_time(moved.dram_tokens as u64, bpt)
+            + self.gpu.disk_swap_time(moved.disk_tokens as u64, bpt)
+    }
+
     /// Runs one token iteration: swap admitted-but-evicted KV back in,
     /// execute one chunk of every resident sequence, retire finished
     /// sequences, and recover from KV exhaustion by preempting.
     fn launch_iteration(&mut self, cfg: ContinuousConfig) {
         let now = self.events.now();
         let chunk = cfg.chunk_tokens.unwrap_or(usize::MAX).max(1);
-        let bpt = self.store.bytes_per_token();
-        // PCIe time for swaps performed on behalf of this iteration is
+        // PCIe/NVMe time for swaps performed on behalf of this iteration is
         // charged to the iteration's duration.
         let mut swap_extra = SimDuration::ZERO;
 
@@ -1168,11 +1239,11 @@ impl Kernel {
                     .map(|(_, s)| s.req.file)
                     .collect();
                 if let Some((victim, moved)) = self.store.evict_lru(&exclude) {
-                    swap_extra += self.gpu.swap_time(moved as u64, bpt);
+                    swap_extra += self.swap_cost(moved);
                     self.kmetrics.preemptions.inc();
                     self.bus.emit(now, || EventKind::Preempt {
                         file: victim.0,
-                        tokens: moved as u64,
+                        tokens: moved.total() as u64,
                         victim_tid: 0,
                     });
                     continue;
@@ -1183,11 +1254,11 @@ impl Kernel {
                 let (vfile, vtid) = (self.active[j].req.file, self.active[j].tid);
                 match self.store.swap_out(vfile, OwnerId::ADMIN) {
                     Ok(moved) => {
-                        swap_extra += self.gpu.swap_time(moved as u64, bpt);
+                        swap_extra += self.swap_cost(moved);
                         self.kmetrics.preemptions.inc();
                         self.bus.emit(now, || EventKind::Preempt {
                             file: vfile.0,
-                            tokens: moved as u64,
+                            tokens: moved.total() as u64,
                             victim_tid: vtid.0,
                         });
                         preempted.push(j);
@@ -1199,12 +1270,13 @@ impl Kernel {
                 continue; // cannot fit this iteration; retry later
             }
             if let Ok(moved) = self.store.swap_in(file, OwnerId::ADMIN) {
-                swap_extra += self.gpu.swap_time(moved as u64, bpt);
+                swap_extra += self.swap_cost(moved);
                 self.bus.emit(now, || EventKind::KvSwap {
                     pid: spid.0,
                     tid: stid.0,
                     file: file.0,
-                    tokens: moved as u64,
+                    tokens: moved.total() as u64,
+                    disk_tokens: moved.disk_tokens as u64,
                     dir: SwapDir::In,
                 });
             }
@@ -1352,11 +1424,11 @@ impl Kernel {
                     .map(|(_, s)| s.req.file)
                     .collect();
                 if let Some((victim, moved)) = self.store.evict_lru(&exclude) {
-                    swap_extra += self.gpu.swap_time(moved as u64, bpt);
+                    swap_extra += self.swap_cost(moved);
                     self.kmetrics.preemptions.inc();
                     self.bus.emit(now, || EventKind::Preempt {
                         file: victim.0,
-                        tokens: moved as u64,
+                        tokens: moved.total() as u64,
                         victim_tid: 0,
                     });
                     continue;
@@ -1370,11 +1442,11 @@ impl Kernel {
                 let vtid = self.active[j].tid;
                 match self.store.swap_out(vfile, OwnerId::ADMIN) {
                     Ok(moved) => {
-                        swap_extra += self.gpu.swap_time(moved as u64, bpt);
+                        swap_extra += self.swap_cost(moved);
                         self.kmetrics.preemptions.inc();
                         self.bus.emit(now, || EventKind::Preempt {
                             file: vfile.0,
-                            tokens: moved as u64,
+                            tokens: moved.total() as u64,
                             victim_tid: vtid.0,
                         });
                         preempted.push(j);
@@ -1442,6 +1514,9 @@ impl Kernel {
         self.kmetrics
             .gpu_pages_used
             .set(self.store.gpu_pages_used() as i64);
+        self.kmetrics
+            .disk_pages_used
+            .set(self.store.disk_pages_used() as i64);
         let duration = swap_extra + report.duration;
         self.trace.record(
             now,
@@ -1715,17 +1790,16 @@ impl Kernel {
                 self.complete(tid, SysReply::Stat(Box::new(s)));
             }
             Syscall::KvSwapOut { kv } => {
-                let tokens = kv!(self.store.swap_out(kv, owner));
+                let moved = kv!(self.store.swap_out(kv, owner));
                 self.bus.emit(sys_at, || EventKind::KvSwap {
                     pid: pid.0,
                     tid: tid.0,
                     file: kv.0,
-                    tokens: tokens as u64,
+                    tokens: moved.total() as u64,
+                    disk_tokens: moved.disk_tokens as u64,
                     dir: SwapDir::Out,
                 });
-                let cost = self
-                    .gpu
-                    .swap_time(tokens as u64, self.store.bytes_per_token());
+                let cost = self.swap_cost(moved);
                 let at = self.events.now() + self.syscall_cost + cost;
                 self.events.schedule(at, Event::Resume(tid, SysReply::Unit));
             }
@@ -1738,17 +1812,16 @@ impl Kernel {
                     self.complete(tid, SysReply::Err(SysError::Fault("kv.swap_in")));
                     return;
                 }
-                let tokens = kv!(self.store.swap_in(kv, owner));
+                let moved = kv!(self.store.swap_in(kv, owner));
                 self.bus.emit(sys_at, || EventKind::KvSwap {
                     pid: pid.0,
                     tid: tid.0,
                     file: kv.0,
-                    tokens: tokens as u64,
+                    tokens: moved.total() as u64,
+                    disk_tokens: moved.disk_tokens as u64,
                     dir: SwapDir::In,
                 });
-                let cost = self
-                    .gpu
-                    .swap_time(tokens as u64, self.store.bytes_per_token());
+                let cost = self.swap_cost(moved);
                 let at = self.events.now() + self.syscall_cost + cost;
                 self.events.schedule(at, Event::Resume(tid, SysReply::Unit));
             }
@@ -2064,7 +2137,7 @@ impl Kernel {
             return;
         };
         proc.io_waiting = proc.io_waiting.saturating_sub(1);
-        let mut restore_tokens = 0usize;
+        let mut restored = SwapReport::default();
         if proc.io_waiting == 0 && !proc.offloaded.is_empty() {
             let files = std::mem::take(&mut proc.offloaded);
             let owner = OwnerId(pid.0);
@@ -2084,7 +2157,8 @@ impl Kernel {
                     continue;
                 }
                 if let Ok(moved) = self.store.swap_in(f, owner) {
-                    restore_tokens += moved;
+                    restored.dram_tokens += moved.dram_tokens;
+                    restored.disk_tokens += moved.disk_tokens;
                 }
             }
         }
@@ -2092,11 +2166,11 @@ impl Kernel {
             Ok(s) => SysReply::Text(s),
             Err(e) => SysReply::Err(e),
         };
+        let restore_tokens = restored.total();
         if restore_tokens > 0 {
-            // The thread pays the PCIe restore time before resuming.
-            let cost = self
-                .gpu
-                .swap_time(restore_tokens as u64, self.store.bytes_per_token());
+            // The thread pays the PCIe (and NVMe, for disk-spilled pages)
+            // restore time before resuming.
+            let cost = self.swap_cost(restored);
             let at = self.events.now();
             self.bus.emit(at, || EventKind::KvRestore {
                 pid: pid.0,

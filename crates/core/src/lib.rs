@@ -77,7 +77,9 @@ pub use tools::{ToolOutcome, ToolRegistry, ToolSpec};
 pub use types::{ExitStatus, Limits, Pid, ProcessRecord, SysError, Tid};
 
 // Re-export the substrate types LIPs interact with.
-pub use symphony_kvfs::{FileId, FileStat, KvEntry, Mode, OwnerId, Residency};
+pub use symphony_kvfs::{
+    FileId, FileStat, KvEntry, KvError, KvStats, Mode, OwnerId, Residency, RestoreReport,
+};
 pub use symphony_model::{CtxFingerprint, Dist, ModelConfig, TokenId};
 pub use symphony_sim::{RetryPolicy, SimDuration, SimTime};
 

@@ -412,6 +412,7 @@ fn chaos_run(seed: u64) -> (u64, Vec<(String, String, bool)>, String) {
         pred_fault_rate: 0.02,
         swap_in_fault_rate: 0.1,
         ipc_drop_rate: 0.2,
+        journal_write_fault_rate: 0.0,
     };
     cfg.tool_retry =
         Some(RetryPolicy::exponential(4, SimDuration::from_millis(5)));

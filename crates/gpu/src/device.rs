@@ -1,7 +1,7 @@
 //! GPU device specifications.
 
 use serde::{Deserialize, Serialize};
-use symphony_model::ModelConfig;
+use symphony_model::{IoLane, ModelConfig};
 use symphony_sim::SimDuration;
 
 /// Published characteristics of a simulated accelerator.
@@ -25,6 +25,8 @@ pub struct DeviceSpec {
     pub batch_overhead_ns: u64,
     /// Fraction of HBM reserved for activations and fragmentation slack.
     pub activation_reserve: f64,
+    /// NVMe lane for disk-tier KV swap traffic (latency + bandwidth).
+    pub nvme: IoLane,
 }
 
 impl DeviceSpec {
@@ -39,6 +41,7 @@ impl DeviceSpec {
             pcie_bandwidth: 25e9,
             batch_overhead_ns: 200_000,
             activation_reserve: 0.10,
+            nvme: IoLane::nvme(),
         }
     }
 
@@ -63,6 +66,7 @@ impl DeviceSpec {
             pcie_bandwidth: 55e9,
             batch_overhead_ns: 150_000,
             activation_reserve: 0.10,
+            nvme: IoLane::nvme(),
         }
     }
 
@@ -78,6 +82,12 @@ impl DeviceSpec {
             pcie_bandwidth: 1e8,
             batch_overhead_ns: 1_000,
             activation_reserve: 0.10,
+            // 4× slower than the test PCIe link, same access latency as a
+            // real SSD: disk swaps stay visibly more expensive in tests.
+            nvme: IoLane {
+                bandwidth: 2.5e7,
+                base_latency_s: 100e-6,
+            },
         }
     }
 
@@ -102,6 +112,11 @@ impl DeviceSpec {
     /// Time to move `bytes` across PCIe.
     pub fn transfer_time(&self, bytes: u64) -> SimDuration {
         SimDuration::from_secs_f64(bytes as f64 / self.pcie_bandwidth)
+    }
+
+    /// Time to move `bytes` across the NVMe lane (disk-tier swap traffic).
+    pub fn disk_transfer_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(self.nvme.transfer_seconds(bytes))
     }
 }
 

@@ -180,6 +180,13 @@ impl GpuExecutor {
         self.device.transfer_time(tokens * bytes_per_token)
     }
 
+    /// Time to move `tokens` worth of KV across the NVMe lane (disk-tier
+    /// swap traffic). Strictly more expensive than [`Self::swap_time`] for
+    /// the same payload: the lane is slower and charges an access latency.
+    pub fn disk_swap_time(&self, tokens: u64, bytes_per_token: u64) -> SimDuration {
+        self.device.disk_transfer_time(tokens * bytes_per_token)
+    }
+
     /// Executes a batch of `pred` requests against the KV store.
     ///
     /// Each request independently succeeds or fails; a failed request does
@@ -484,6 +491,27 @@ mod tests {
         let (res, _) = gpu.execute_batch(&mut store, &[req(f, vec![(2, 1)])]);
         assert_eq!(res[0], Err(ExecError::NotResident));
         store.verify().unwrap();
+    }
+
+    #[test]
+    fn disk_resident_file_rejected() {
+        let (mut gpu, mut store) = setup();
+        let f = store.create(U1).unwrap();
+        gpu.execute_batch(&mut store, &[req(f, vec![(1, 0)])]);
+        store.demote_to_disk(f, U1).unwrap();
+        assert_eq!(store.residency(f).unwrap(), Residency::Disk);
+        let (res, _) = gpu.execute_batch(&mut store, &[req(f, vec![(2, 1)])]);
+        assert_eq!(res[0], Err(ExecError::NotResident));
+        store.verify().unwrap();
+    }
+
+    #[test]
+    fn disk_swap_is_dearer_than_pcie_swap() {
+        let (gpu, _) = setup();
+        let pcie = gpu.swap_time(1_000, 2);
+        let disk = gpu.disk_swap_time(1_000, 2);
+        assert!(disk > pcie, "disk={disk:?} pcie={pcie:?}");
+        assert_eq!(gpu.disk_swap_time(0, 2), SimDuration::ZERO);
     }
 
     #[test]

@@ -9,6 +9,8 @@ pub enum KvError {
     NoGpuMemory,
     /// The CPU tier has no free pages; nothing further can be swapped out.
     NoCpuMemory,
+    /// The disk tier has no free pages (or is disabled with zero capacity).
+    NoDiskMemory,
     /// No file with the given ID or path.
     NotFound,
     /// A path is already linked to a file.
@@ -29,6 +31,12 @@ pub enum KvError {
     Pinned,
     /// `merge`/`extract` was called with no source entries.
     EmptyInput,
+    /// A journal's tail record is torn or its body is inconsistent; the
+    /// valid prefix was (or can be) restored, the rest is lost.
+    JournalTorn,
+    /// A journal was written under a different geometry (page size or
+    /// bytes-per-token) and cannot be replayed into this store.
+    JournalIncompatible,
 }
 
 impl fmt::Display for KvError {
@@ -36,6 +44,7 @@ impl fmt::Display for KvError {
         let msg = match self {
             KvError::NoGpuMemory => "out of GPU pages",
             KvError::NoCpuMemory => "out of CPU pages",
+            KvError::NoDiskMemory => "out of disk pages",
             KvError::NotFound => "file not found",
             KvError::AlreadyExists => "path already exists",
             KvError::PermissionDenied => "permission denied",
@@ -46,6 +55,8 @@ impl fmt::Display for KvError {
             KvError::NotResident => "file is not resident in the GPU tier",
             KvError::Pinned => "file is pinned",
             KvError::EmptyInput => "operation requires at least one entry",
+            KvError::JournalTorn => "journal tail is torn; restored the valid prefix",
+            KvError::JournalIncompatible => "journal geometry does not match the store config",
         };
         f.write_str(msg)
     }

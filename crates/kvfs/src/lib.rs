@@ -6,15 +6,21 @@
 //! system:
 //!
 //! - **Pages** ([`page`]): token-granular KV state is stored in fixed-size
-//!   pages (PagedAttention-style) drawn from a ref-counted pool with two
-//!   tiers — GPU HBM and CPU DRAM.
+//!   pages (PagedAttention-style) drawn from a ref-counted pool with three
+//!   tiers — GPU HBM, CPU DRAM, and NVMe disk.
 //! - **Files** ([`store`]): a file is an ordered sequence of
 //!   `(token, position, fingerprint)` entries across pages. Files support
 //!   POSIX-flavoured operations (create/open/link/unlink/remove), the
 //!   specialised operations the paper names (`fork` with copy-on-write,
 //!   `extract`, `merge`), exclusive write locks, owner/mode access control,
-//!   pinning, and explicit GPU↔CPU swapping.
+//!   pinning, and explicit tier swapping (GPU↔CPU with second-level spill
+//!   to disk under DRAM pressure).
 //! - **Quotas**: per-owner page budgets so one tenant cannot exhaust HBM.
+//! - **Journal** ([`journal`]): an append-only, checksummed record format
+//!   that persists the store across process restarts
+//!   ([`store::KvStore::snapshot_to_journal`] /
+//!   [`store::KvStore::restore_from_journal`]), with truncate-and-continue
+//!   recovery from torn tail records. See `docs/KVFS.md`.
 //!
 //! The store is a plain single-threaded value (`&mut self` API): the Symphony
 //! kernel serialises all system calls, so interior locking would only hide
@@ -40,9 +46,13 @@
 //! ```
 
 pub mod error;
+pub mod journal;
 pub mod page;
 pub mod store;
 
 pub use error::KvError;
+pub use journal::{JournalHeader, JournalWriter, Record, RestoreReport};
 pub use page::{KvEntry, PageId, Tier, PAGE_TOKENS_DEFAULT};
-pub use store::{FileId, FileStat, KvStats, KvStore, KvStoreConfig, Mode, OwnerId, Residency};
+pub use store::{
+    FileId, FileStat, KvStats, KvStore, KvStoreConfig, Mode, OwnerId, Residency, SwapReport,
+};

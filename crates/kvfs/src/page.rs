@@ -1,4 +1,4 @@
-//! Pages and the two-tier page pool.
+//! Pages and the three-tier page pool.
 //!
 //! A page holds up to `page_tokens` KV entries and lives in exactly one
 //! memory tier. Pages are reference-counted: [`crate::store::KvStore::fork`]
@@ -50,6 +50,10 @@ pub enum Tier {
     Gpu,
     /// CPU DRAM — swap space for blocked or cold files.
     Cpu,
+    /// NVMe disk — second-level spill and the persistence tier. Pages on
+    /// disk survive a journal snapshot/restore cycle; swapping them back
+    /// in is charged against the device's NVMe lane rather than PCIe.
+    Disk,
 }
 
 /// A page slot.
@@ -60,7 +64,7 @@ pub(crate) struct Page {
     pub tier: Tier,
 }
 
-/// The two-tier page pool.
+/// The three-tier page pool.
 #[derive(Debug)]
 pub(crate) struct PagePool {
     slots: Vec<Option<Page>>,
@@ -68,12 +72,19 @@ pub(crate) struct PagePool {
     page_tokens: usize,
     gpu_capacity: usize,
     cpu_capacity: usize,
+    disk_capacity: usize,
     gpu_used: usize,
     cpu_used: usize,
+    disk_used: usize,
 }
 
 impl PagePool {
-    pub(crate) fn new(page_tokens: usize, gpu_capacity: usize, cpu_capacity: usize) -> Self {
+    pub(crate) fn new(
+        page_tokens: usize,
+        gpu_capacity: usize,
+        cpu_capacity: usize,
+        disk_capacity: usize,
+    ) -> Self {
         assert!(page_tokens > 0, "page size must be positive");
         PagePool {
             slots: Vec::new(),
@@ -81,8 +92,10 @@ impl PagePool {
             page_tokens,
             gpu_capacity,
             cpu_capacity,
+            disk_capacity,
             gpu_used: 0,
             cpu_used: 0,
+            disk_used: 0,
         }
     }
 
@@ -98,6 +111,10 @@ impl PagePool {
         self.cpu_used
     }
 
+    pub(crate) fn disk_used(&self) -> usize {
+        self.disk_used
+    }
+
     pub(crate) fn gpu_capacity(&self) -> usize {
         self.gpu_capacity
     }
@@ -106,22 +123,46 @@ impl PagePool {
         self.cpu_capacity
     }
 
+    pub(crate) fn disk_capacity(&self) -> usize {
+        self.disk_capacity
+    }
+
+    fn tier_full(&self, tier: Tier) -> Option<KvError> {
+        match tier {
+            Tier::Gpu if self.gpu_used >= self.gpu_capacity => Some(KvError::NoGpuMemory),
+            Tier::Cpu if self.cpu_used >= self.cpu_capacity => Some(KvError::NoCpuMemory),
+            Tier::Disk if self.disk_used >= self.disk_capacity => Some(KvError::NoDiskMemory),
+            _ => None,
+        }
+    }
+
+    fn add_used(&mut self, tier: Tier) {
+        match tier {
+            Tier::Gpu => self.gpu_used += 1,
+            Tier::Cpu => self.cpu_used += 1,
+            Tier::Disk => self.disk_used += 1,
+        }
+    }
+
+    fn sub_used(&mut self, tier: Tier) {
+        match tier {
+            Tier::Gpu => self.gpu_used -= 1,
+            Tier::Cpu => self.cpu_used -= 1,
+            Tier::Disk => self.disk_used -= 1,
+        }
+    }
+
     /// Allocates an empty page in `tier` with refcount 1.
     pub(crate) fn alloc(&mut self, tier: Tier) -> Result<PageId, KvError> {
-        match tier {
-            Tier::Gpu if self.gpu_used >= self.gpu_capacity => return Err(KvError::NoGpuMemory),
-            Tier::Cpu if self.cpu_used >= self.cpu_capacity => return Err(KvError::NoCpuMemory),
-            _ => {}
+        if let Some(err) = self.tier_full(tier) {
+            return Err(err);
         }
         let page = Page {
             entries: Vec::with_capacity(self.page_tokens),
             refcount: 1,
             tier,
         };
-        match tier {
-            Tier::Gpu => self.gpu_used += 1,
-            Tier::Cpu => self.cpu_used += 1,
-        }
+        self.add_used(tier);
         let id = if let Some(idx) = self.free.pop() {
             self.slots[idx as usize] = Some(page);
             PageId(idx)
@@ -151,10 +192,7 @@ impl PagePool {
         }
         self.slots[id.0 as usize] = None;
         self.free.push(id.0);
-        match tier {
-            Tier::Gpu => self.gpu_used -= 1,
-            Tier::Cpu => self.cpu_used -= 1,
-        }
+        self.sub_used(tier);
     }
 
     /// Moves a page between tiers; returns the number of tokens moved.
@@ -163,22 +201,79 @@ impl PagePool {
         if from == to {
             return Ok(0);
         }
-        match to {
-            Tier::Gpu if self.gpu_used >= self.gpu_capacity => return Err(KvError::NoGpuMemory),
-            Tier::Cpu if self.cpu_used >= self.cpu_capacity => return Err(KvError::NoCpuMemory),
-            _ => {}
+        if let Some(err) = self.tier_full(to) {
+            return Err(err);
         }
-        match from {
-            Tier::Gpu => self.gpu_used -= 1,
-            Tier::Cpu => self.cpu_used -= 1,
-        }
-        match to {
-            Tier::Gpu => self.gpu_used += 1,
-            Tier::Cpu => self.cpu_used += 1,
-        }
+        self.sub_used(from);
+        self.add_used(to);
         let page = self.page_mut(id);
         page.tier = to;
         Ok(page.entries.len())
+    }
+
+    /// Installs a page with a known id, content and refcount — journal
+    /// restore only. Grows the slot vector as needed; fails with the
+    /// tier's out-of-memory error when the configured capacity cannot
+    /// hold another page, and refuses to overwrite a live slot.
+    pub(crate) fn install(
+        &mut self,
+        id: PageId,
+        tier: Tier,
+        entries: Vec<KvEntry>,
+        refcount: u32,
+    ) -> Result<(), KvError> {
+        if let Some(err) = self.tier_full(tier) {
+            return Err(err);
+        }
+        let idx = id.0 as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        if self.slots[idx].is_some() {
+            return Err(KvError::JournalTorn);
+        }
+        self.slots[idx] = Some(Page {
+            entries,
+            refcount,
+            tier,
+        });
+        self.add_used(tier);
+        Ok(())
+    }
+
+    /// Finishes a journal restore: fixes the slot-vector length and the
+    /// free-slot order. With `free: Some(_)` the recorded snapshot order
+    /// is adopted verbatim (byte-identical allocation behaviour); with
+    /// `None` a canonical order is rebuilt — every empty slot, highest
+    /// index pushed last, so `alloc` reuses the lowest index first.
+    pub(crate) fn finish_restore(&mut self, slots_len: usize, free: Option<Vec<u32>>) {
+        if slots_len > self.slots.len() {
+            self.slots.resize_with(slots_len, || None);
+        }
+        self.free = match free {
+            Some(order) => order,
+            None => {
+                let mut rebuilt: Vec<u32> = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.is_none())
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                rebuilt.reverse();
+                rebuilt
+            }
+        };
+    }
+
+    /// The free-slot stack in allocation-stack order (journal snapshot).
+    pub(crate) fn free_list(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// Total slot-vector length including empty slots (journal snapshot).
+    pub(crate) fn slots_len(&self) -> usize {
+        self.slots.len()
     }
 
     pub(crate) fn page(&self, id: PageId) -> &Page {
@@ -222,7 +317,7 @@ mod tests {
 
     #[test]
     fn alloc_respects_capacity() {
-        let mut pool = PagePool::new(4, 2, 1);
+        let mut pool = PagePool::new(4, 2, 1, 0);
         let a = pool.alloc(Tier::Gpu).unwrap();
         let _b = pool.alloc(Tier::Gpu).unwrap();
         assert_eq!(pool.alloc(Tier::Gpu), Err(KvError::NoGpuMemory));
@@ -236,7 +331,7 @@ mod tests {
 
     #[test]
     fn refcounting_frees_at_zero() {
-        let mut pool = PagePool::new(4, 8, 0);
+        let mut pool = PagePool::new(4, 8, 0, 0);
         let p = pool.alloc(Tier::Gpu).unwrap();
         pool.retain(p);
         pool.release(p);
@@ -248,7 +343,7 @@ mod tests {
 
     #[test]
     fn slot_reuse_after_free() {
-        let mut pool = PagePool::new(4, 8, 0);
+        let mut pool = PagePool::new(4, 8, 0, 0);
         let a = pool.alloc(Tier::Gpu).unwrap();
         pool.release(a);
         let b = pool.alloc(Tier::Gpu).unwrap();
@@ -257,7 +352,7 @@ mod tests {
 
     #[test]
     fn migrate_moves_between_tiers() {
-        let mut pool = PagePool::new(4, 2, 2);
+        let mut pool = PagePool::new(4, 2, 2, 0);
         let p = pool.alloc(Tier::Gpu).unwrap();
         pool.page_mut(p).entries.push(entry(1));
         pool.page_mut(p).entries.push(entry(2));
@@ -272,10 +367,46 @@ mod tests {
 
     #[test]
     fn migrate_respects_destination_capacity() {
-        let mut pool = PagePool::new(4, 2, 1);
+        let mut pool = PagePool::new(4, 2, 1, 0);
         let a = pool.alloc(Tier::Gpu).unwrap();
         let b = pool.alloc(Tier::Gpu).unwrap();
         pool.migrate(a, Tier::Cpu).unwrap();
         assert_eq!(pool.migrate(b, Tier::Cpu), Err(KvError::NoCpuMemory));
+    }
+
+    #[test]
+    fn disk_tier_allocates_and_migrates() {
+        let mut pool = PagePool::new(4, 1, 1, 1);
+        let p = pool.alloc(Tier::Gpu).unwrap();
+        pool.page_mut(p).entries.push(entry(7));
+        assert_eq!(pool.migrate(p, Tier::Disk).unwrap(), 1);
+        assert_eq!(pool.page(p).tier, Tier::Disk);
+        assert_eq!(pool.disk_used(), 1);
+        assert_eq!(pool.gpu_used(), 0);
+        // Disk full: second page cannot spill.
+        let q = pool.alloc(Tier::Gpu).unwrap();
+        assert_eq!(pool.migrate(q, Tier::Disk), Err(KvError::NoDiskMemory));
+        // Zero-capacity disk rejects allocation outright.
+        let mut no_disk = PagePool::new(4, 1, 1, 0);
+        assert_eq!(no_disk.alloc(Tier::Disk), Err(KvError::NoDiskMemory));
+    }
+
+    #[test]
+    fn install_rebuilds_pool_state() {
+        let mut pool = PagePool::new(4, 4, 0, 4);
+        pool.install(PageId(2), Tier::Gpu, vec![entry(1)], 2).unwrap();
+        pool.install(PageId(0), Tier::Disk, vec![entry(2)], 1).unwrap();
+        assert_eq!(pool.gpu_used(), 1);
+        assert_eq!(pool.disk_used(), 1);
+        assert_eq!(pool.page(PageId(2)).refcount, 2);
+        // Double-install of a live slot is a journal inconsistency.
+        assert_eq!(
+            pool.install(PageId(2), Tier::Gpu, vec![], 1),
+            Err(KvError::JournalTorn)
+        );
+        pool.finish_restore(3, None);
+        // Slot 1 is the only hole; canonical order allocates it first.
+        assert_eq!(pool.free_list(), &[1]);
+        assert_eq!(pool.alloc(Tier::Gpu).unwrap(), PageId(1));
     }
 }

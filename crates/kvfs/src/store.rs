@@ -7,7 +7,8 @@ use symphony_model::CtxFingerprint;
 use symphony_telemetry::{Counter, MetricsRegistry};
 
 use crate::error::KvError;
-use crate::page::{KvEntry, PagePool, Tier, PAGE_TOKENS_DEFAULT};
+use crate::journal::{self, JournalHeader, JournalWriter, Record, RestoreReport};
+use crate::page::{KvEntry, PageId, PagePool, Tier, PAGE_TOKENS_DEFAULT};
 
 /// A tenant identity (a Symphony process, a baseline engine, or "the admin").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -53,9 +54,12 @@ pub enum Residency {
     Empty,
     /// All pages in GPU HBM; `pred` may use the file.
     Gpu,
-    /// All pages swapped to CPU DRAM.
+    /// No pages in GPU HBM, at least one in CPU DRAM (the rest may be on
+    /// disk) — swap-in crosses PCIe, possibly plus the NVMe lane.
     Cpu,
-    /// Pages split across tiers (mid-swap).
+    /// Every page spilled to the disk tier; swap-in crosses the NVMe lane.
+    Disk,
+    /// Pages split between GPU and lower tiers (mid-swap).
     Mixed,
 }
 
@@ -68,6 +72,8 @@ pub struct KvStoreConfig {
     pub gpu_pages: usize,
     /// CPU-tier capacity in pages.
     pub cpu_pages: usize,
+    /// Disk-tier capacity in pages (0 disables the disk tier).
+    pub disk_pages: usize,
     /// KV bytes per token (for byte-denominated statistics).
     pub bytes_per_token: u64,
 }
@@ -79,23 +85,38 @@ impl KvStoreConfig {
             page_tokens: 4,
             gpu_pages: 64,
             cpu_pages: 64,
+            disk_pages: 64,
             bytes_per_token: 1024,
         }
     }
 
     /// Sizes the pools from byte budgets and a model's per-token KV size.
+    ///
+    /// Policy: a *nonzero* byte budget always yields at least one page —
+    /// integer truncation used to turn a budget smaller than one page into
+    /// a zero-page tier whose every allocation failed with a confusing
+    /// out-of-memory error. A zero budget stays zero (tier disabled).
     pub fn from_bytes(
         gpu_kv_bytes: u64,
         cpu_kv_bytes: u64,
+        disk_kv_bytes: u64,
         bytes_per_token: u64,
         page_tokens: usize,
     ) -> Self {
         assert!(bytes_per_token > 0 && page_tokens > 0);
         let page_bytes = bytes_per_token * page_tokens as u64;
+        let pages = |budget_bytes: u64| {
+            if budget_bytes == 0 {
+                0
+            } else {
+                ((budget_bytes / page_bytes) as usize).max(1)
+            }
+        };
         KvStoreConfig {
             page_tokens,
-            gpu_pages: (gpu_kv_bytes / page_bytes) as usize,
-            cpu_pages: (cpu_kv_bytes / page_bytes) as usize,
+            gpu_pages: pages(gpu_kv_bytes),
+            cpu_pages: pages(cpu_kv_bytes),
+            disk_pages: pages(disk_kv_bytes),
             bytes_per_token,
         }
     }
@@ -107,6 +128,7 @@ impl Default for KvStoreConfig {
             page_tokens: PAGE_TOKENS_DEFAULT,
             gpu_pages: 4096,
             cpu_pages: 16_384,
+            disk_pages: 65_536,
             bytes_per_token: 819_200,
         }
     }
@@ -157,10 +179,14 @@ struct Quota {
 /// counters in the unified metrics registry (`kvfs.*`).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct KvStats {
-    /// Tokens moved GPU→CPU.
+    /// Tokens moved out of GPU HBM (to DRAM or disk).
     pub swapped_out_tokens: u64,
-    /// Tokens moved CPU→GPU.
+    /// Tokens moved back into GPU HBM (from DRAM or disk).
     pub swapped_in_tokens: u64,
+    /// Tokens that landed on the disk tier (CPU-pressure spill or demote).
+    pub disk_spilled_tokens: u64,
+    /// Tokens read back from the disk tier.
+    pub disk_loaded_tokens: u64,
     /// Copy-on-write page copies performed.
     pub cow_copies: u64,
     /// Entries copied by `extract`/`merge`.
@@ -172,6 +198,8 @@ pub struct KvStats {
 struct KvCounters {
     swapped_out_tokens: Counter,
     swapped_in_tokens: Counter,
+    disk_spilled_tokens: Counter,
+    disk_loaded_tokens: Counter,
     cow_copies: Counter,
     copied_entries: Counter,
 }
@@ -181,9 +209,29 @@ impl KvCounters {
         KvCounters {
             swapped_out_tokens: registry.counter("kvfs.swapped_out_tokens"),
             swapped_in_tokens: registry.counter("kvfs.swapped_in_tokens"),
+            disk_spilled_tokens: registry.counter("kvfs.disk_spilled_tokens"),
+            disk_loaded_tokens: registry.counter("kvfs.disk_loaded_tokens"),
             cow_copies: registry.counter("kvfs.cow_copies"),
             copied_entries: registry.counter("kvfs.copied_entries"),
         }
+    }
+}
+
+/// Token-move breakdown of one swap operation, split by the lane the bytes
+/// crossed: `dram_tokens` moved over PCIe (GPU↔CPU), `disk_tokens` crossed
+/// the NVMe lane (anything↔disk). Callers charge each lane's cost model.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SwapReport {
+    /// Tokens moved between GPU HBM and CPU DRAM (PCIe traffic).
+    pub dram_tokens: usize,
+    /// Tokens moved to or from the disk tier (NVMe traffic).
+    pub disk_tokens: usize,
+}
+
+impl SwapReport {
+    /// Total tokens moved, regardless of lane.
+    pub fn total(&self) -> usize {
+        self.dram_tokens + self.disk_tokens
     }
 }
 
@@ -211,7 +259,12 @@ impl KvStore {
     /// every other subsystem.
     pub fn with_registry(config: KvStoreConfig, registry: &MetricsRegistry) -> Self {
         KvStore {
-            pool: PagePool::new(config.page_tokens, config.gpu_pages, config.cpu_pages),
+            pool: PagePool::new(
+                config.page_tokens,
+                config.gpu_pages,
+                config.cpu_pages,
+                config.disk_pages,
+            ),
             files: BTreeMap::new(),
             next_file: 1,
             namespace: BTreeMap::new(),
@@ -254,7 +307,17 @@ impl KvStore {
         self.pool.cpu_capacity()
     }
 
-    /// Total live pages across both tiers.
+    /// Disk pages in use.
+    pub fn disk_pages_used(&self) -> usize {
+        self.pool.disk_used()
+    }
+
+    /// Disk page capacity (0 when the disk tier is disabled).
+    pub fn disk_pages_capacity(&self) -> usize {
+        self.pool.disk_capacity()
+    }
+
+    /// Total live pages across all tiers.
     pub fn live_pages(&self) -> usize {
         self.pool.live_pages()
     }
@@ -269,6 +332,8 @@ impl KvStore {
         KvStats {
             swapped_out_tokens: self.counters.swapped_out_tokens.get(),
             swapped_in_tokens: self.counters.swapped_in_tokens.get(),
+            disk_spilled_tokens: self.counters.disk_spilled_tokens.get(),
+            disk_loaded_tokens: self.counters.disk_loaded_tokens.get(),
             cow_copies: self.counters.cow_copies.get(),
             copied_entries: self.counters.copied_entries.get(),
         }
@@ -789,56 +854,121 @@ impl KvStore {
         if m.pages.is_empty() {
             return Ok(Residency::Empty);
         }
-        let gpu = m
-            .pages
-            .iter()
-            .filter(|&&p| self.pool.page(p).tier == Tier::Gpu)
-            .count();
+        let (mut gpu, mut disk) = (0usize, 0usize);
+        for &p in &m.pages {
+            match self.pool.page(p).tier {
+                Tier::Gpu => gpu += 1,
+                Tier::Cpu => {}
+                Tier::Disk => disk += 1,
+            }
+        }
         Ok(if gpu == m.pages.len() {
             Residency::Gpu
-        } else if gpu == 0 {
-            Residency::Cpu
-        } else {
+        } else if gpu > 0 {
             Residency::Mixed
+        } else if disk == m.pages.len() {
+            Residency::Disk
+        } else {
+            // No GPU pages; at least one DRAM page (any disk remainder is
+            // still off-GPU, so the file is equally non-resident).
+            Residency::Cpu
         })
     }
 
-    /// Swaps all pages to the CPU tier; returns tokens moved (for PCIe
-    /// timing). Shared pages move too — swap is a whole-page property.
-    pub fn swap_out(&mut self, id: FileId, caller: OwnerId) -> Result<usize, KvError> {
+    /// Swaps all GPU pages out of HBM; returns the per-lane token counts
+    /// (for PCIe/NVMe timing). Pages go to CPU DRAM first; under CPU
+    /// pressure they spill one level further to the disk tier. Shared
+    /// pages move too — swap is a whole-page property. Pages already off
+    /// the GPU stay where they are.
+    ///
+    /// When the disk tier is disabled (zero capacity) a full DRAM surfaces
+    /// as [`KvError::NoCpuMemory`], exactly as it did before the disk tier
+    /// existed.
+    pub fn swap_out(&mut self, id: FileId, caller: OwnerId) -> Result<SwapReport, KvError> {
         self.check_write(id, caller)?;
         if self.meta(id)?.pinned {
             return Err(KvError::Pinned);
         }
         let pages = self.meta(id)?.pages.clone();
-        let mut moved = 0;
+        let mut report = SwapReport::default();
         for p in pages {
-            moved += self.pool.migrate(p, Tier::Cpu)?;
+            if self.pool.page(p).tier != Tier::Gpu {
+                continue;
+            }
+            match self.pool.migrate(p, Tier::Cpu) {
+                Ok(n) => report.dram_tokens += n,
+                Err(KvError::NoCpuMemory) => match self.pool.migrate(p, Tier::Disk) {
+                    Ok(n) => report.disk_tokens += n,
+                    Err(KvError::NoDiskMemory) => return Err(KvError::NoCpuMemory),
+                    Err(e) => return Err(e),
+                },
+                Err(e) => return Err(e),
+            }
         }
-        self.counters.swapped_out_tokens.add(moved as u64);
-        Ok(moved)
+        self.counters.swapped_out_tokens.add(report.total() as u64);
+        self.counters
+            .disk_spilled_tokens
+            .add(report.disk_tokens as u64);
+        Ok(report)
     }
 
-    /// Swaps all pages back into the GPU tier; returns tokens moved.
-    pub fn swap_in(&mut self, id: FileId, caller: OwnerId) -> Result<usize, KvError> {
+    /// Demotes every page of a file to the disk tier (cold persistence or
+    /// DRAM reclaim). Unlike [`KvStore::swap_out`], pinned files are
+    /// eligible: pinning protects a file from being *dropped* or chosen by
+    /// eviction policies, not from an explicit demotion to durable storage
+    /// — a demoted pinned file keeps all its pages and its pin.
+    pub fn demote_to_disk(&mut self, id: FileId, caller: OwnerId) -> Result<SwapReport, KvError> {
         self.check_write(id, caller)?;
         let pages = self.meta(id)?.pages.clone();
-        let mut moved = 0;
+        let mut report = SwapReport::default();
+        let mut left_gpu = 0usize;
         for p in pages {
-            moved += self.pool.migrate(p, Tier::Gpu)?;
+            let from = self.pool.page(p).tier;
+            if from == Tier::Disk {
+                continue;
+            }
+            let n = self.pool.migrate(p, Tier::Disk)?;
+            if from == Tier::Gpu {
+                left_gpu += n;
+            }
+            report.disk_tokens += n;
         }
-        self.counters.swapped_in_tokens.add(moved as u64);
+        self.counters.swapped_out_tokens.add(left_gpu as u64);
+        self.counters
+            .disk_spilled_tokens
+            .add(report.disk_tokens as u64);
+        Ok(report)
+    }
+
+    /// Swaps all pages back into the GPU tier; returns the per-lane token
+    /// counts (disk pages cross the NVMe lane, DRAM pages cross PCIe).
+    pub fn swap_in(&mut self, id: FileId, caller: OwnerId) -> Result<SwapReport, KvError> {
+        self.check_write(id, caller)?;
+        let pages = self.meta(id)?.pages.clone();
+        let mut report = SwapReport::default();
+        for p in pages {
+            let from = self.pool.page(p).tier;
+            let n = self.pool.migrate(p, Tier::Gpu)?;
+            match from {
+                Tier::Disk => report.disk_tokens += n,
+                Tier::Cpu | Tier::Gpu => report.dram_tokens += n,
+            }
+        }
+        self.counters.swapped_in_tokens.add(report.total() as u64);
+        self.counters
+            .disk_loaded_tokens
+            .add(report.disk_tokens as u64);
         self.touch(id);
-        Ok(moved)
+        Ok(report)
     }
 
     /// Preemption eviction hook: swaps out the least-recently-used
     /// GPU-resident file to free pages, skipping pinned, locked and
     /// `exclude`d files (the scheduler excludes files of sequences still
-    /// executing). Returns the victim and tokens moved, or `None` when no
-    /// file is evictable. Deterministic: ties on `last_access` break by
-    /// file id.
-    pub fn evict_lru(&mut self, exclude: &[FileId]) -> Option<(FileId, usize)> {
+    /// executing). Returns the victim and the per-lane token counts, or
+    /// `None` when no file is evictable. Deterministic: ties on
+    /// `last_access` break by file id.
+    pub fn evict_lru(&mut self, exclude: &[FileId]) -> Option<(FileId, SwapReport)> {
         let victim = self
             .list_files()
             .into_iter()
@@ -867,6 +997,363 @@ impl KvStore {
             }
         }
         released
+    }
+
+    // ---- persistence -----------------------------------------------------------
+
+    /// Serialises the whole store as a journal record sequence: every live
+    /// page, every file's metadata, every namespace link, every quota
+    /// limit, and the pool's exact slot geometry. Replaying the bytes with
+    /// [`KvStore::restore_from_journal_bytes`] under the same config
+    /// rebuilds a byte-identical store (its own `journal_bytes` matches).
+    pub fn journal_bytes(&self) -> Vec<u8> {
+        let mut w = JournalWriter::new(&JournalHeader {
+            page_tokens: self.pool.page_tokens() as u64,
+            bytes_per_token: self.bytes_per_token,
+            next_file: self.next_file,
+            access_clock: self.access_clock,
+        });
+        for (pid, page) in self.pool.iter() {
+            w.append(&Record::PageWrite {
+                page: pid.0,
+                tier: page.tier,
+                entries: page.entries.clone(),
+            });
+        }
+        for (&id, m) in &self.files {
+            w.append(&Record::FileMeta {
+                id,
+                owner: m.owner.0,
+                len: m.len as u64,
+                read_all: m.mode.read_all,
+                write_all: m.mode.write_all,
+                pinned: m.pinned,
+                lock: m.lock.map(|o| o.0),
+                last_access: m.last_access,
+                pages: m.pages.iter().map(|p| p.0).collect(),
+            });
+        }
+        for (path, id) in &self.namespace {
+            w.append(&Record::Link {
+                path: path.clone(),
+                id: id.0,
+            });
+        }
+        for (&owner, q) in &self.quotas {
+            if let Some(limit) = q.limit_pages {
+                w.append(&Record::Quota {
+                    owner: owner.0,
+                    limit: Some(limit as u64),
+                });
+            }
+        }
+        w.append(&Record::PoolState {
+            slots_len: self.pool.slots_len() as u32,
+            free: self.pool.free_list().to_vec(),
+        });
+        w.finish()
+    }
+
+    /// Writes the journal snapshot to a file.
+    pub fn snapshot_to_journal(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.journal_bytes())
+    }
+
+    /// Restores a store from a journal file. I/O errors surface as
+    /// [`KvError::JournalTorn`] (an unreadable journal and a torn one get
+    /// the same cold-start handling from callers).
+    pub fn restore_from_journal(
+        path: &std::path::Path,
+        config: KvStoreConfig,
+        registry: &MetricsRegistry,
+    ) -> Result<(KvStore, RestoreReport), KvError> {
+        let bytes = std::fs::read(path).map_err(|_| KvError::JournalTorn)?;
+        KvStore::restore_from_journal_bytes(config, registry, &bytes)
+    }
+
+    /// Replays journal bytes into a fresh store.
+    ///
+    /// A torn tail (crash mid-append) is truncate-and-continue: the longest
+    /// valid record prefix is replayed and the tear is reported as
+    /// `RestoreReport::torn = Some(KvError::JournalTorn)`. Hard failures —
+    /// an unusable header, mismatched geometry
+    /// ([`KvError::JournalIncompatible`]), or a restoring config too small
+    /// to hold the journal's pages — fail the whole restore with a typed
+    /// error. Cumulative `kvfs.*` counters are process-lifetime metrics and
+    /// start at zero in the restored store.
+    pub fn restore_from_journal_bytes(
+        config: KvStoreConfig,
+        registry: &MetricsRegistry,
+        bytes: &[u8],
+    ) -> Result<(KvStore, RestoreReport), KvError> {
+        let (header, records, tail_torn) = journal::read_journal(bytes)?;
+        if header.page_tokens != config.page_tokens as u64
+            || header.bytes_per_token != config.bytes_per_token
+        {
+            return Err(KvError::JournalIncompatible);
+        }
+
+        struct StagedFile {
+            pages: Vec<u32>,
+            len: usize,
+            owner: OwnerId,
+            mode: Mode,
+            pinned: bool,
+            lock: Option<OwnerId>,
+            last_access: u64,
+        }
+
+        let pt = config.page_tokens;
+        let mut staged_pages: BTreeMap<u32, (Tier, Vec<KvEntry>)> = BTreeMap::new();
+        let mut staged_files: BTreeMap<u64, StagedFile> = BTreeMap::new();
+        let mut namespace: BTreeMap<String, FileId> = BTreeMap::new();
+        let mut limits: BTreeMap<OwnerId, Option<usize>> = BTreeMap::new();
+        let mut pool_state: Option<(usize, Vec<u32>)> = None;
+        let mut torn = tail_torn;
+
+        // An inconsistent record body (a file referencing unwritten pages,
+        // a truncate past the end, ...) is treated exactly like a torn
+        // frame: keep what replayed cleanly, stop there.
+        'replay: for rec in records {
+            // Any page/file mutation invalidates an earlier PoolState
+            // snapshot record — its free list no longer matches.
+            match &rec {
+                Record::Link { .. }
+                | Record::Unlink { .. }
+                | Record::Quota { .. }
+                | Record::PoolState { .. }
+                | Record::End => {}
+                _ => pool_state = None,
+            }
+            match rec {
+                Record::PageWrite {
+                    page,
+                    tier,
+                    entries,
+                } => {
+                    if entries.len() > pt {
+                        torn = true;
+                        break 'replay;
+                    }
+                    staged_pages.insert(page, (tier, entries));
+                }
+                Record::FileMeta {
+                    id,
+                    owner,
+                    len,
+                    read_all,
+                    write_all,
+                    pinned,
+                    lock,
+                    last_access,
+                    pages,
+                } => {
+                    let mut total = 0usize;
+                    for p in &pages {
+                        match staged_pages.get(p) {
+                            Some((_, entries)) => total += entries.len(),
+                            None => {
+                                torn = true;
+                                break 'replay;
+                            }
+                        }
+                    }
+                    if total != len as usize {
+                        torn = true;
+                        break 'replay;
+                    }
+                    staged_files.insert(
+                        id,
+                        StagedFile {
+                            pages,
+                            len: len as usize,
+                            owner: OwnerId(owner),
+                            mode: Mode {
+                                read_all,
+                                write_all,
+                            },
+                            pinned,
+                            lock: lock.map(OwnerId),
+                            last_access,
+                        },
+                    );
+                }
+                Record::Link { path, id } => {
+                    if !staged_files.contains_key(&id) || namespace.contains_key(&path) {
+                        torn = true;
+                        break 'replay;
+                    }
+                    namespace.insert(path, FileId(id));
+                }
+                Record::Unlink { path } => {
+                    if namespace.remove(&path).is_none() {
+                        torn = true;
+                        break 'replay;
+                    }
+                }
+                Record::Remove { file } => {
+                    if staged_files.remove(&file).is_none() {
+                        torn = true;
+                        break 'replay;
+                    }
+                    namespace.retain(|_, v| v.0 != file);
+                }
+                Record::Truncate { file, new_len } => {
+                    let new_len = new_len as usize;
+                    let (pages_now, len_now) = match staged_files.get(&file) {
+                        Some(f) => (f.pages.clone(), f.len),
+                        None => {
+                            torn = true;
+                            break 'replay;
+                        }
+                    };
+                    if new_len > len_now {
+                        torn = true;
+                        break 'replay;
+                    }
+                    let keep = new_len.div_ceil(pt).min(pages_now.len());
+                    let mut new_pages = pages_now[..keep].to_vec();
+                    let within = new_len % pt;
+                    if within != 0 {
+                        if let Some(&last) = new_pages.last() {
+                            // Copy-on-write a boundary page other staged
+                            // files still reference in full.
+                            let refs: usize = staged_files
+                                .values()
+                                .map(|f| f.pages.iter().filter(|&&p| p == last).count())
+                                .sum();
+                            let boundary = if refs > 1 {
+                                let fresh =
+                                    staged_pages.keys().next_back().map_or(0, |&m| m + 1);
+                                match staged_pages.get(&last) {
+                                    Some(src) => {
+                                        let copy = src.clone();
+                                        staged_pages.insert(fresh, copy);
+                                    }
+                                    None => {
+                                        torn = true;
+                                        break 'replay;
+                                    }
+                                }
+                                if let Some(slot) = new_pages.last_mut() {
+                                    *slot = fresh;
+                                }
+                                fresh
+                            } else {
+                                last
+                            };
+                            match staged_pages.get_mut(&boundary) {
+                                Some((_, entries)) => entries.truncate(within),
+                                None => {
+                                    torn = true;
+                                    break 'replay;
+                                }
+                            }
+                        }
+                    }
+                    if let Some(f) = staged_files.get_mut(&file) {
+                        f.pages = new_pages;
+                        f.len = new_len;
+                    }
+                }
+                Record::Quota { owner, limit } => {
+                    limits.insert(OwnerId(owner), limit.map(|l| l as usize));
+                }
+                Record::PoolState { slots_len, free } => {
+                    pool_state = Some((slots_len as usize, free));
+                }
+                // `read_journal` consumes the terminator; nothing to do.
+                Record::End => {}
+            }
+        }
+
+        // Reference counts from the final staged file set; pages no file
+        // references any more (truncated or removed tails) are dropped.
+        let mut refs: BTreeMap<u32, u32> = BTreeMap::new();
+        for f in staged_files.values() {
+            for &p in &f.pages {
+                *refs.entry(p).or_insert(0) += 1;
+            }
+        }
+        let dropped_pages = staged_pages.keys().any(|p| !refs.contains_key(p));
+
+        let mut store = KvStore::with_registry(config, registry);
+        let mut pages_restored = 0usize;
+        let mut tokens_restored = 0usize;
+        for (&pid, (tier, entries)) in &staged_pages {
+            let Some(&rc) = refs.get(&pid) else { continue };
+            store
+                .pool
+                .install(PageId(pid), *tier, entries.clone(), rc)?;
+            pages_restored += 1;
+            tokens_restored += entries.len();
+        }
+
+        let mut max_file = 0u64;
+        let mut per_owner: BTreeMap<OwnerId, usize> = BTreeMap::new();
+        for (&id, f) in &staged_files {
+            max_file = max_file.max(id);
+            *per_owner.entry(f.owner).or_insert(0) += f.pages.len();
+        }
+        for (id, f) in staged_files {
+            store.files.insert(
+                id,
+                FileMeta {
+                    pages: f.pages.iter().map(|&p| PageId(p)).collect(),
+                    len: f.len,
+                    owner: f.owner,
+                    mode: f.mode,
+                    pinned: f.pinned,
+                    lock: f.lock,
+                    last_access: f.last_access,
+                    links: 0,
+                },
+            );
+        }
+        for (path, id) in namespace {
+            if let Some(m) = store.files.get_mut(&id.0) {
+                m.links += 1;
+            }
+            store.namespace.insert(path, id);
+        }
+        for (owner, used) in per_owner {
+            store.quotas.entry(owner).or_default().used_pages = used;
+        }
+        for (owner, limit) in limits {
+            store.quotas.entry(owner).or_default().limit_pages = limit;
+        }
+        store.next_file = header.next_file.max(max_file + 1);
+        store.access_clock = header.access_clock;
+
+        // Adopt the recorded free-slot order only when it still exactly
+        // describes the restored pool; otherwise rebuild canonically.
+        let installed = pages_restored;
+        let usable_state = pool_state.filter(|(slots_len, free)| {
+            !dropped_pages
+                && *slots_len >= store.pool.slots_len()
+                && free.len() == slots_len - installed
+                && free
+                    .iter()
+                    .all(|&f| (f as usize) < *slots_len && !refs.contains_key(&f))
+        });
+        match usable_state {
+            Some((slots_len, free)) => store.pool.finish_restore(slots_len, Some(free)),
+            None => store.pool.finish_restore(0, None),
+        }
+
+        // Belt and braces: a restored store must satisfy every invariant
+        // `verify` checks; a failure here is a journal-layer bug and the
+        // store cannot be trusted.
+        store.verify().map_err(|_| KvError::JournalTorn)?;
+
+        let report = RestoreReport {
+            files: store.files.len(),
+            pages: pages_restored,
+            tokens: tokens_restored,
+            links: store.namespace.len(),
+            torn: torn.then_some(KvError::JournalTorn),
+        };
+        Ok((store, report))
     }
 
     // ---- introspection ---------------------------------------------------------
@@ -1075,6 +1562,7 @@ mod tests {
             page_tokens: 4,
             gpu_pages: 2,
             cpu_pages: 0,
+            disk_pages: 0,
             bytes_per_token: 1,
         });
         let f = s.create(U1).unwrap();
@@ -1235,12 +1723,13 @@ mod tests {
         s.append(f, U1, &entries(0..10)).unwrap();
         assert_eq!(s.residency(f).unwrap(), Residency::Gpu);
         let out = s.swap_out(f, U1).unwrap();
-        assert_eq!(out, 10);
+        assert_eq!(out.total(), 10);
+        assert_eq!(out.disk_tokens, 0, "DRAM had room; nothing spills");
         assert_eq!(s.residency(f).unwrap(), Residency::Cpu);
         assert_eq!(s.gpu_pages_used(), 0);
         assert_eq!(s.cpu_pages_used(), 3);
         let back = s.swap_in(f, U1).unwrap();
-        assert_eq!(back, 10);
+        assert_eq!(back.total(), 10);
         assert_eq!(s.residency(f).unwrap(), Residency::Gpu);
         assert_eq!(s.stats().swapped_out_tokens, 10);
         assert_eq!(s.stats().swapped_in_tokens, 10);
@@ -1318,7 +1807,7 @@ mod tests {
         let _ = s.read(a, U1, 0, 1).unwrap();
         let (victim, moved) = s.evict_lru(&[]).unwrap();
         assert_eq!(victim, b);
-        assert_eq!(moved, 4);
+        assert_eq!(moved.total(), 4);
         assert_eq!(s.residency(b).unwrap(), Residency::Cpu);
         // Already-swapped files are no longer candidates; with c excluded
         // and b on CPU, the only remaining candidate is a.
@@ -1361,6 +1850,201 @@ mod tests {
         s.remove(a, U1).unwrap();
         let listed: Vec<FileId> = s.list_files().iter().map(|st| st.id).collect();
         assert_eq!(listed, vec![b], "stat never panics on a stale id");
+    }
+
+    #[test]
+    fn swap_out_spills_to_disk_under_cpu_pressure() {
+        let mut s = KvStore::new(KvStoreConfig {
+            page_tokens: 4,
+            gpu_pages: 4,
+            cpu_pages: 1,
+            disk_pages: 4,
+            bytes_per_token: 1,
+        });
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..12)).unwrap(); // 3 pages
+        let out = s.swap_out(f, U1).unwrap();
+        assert_eq!(out.dram_tokens, 4, "one page fits in DRAM");
+        assert_eq!(out.disk_tokens, 8, "the rest spills to disk");
+        assert_eq!(s.cpu_pages_used(), 1);
+        assert_eq!(s.disk_pages_used(), 2);
+        assert_eq!(s.residency(f).unwrap(), Residency::Cpu);
+        assert_eq!(s.stats().disk_spilled_tokens, 8);
+        // Swap back in: disk pages cross the NVMe lane.
+        let back = s.swap_in(f, U1).unwrap();
+        assert_eq!(back.dram_tokens, 4);
+        assert_eq!(back.disk_tokens, 8);
+        assert_eq!(s.stats().disk_loaded_tokens, 8);
+        assert_eq!(s.residency(f).unwrap(), Residency::Gpu);
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn swap_out_without_disk_tier_matches_old_error() {
+        let mut s = KvStore::new(KvStoreConfig {
+            page_tokens: 4,
+            gpu_pages: 4,
+            cpu_pages: 1,
+            disk_pages: 0,
+            bytes_per_token: 1,
+        });
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..12)).unwrap();
+        assert_eq!(s.swap_out(f, U1), Err(KvError::NoCpuMemory));
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn demote_to_disk_keeps_pinned_files_and_their_pin() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..8)).unwrap();
+        s.pin(f, U1).unwrap();
+        // Pinned files refuse eviction-style swap-out but accept an
+        // explicit demotion to durable storage.
+        assert_eq!(s.swap_out(f, U1), Err(KvError::Pinned));
+        let moved = s.demote_to_disk(f, U1).unwrap();
+        assert_eq!(moved.disk_tokens, 8);
+        assert_eq!(s.residency(f).unwrap(), Residency::Disk);
+        assert!(s.stat(f).unwrap().pinned, "demotion never drops the pin");
+        assert_eq!(s.len(f).unwrap(), 8, "demotion never drops pages");
+        let back = s.swap_in(f, U1).unwrap();
+        assert_eq!(back.disk_tokens, 8);
+        assert_eq!(s.residency(f).unwrap(), Residency::Gpu);
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn disk_resident_files_are_not_evict_candidates() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..4)).unwrap();
+        s.demote_to_disk(f, U1).unwrap();
+        assert_eq!(s.evict_lru(&[]), None, "disk files free no GPU pages");
+    }
+
+    #[test]
+    fn from_bytes_floors_nonzero_budgets_to_one_page() {
+        // A budget smaller than one page (4 tokens × 2 bytes = 8 bytes per
+        // page) used to truncate to a zero-page tier.
+        let c = KvStoreConfig::from_bytes(7, 100, 3, 2, 4);
+        assert_eq!(c.gpu_pages, 1, "nonzero budget floors to one page");
+        assert_eq!(c.cpu_pages, 12);
+        assert_eq!(c.disk_pages, 1);
+        // Zero stays zero: the tier is disabled, not floored.
+        let off = KvStoreConfig::from_bytes(64, 0, 0, 2, 4);
+        assert_eq!(off.cpu_pages, 0);
+        assert_eq!(off.disk_pages, 0);
+    }
+
+    #[test]
+    fn journal_round_trip_restores_byte_identical_store() {
+        let mut s = store();
+        s.set_quota(U1, Some(32));
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..10)).unwrap();
+        s.chmod(f, U1, Mode::SHARED_READ).unwrap();
+        s.pin(f, U1).unwrap();
+        s.link(f, "rag/doc.kv", U1).unwrap();
+        let g = s.fork(f, U2).unwrap(); // CoW sharing survives the journal
+        s.append(g, U2, &entries(10..13)).unwrap();
+        let h = s.create(U2).unwrap();
+        s.append(h, U2, &entries(0..5)).unwrap();
+        s.demote_to_disk(h, U2).unwrap();
+        s.lock(g, U2).unwrap();
+        let bytes = s.journal_bytes();
+        let (r, report) =
+            KvStore::restore_from_journal_bytes(KvStoreConfig::for_tests(), &MetricsRegistry::new(), &bytes)
+                .unwrap();
+        assert_eq!(report.files, 3);
+        assert_eq!(report.links, 1);
+        assert_eq!(report.torn, None);
+        r.verify().unwrap();
+        assert_eq!(r.journal_bytes(), bytes, "restore is byte-identical");
+        assert_eq!(r.read_all_unchecked(f).unwrap(), entries(0..10));
+        assert_eq!(r.lookup("rag/doc.kv"), Some(f));
+        assert!(r.stat(f).unwrap().pinned);
+        assert_eq!(r.stat(g).unwrap().locked_by, Some(U2));
+        assert_eq!(r.residency(h).unwrap(), Residency::Disk);
+        assert_eq!(
+            r.gpu_pages_used(),
+            s.gpu_pages_used(),
+            "CoW sharing restored, not deep-copied"
+        );
+        // Fresh allocation continues where the snapshot left off.
+        let mut r = r;
+        let next = r.create(U1).unwrap();
+        assert!(next.0 > h.0);
+        r.verify().unwrap();
+    }
+
+    #[test]
+    fn journal_replays_incremental_mutation_records() {
+        // Snapshot a store, then append incremental records by hand and
+        // check replay applies them with store semantics.
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..10)).unwrap();
+        let g = s.fork(f, U1).unwrap();
+        s.link(f, "a", U1).unwrap();
+        let bytes = s.journal_bytes();
+        // Rebuild the record stream without the End terminator, then tack
+        // on a truncate (CoW boundary) and an unlink.
+        let (header, mut records, torn) = crate::journal::read_journal(&bytes).unwrap();
+        assert!(!torn);
+        records.push(Record::Truncate { file: g.0, new_len: 5 });
+        records.push(Record::Unlink { path: "a".to_string() });
+        let mut w = JournalWriter::new(&header);
+        for r in &records {
+            w.append(r);
+        }
+        let (r, report) = KvStore::restore_from_journal_bytes(
+            KvStoreConfig::for_tests(),
+            &MetricsRegistry::new(),
+            &w.finish(),
+        )
+        .unwrap();
+        assert_eq!(report.torn, None);
+        r.verify().unwrap();
+        assert_eq!(r.len(g).unwrap(), 5);
+        assert_eq!(r.read_all_unchecked(g).unwrap(), entries(0..5));
+        assert_eq!(r.read_all_unchecked(f).unwrap(), entries(0..10), "CoW protected");
+        assert_eq!(r.lookup("a"), None);
+        assert_eq!(r.stat(f).unwrap().links, 0);
+    }
+
+    #[test]
+    fn torn_journal_restores_valid_prefix() {
+        let mut s = store();
+        let f = s.create(U1).unwrap();
+        s.append(f, U1, &entries(0..10)).unwrap();
+        s.link(f, "keep", U1).unwrap();
+        let bytes = s.journal_bytes();
+        // Tear the tail mid-record: everything before the cut that parses
+        // cleanly must be restored, and the tear must be typed.
+        let cut = bytes.len() - 7;
+        let (r, report) = KvStore::restore_from_journal_bytes(
+            KvStoreConfig::for_tests(),
+            &MetricsRegistry::new(),
+            &bytes[..cut],
+        )
+        .unwrap();
+        assert_eq!(report.torn, Some(KvError::JournalTorn));
+        r.verify().unwrap();
+        assert_eq!(r.read_all_unchecked(f).unwrap(), entries(0..10));
+    }
+
+    #[test]
+    fn journal_geometry_mismatch_is_incompatible() {
+        let s = store();
+        let bytes = s.journal_bytes();
+        let mut other = KvStoreConfig::for_tests();
+        other.page_tokens = 8;
+        assert_eq!(
+            KvStore::restore_from_journal_bytes(other, &MetricsRegistry::new(), &bytes)
+                .err(),
+            Some(KvError::JournalIncompatible)
+        );
     }
 
     #[test]

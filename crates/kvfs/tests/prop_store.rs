@@ -23,6 +23,7 @@ enum Op {
     Merge { a: usize, b: usize },
     SwapOut { file: usize },
     SwapIn { file: usize },
+    Demote { file: usize },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -36,6 +37,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         2 => (0usize..8, 0usize..8).prop_map(|(a, b)| Op::Merge { a, b }),
         1 => (0usize..8).prop_map(|file| Op::SwapOut { file }),
         1 => (0usize..8).prop_map(|file| Op::SwapIn { file }),
+        1 => (0usize..8).prop_map(|file| Op::Demote { file }),
     ]
 }
 
@@ -61,7 +63,9 @@ proptest! {
         let mut store = KvStore::new(KvStoreConfig {
             page_tokens: 4,
             gpu_pages: 256,
-            cpu_pages: 256,
+            // A tight DRAM tier so swap-out exercises the disk spill path.
+            cpu_pages: 8,
+            disk_pages: 256,
             bytes_per_token: 1,
         });
         let mut model: BTreeMap<u64, Vec<KvEntry>> = BTreeMap::new();
@@ -142,6 +146,12 @@ proptest! {
                         let _ = store.swap_in(f, owner);
                     }
                 }
+                Op::Demote { file } => {
+                    if let Some(f) = pick(&model, file) {
+                        // May fail only if the disk tier fills; both fine.
+                        let _ = store.demote_to_disk(f, owner);
+                    }
+                }
             }
 
             // Invariants after every operation.
@@ -160,6 +170,7 @@ proptest! {
         store.verify().unwrap();
         prop_assert_eq!(store.gpu_pages_used(), 0);
         prop_assert_eq!(store.cpu_pages_used(), 0);
+        prop_assert_eq!(store.disk_pages_used(), 0);
         prop_assert_eq!(store.live_pages(), 0);
     }
 }

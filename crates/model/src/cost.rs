@@ -40,6 +40,39 @@ impl WorkEstimate {
     }
 }
 
+/// A sequential I/O lane with fixed per-operation latency and streaming
+/// bandwidth — the analytic cost model for the KVFS disk tier's NVMe link
+/// (the third level of the storage hierarchy, below HBM and DRAM). Swap
+/// traffic that crosses this lane is charged `base_latency + bytes/bw`,
+/// which keeps disk swap-in visibly more expensive than a PCIe DRAM swap
+/// of the same size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoLane {
+    /// Streaming bandwidth in bytes per second.
+    pub bandwidth: f64,
+    /// Fixed latency per operation in seconds (seek/submission overhead).
+    pub base_latency_s: f64,
+}
+
+impl IoLane {
+    /// A datacenter NVMe SSD: ~3.5 GB/s sequential, ~100 µs access.
+    pub fn nvme() -> Self {
+        IoLane {
+            bandwidth: 3.5e9,
+            base_latency_s: 100e-6,
+        }
+    }
+
+    /// Seconds to move `bytes` across the lane. Zero bytes cost nothing —
+    /// a no-op swap must not be charged the base latency.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.base_latency_s + bytes as f64 / self.bandwidth
+    }
+}
+
 impl ModelConfig {
     /// Estimates the work of running `new_tokens` through the model with
     /// `past_tokens` of context already cached.
@@ -184,6 +217,21 @@ mod tests {
             .map(|w| w.kv_write_bytes / c.kv_bytes_per_token())
             .sum();
         assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn io_lane_charges_latency_plus_bandwidth() {
+        let lane = IoLane::nvme();
+        assert_eq!(lane.transfer_seconds(0), 0.0, "no-op moves are free");
+        let small = lane.transfer_seconds(1);
+        assert!(small >= lane.base_latency_s, "every real op pays the seek");
+        let big = lane.transfer_seconds(3_500_000_000);
+        assert!(
+            (big - (lane.base_latency_s + 1.0)).abs() < 1e-9,
+            "one bandwidth-second of bytes takes ~1s: {big}"
+        );
+        // The NVMe lane is far slower than any PCIe link we model.
+        assert!(lane.bandwidth < 25e9);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod fingerprint;
 pub mod surrogate;
 
 pub use config::ModelConfig;
-pub use cost::WorkEstimate;
+pub use cost::{IoLane, WorkEstimate};
 pub use dist::Dist;
 pub use fingerprint::{CtxFingerprint, Fingerprinter};
 pub use surrogate::Surrogate;

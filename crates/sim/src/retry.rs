@@ -9,6 +9,10 @@
 use crate::rng::Rng;
 use crate::time::SimDuration;
 
+/// Largest effective jitter amplitude: just under 1, so the scale factor
+/// `1 + jitter·u`, `u ∈ [-1, 1]`, stays strictly positive.
+const JITTER_MAX: f64 = 1.0 - 1e-9;
+
 /// How failed attempts of an operation are retried.
 ///
 /// The delay before retry `k` (1-based count of failures so far) is
@@ -76,8 +80,14 @@ impl RetryPolicy {
         if self.jitter == 0.0 {
             return capped;
         }
-        let scale = 1.0 + self.jitter * (2.0 * rng.next_f64() - 1.0);
-        capped * scale.max(0.0)
+        // Clamp the amplitude into [0, 1): a policy built with jitter >= 1
+        // could otherwise draw scale <= 0 and zero the backoff entirely,
+        // turning exponential backoff into an immediate-retry hot loop.
+        let jitter = self.jitter.clamp(0.0, JITTER_MAX);
+        let scale = 1.0 + jitter * (2.0 * rng.next_f64() - 1.0);
+        // Keep the delay strictly positive whenever the unjittered delay
+        // was: a near-zero scale must not truncate below one nanosecond.
+        (capped * scale).max(SimDuration::from_nanos(1).min(capped))
     }
 
     /// Sum of all backoff delays a fully exhausted call would incur, without
@@ -148,6 +158,26 @@ mod tests {
                 (lo..=hi).contains(&da.as_secs_f64()),
                 "jittered backoff {da} outside ±10% of {nominal}"
             );
+        }
+    }
+
+    #[test]
+    fn oversized_jitter_never_zeroes_backoff() {
+        // Regression: jitter >= 1 could draw scale <= 0, and the old
+        // `scale.max(0.0)` then silently produced a zero backoff.
+        for jitter in [1.0, 1.5, 10.0] {
+            let mut p = RetryPolicy::exponential(5, SimDuration::from_millis(10));
+            p.jitter = jitter;
+            let mut rng = Rng::new(11);
+            for k in 1..5 {
+                for _ in 0..200 {
+                    let d = p.backoff_after(k, &mut rng);
+                    assert!(
+                        d > SimDuration::ZERO,
+                        "jitter={jitter} k={k}: backoff collapsed to zero"
+                    );
+                }
+            }
         }
     }
 

@@ -142,15 +142,29 @@ impl Series {
     }
 
     /// Exact percentile by nearest-rank (`q` in `[0, 1]`); `None` when empty.
+    ///
+    /// Clones and sorts the samples on every call; use [`Series::percentiles`]
+    /// when several quantiles of the same series are needed.
     pub fn percentile(&self, q: f64) -> Option<f64> {
+        self.percentiles(std::slice::from_ref(&q)).pop().flatten()
+    }
+
+    /// Exact nearest-rank percentiles for several `q`s at once, sorting the
+    /// samples a single time. Returns one entry per requested quantile;
+    /// every entry is `None` when the series is empty.
+    pub fn percentiles(&self, qs: &[f64]) -> Vec<Option<f64>> {
         if self.samples.is_empty() {
-            return None;
+            return vec![None; qs.len()];
         }
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-        let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
-            .clamp(1, sorted.len());
-        Some(sorted[rank - 1])
+        qs.iter()
+            .map(|&q| {
+                let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
+                    .clamp(1, sorted.len());
+                Some(sorted[rank - 1])
+            })
+            .collect()
     }
 
     /// Median (p50).
@@ -210,7 +224,17 @@ impl Histogram {
         let idx = if x <= self.base {
             0
         } else {
-            ((x / self.base).ln() / self.ratio.ln()) as usize
+            // The log-division estimate can land one bucket off at exact
+            // bucket edges (`ln(ratio^k)/ln(ratio)` computes to k ± ulp and
+            // truncation turns k - ulp into k-1), so correct it against the
+            // exact edges: bucket i must satisfy ratio^i <= x/base < ratio^(i+1).
+            let mut i = ((x / self.base).ln() / self.ratio.ln()) as usize;
+            if self.base * self.ratio.powi(i as i32 + 1) <= x {
+                i += 1;
+            } else if self.base * self.ratio.powi(i as i32) > x {
+                i = i.saturating_sub(1);
+            }
+            i
         };
         let idx = idx.min(self.counts.len() - 1);
         self.counts[idx] += 1;
@@ -321,6 +345,54 @@ mod tests {
         assert!((0.0013..0.0018).contains(&p50), "p50={p50}");
         assert_eq!(h.total(), 1000);
         assert_eq!(Histogram::new(1.0, 2.0, 4).percentile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_exact() {
+        // Regression: a sample sitting exactly on a bucket edge
+        // `base * ratio^k` belongs to bucket k ([base·r^k, base·r^(k+1))),
+        // but the raw log-truncation index could come out as k-1. A single
+        // sample at the edge must therefore report the bucket-k upper edge
+        // as every percentile.
+        for k in 1..60 {
+            let mut h = Histogram::new(1.0, 2.0, 64);
+            let edge = 2.0f64.powi(k);
+            h.add(edge);
+            let expect = 2.0f64.powi(k + 1);
+            let got = h.percentile(1.0).unwrap();
+            assert_eq!(got, expect, "k={k}: got {got}, expected {expect}");
+        }
+        // Non-power-of-two ratios too (the latency histogram's 1.05 steps).
+        let h0 = Histogram::latency_seconds();
+        for k in [1, 7, 100, 250, 400] {
+            let mut h = h0.clone();
+            let edge = 1e-6 * 1.05f64.powi(k);
+            h.add(edge);
+            let got = h.percentile(1.0).unwrap();
+            let expect = 1e-6 * 1.05f64.powi(k + 1);
+            assert!(
+                (got - expect).abs() < 1e-12 * expect.abs(),
+                "k={k}: got {got}, expected {expect}"
+            );
+        }
+        // Just below the edge still lands in bucket k-1.
+        let mut h = Histogram::new(1.0, 2.0, 64);
+        h.add(8.0 * (1.0 - 1e-12));
+        assert_eq!(h.percentile(1.0).unwrap(), 8.0);
+    }
+
+    #[test]
+    fn series_batch_percentiles_match_per_call() {
+        let mut s = Series::new();
+        for i in (1..=500).rev() {
+            s.add(i as f64 * 0.5);
+        }
+        let qs = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0];
+        let batch = s.percentiles(&qs);
+        for (q, got) in qs.iter().zip(&batch) {
+            assert_eq!(*got, s.percentile(*q), "q={q}");
+        }
+        assert_eq!(Series::new().percentiles(&qs), vec![None; qs.len()]);
     }
 
     #[test]

@@ -355,19 +355,21 @@ pub fn export_chrome_trace(events: &[TimedEvent]) -> String {
                 tid,
                 file,
                 tokens,
+                disk_tokens,
                 dir,
             } => {
                 let name = match dir {
                     SwapDir::In => "kv_swap_in",
                     SwapDir::Out => "kv_swap_out",
                 };
-                w.instant(
-                    at,
-                    *pid,
-                    *tid,
-                    name,
-                    Some(format!("{{\"file\":{file},\"tokens\":{tokens}}}")),
-                );
+                // Disk traffic only when present, so pure DRAM swaps render
+                // byte-identically to the pre-disk-tier format.
+                let args = if *disk_tokens > 0 {
+                    format!("{{\"file\":{file},\"tokens\":{tokens},\"disk_tokens\":{disk_tokens}}}")
+                } else {
+                    format!("{{\"file\":{file},\"tokens\":{tokens}}}")
+                };
+                w.instant(at, *pid, *tid, name, Some(args));
             }
             EventKind::ToolInvoke {
                 pid,

@@ -88,11 +88,14 @@ pub enum EventKind {
     /// (GPU track; count is the delta for that batch).
     KvCow { copies: u64 },
     /// An explicit KV swap across the PCIe boundary (thread track).
+    /// `disk_tokens` counts the subset that crossed the NVMe lane too
+    /// (disk-tier spill or load); zero for pure DRAM swaps.
     KvSwap {
         pid: u64,
         tid: u64,
         file: u64,
         tokens: u64,
+        disk_tokens: u64,
         dir: SwapDir,
     },
     /// A whole tool call was planned: `attempts` tries totalling
