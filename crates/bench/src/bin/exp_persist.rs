@@ -30,6 +30,22 @@ struct Point {
     mean_latency_ms: f64,
     restored_files: usize,
     restored_tokens: usize,
+    /// Journal size this run wrote (cold) or replayed (warm).
+    journal_bytes: u64,
+    /// Per-tag frame counts of that journal (growth observability).
+    journal_frames: Vec<(String, u64)>,
+}
+
+/// Reads a journal back and summarises its growth: total bytes plus valid
+/// frames per tag.
+fn journal_growth(path: &std::path::Path) -> (u64, Vec<(String, u64)>) {
+    let Ok(bytes) = std::fs::read(path) else {
+        return (0, Vec::new());
+    };
+    let frames = symphony_kvfs::journal::frame_counts(&bytes)
+        .map(|m| m.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        .unwrap_or_default();
+    (bytes.len() as u64, frames)
 }
 
 // ---- Fig-3 RAG workload ---------------------------------------------------
@@ -53,6 +69,7 @@ fn rag_points(smoke: bool, journal: &std::path::Path) -> (Point, Point) {
     eprintln!("E13: rag warm ...");
     let (warm, r) = run_symphony_point_persist(&cfg, &scale, pareto, load, Some(journal), None);
     let report = r.expect("warm boot must replay the journal");
+    let (jbytes, jframes) = journal_growth(journal);
     let to_point = |boot, p: &symphony_bench::fig3::PointResult, files, tokens| Point {
         workload: "rag",
         boot,
@@ -62,6 +79,8 @@ fn rag_points(smoke: bool, journal: &std::path::Path) -> (Point, Point) {
         mean_latency_ms: p.mean_latency_s * 1e3,
         restored_files: files,
         restored_tokens: tokens,
+        journal_bytes: jbytes,
+        journal_frames: jframes.clone(),
     };
     (
         to_point("cold", &cold, 0, 0),
@@ -137,6 +156,7 @@ fn agent_run(smoke: bool, journal: &std::path::Path, warm: bool) -> Point {
     if !warm {
         kernel.persist_kv(journal).expect("journal write");
     }
+    let (journal_bytes, journal_frames) = journal_growth(journal);
 
     let mut lat = symphony_sim::Series::new();
     let mut completed = 0usize;
@@ -165,6 +185,8 @@ fn agent_run(smoke: bool, journal: &std::path::Path, warm: bool) -> Point {
         mean_latency_ms: lat.mean(),
         restored_files: report.map_or(0, |r| r.files),
         restored_tokens: report.map_or(0, |r| r.tokens),
+        journal_bytes,
+        journal_frames,
     }
 }
 
@@ -184,7 +206,7 @@ fn main() {
     let points = vec![rag_cold, rag_warm, agent_cold, agent_warm];
     let mut table = Table::new(
         "E13 — warm restart from KVFS journal (cold boot vs replayed journal)",
-        &["workload", "boot", "done", "failed", "hit rate", "mean lat", "restored"],
+        &["workload", "boot", "done", "failed", "hit rate", "mean lat", "restored", "journal"],
     );
     for p in &points {
         table.row(vec![
@@ -195,9 +217,23 @@ fn main() {
             format!("{:.1}%", p.cache_hit_rate * 100.0),
             format!("{:.0}ms", p.mean_latency_ms),
             format!("{} files / {} tok", p.restored_files, p.restored_tokens),
+            format!("{:.1}KB", p.journal_bytes as f64 / 1024.0),
         ]);
     }
     table.print();
+
+    for p in &points {
+        if p.boot == "cold" && !p.journal_frames.is_empty() {
+            let breakdown: Vec<String> =
+                p.journal_frames.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            println!(
+                "journal growth ({}): {} bytes; frames: {}",
+                p.workload,
+                p.journal_bytes,
+                breakdown.join(" ")
+            );
+        }
+    }
 
     let rate = |w, b| {
         points

@@ -315,6 +315,7 @@ pub fn run_symphony_point_persist(
         tool_retry: None,
         breaker: None,
         admission: None,
+        wal: None,
     };
     let mut kernel = Kernel::new(kcfg);
     let texts = std::sync::Arc::new(doc_texts(cfg));

@@ -53,6 +53,14 @@ pub struct FaultPlan {
     /// Probability a KV journal write is torn mid-record (crash during
     /// persistence; the tail record is truncated).
     pub journal_write_fault_rate: f64,
+    /// Probability the *kernel itself* crashes at a syscall boundary (the
+    /// machine dies mid-run; recovery replays the WAL). Evaluated once per
+    /// boundary from the same isolated stream as every other site.
+    pub kernel_crash_rate: f64,
+    /// Deterministic kill point: crash at exactly the Nth syscall boundary
+    /// (1-based), regardless of `kernel_crash_rate`. No RNG draw — the
+    /// kill-at-every-boundary chaos sweep iterates this.
+    pub crash_at_boundary: Option<u64>,
 }
 
 impl FaultPlan {
@@ -68,6 +76,8 @@ impl FaultPlan {
             && self.swap_in_fault_rate == 0.0
             && self.ipc_drop_rate == 0.0
             && self.journal_write_fault_rate == 0.0
+            && self.kernel_crash_rate == 0.0
+            && self.crash_at_boundary.is_none()
     }
 
     /// A plan faulting only tool calls at `rate` (all failures, no hangs).
@@ -77,6 +87,38 @@ impl FaultPlan {
             tool_stall_factor: 10.0,
             ..FaultPlan::default()
         }
+    }
+
+    /// Checks every probability is a real number in `[0, 1]` (and the
+    /// stall factor a finite non-negative multiplier). An out-of-range
+    /// rate would silently skew the gate — `>= 1.0` faults everything,
+    /// `NaN` compares false and faults nothing — so the injector refuses
+    /// to build from an invalid plan.
+    pub fn validate(&self) -> Result<(), String> {
+        let rates = [
+            ("tool_fault_rate", self.tool_fault_rate),
+            ("tool_hang_fraction", self.tool_hang_fraction),
+            ("pred_fault_rate", self.pred_fault_rate),
+            ("swap_in_fault_rate", self.swap_in_fault_rate),
+            ("ipc_drop_rate", self.ipc_drop_rate),
+            ("journal_write_fault_rate", self.journal_write_fault_rate),
+            ("kernel_crash_rate", self.kernel_crash_rate),
+        ];
+        for (name, rate) in rates {
+            if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
+                return Err(format!("fault plan: {name} = {rate} is not in [0, 1]"));
+            }
+        }
+        if !self.tool_stall_factor.is_finite() || self.tool_stall_factor < 0.0 {
+            return Err(format!(
+                "fault plan: tool_stall_factor = {} is not a finite non-negative multiplier",
+                self.tool_stall_factor
+            ));
+        }
+        if self.crash_at_boundary == Some(0) {
+            return Err("fault plan: crash_at_boundary is 1-based; 0 never fires".to_string());
+        }
+        Ok(())
     }
 }
 
@@ -97,6 +139,8 @@ pub struct FaultStats {
     pub ipc_drops: u64,
     /// KV journal writes torn mid-record.
     pub journal_write_failures: u64,
+    /// Kernel crashes injected at syscall boundaries.
+    pub kernel_crashes: u64,
 }
 
 /// Live counter handles into the metrics registry backing [`FaultStats`].
@@ -108,6 +152,7 @@ struct FaultCounters {
     swap_in_failures: Counter,
     ipc_drops: Counter,
     journal_write_failures: Counter,
+    kernel_crashes: Counter,
 }
 
 impl FaultCounters {
@@ -119,6 +164,7 @@ impl FaultCounters {
             swap_in_failures: registry.counter("faults.swap_in_failures"),
             ipc_drops: registry.counter("faults.ipc_drops"),
             journal_write_failures: registry.counter("faults.journal_write_failures"),
+            kernel_crashes: registry.counter("faults.kernel_crashes"),
         }
     }
 }
@@ -140,7 +186,17 @@ impl FaultInjector {
 
     /// Builds an injector whose counters live in `registry` under the
     /// `faults.*` names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`FaultPlan::validate`] rejects the plan — an out-of-range
+    /// rate is a boot-time configuration error, not a runtime condition.
     pub fn with_registry(plan: FaultPlan, kernel_seed: u64, registry: &MetricsRegistry) -> Self {
+        if let Err(msg) = plan.validate() {
+            // lint:allow(k1): an invalid fault plan is a boot-time config
+            // error surfaced before any LIP runs, not a kernel-path panic.
+            panic!("{msg}");
+        }
         FaultInjector {
             plan,
             rng: Rng::new(kernel_seed ^ FAULT_STREAM_SALT),
@@ -162,6 +218,7 @@ impl FaultInjector {
             swap_in_failures: self.counters.swap_in_failures.get(),
             ipc_drops: self.counters.ipc_drops.get(),
             journal_write_failures: self.counters.journal_write_failures.get(),
+            kernel_crashes: self.counters.kernel_crashes.get(),
         }
     }
 
@@ -231,6 +288,26 @@ impl FaultInjector {
         hit
     }
 
+    /// Decides whether the kernel crashes at syscall boundary `boundary`
+    /// (1-based, counted across the whole run). The deterministic
+    /// `crash_at_boundary` kill point fires without an RNG draw, so
+    /// sweeping it over every boundary perturbs nothing else; the rate
+    /// gate draws once per boundary like every other site.
+    pub fn kernel_crash(&mut self, boundary: u64) -> bool {
+        if self.plan.crash_at_boundary == Some(boundary) {
+            self.counters.kernel_crashes.inc();
+            return true;
+        }
+        if self.plan.kernel_crash_rate == 0.0 {
+            return false;
+        }
+        let hit = self.rng.next_f64() < self.plan.kernel_crash_rate;
+        if hit {
+            self.counters.kernel_crashes.inc();
+        }
+        hit
+    }
+
     /// Decides whether one IPC message is dropped.
     pub fn ipc_send(&mut self) -> bool {
         if self.plan.ipc_drop_rate == 0.0 {
@@ -251,17 +328,99 @@ mod tests {
     #[test]
     fn zero_plan_never_draws_or_faults() {
         let mut inj = FaultInjector::new(FaultPlan::none(), 42);
-        for _ in 0..100 {
+        for b in 0..100 {
             assert!(inj.tool_attempt().is_none());
             assert!(!inj.pred_request());
             assert!(!inj.swap_in());
             assert!(!inj.ipc_send());
             assert!(!inj.journal_write());
+            assert!(!inj.kernel_crash(b + 1));
         }
         assert_eq!(inj.stats(), FaultStats::default());
         // No draws consumed: the stream equals a fresh one.
         let mut fresh = Rng::new(42 ^ FAULT_STREAM_SALT);
         assert_eq!(inj.rng.next_u64(), fresh.next_u64());
+    }
+
+    #[test]
+    fn deterministic_kill_point_fires_without_a_draw() {
+        let plan = FaultPlan {
+            crash_at_boundary: Some(3),
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan, 42);
+        assert!(!inj.kernel_crash(1));
+        assert!(!inj.kernel_crash(2));
+        assert!(inj.kernel_crash(3));
+        assert!(!inj.kernel_crash(4));
+        assert_eq!(inj.stats().kernel_crashes, 1);
+        let mut fresh = Rng::new(42 ^ FAULT_STREAM_SALT);
+        assert_eq!(inj.rng.next_u64(), fresh.next_u64(), "no draws consumed");
+    }
+
+    #[test]
+    fn crash_rate_is_respected_statistically() {
+        let plan = FaultPlan {
+            kernel_crash_rate: 0.2,
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan, 11);
+        let hits = (1..=10_000).filter(|&b| inj.kernel_crash(b)).count();
+        assert!((1700..2300).contains(&hits), "hits={hits}");
+        assert_eq!(inj.stats().kernel_crashes, hits as u64);
+    }
+
+    #[test]
+    fn validate_accepts_boundary_rates() {
+        let plan = FaultPlan {
+            tool_fault_rate: 1.0,
+            pred_fault_rate: 0.0,
+            kernel_crash_rate: 0.5,
+            crash_at_boundary: Some(1),
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_and_nan() {
+        let negative = FaultPlan {
+            swap_in_fault_rate: -0.1,
+            ..FaultPlan::default()
+        };
+        assert!(negative.validate().unwrap_err().contains("swap_in_fault_rate"));
+        let above_one = FaultPlan {
+            kernel_crash_rate: 1.5,
+            ..FaultPlan::default()
+        };
+        assert!(above_one.validate().unwrap_err().contains("kernel_crash_rate"));
+        let nan = FaultPlan {
+            ipc_drop_rate: f64::NAN,
+            ..FaultPlan::default()
+        };
+        assert!(nan.validate().unwrap_err().contains("ipc_drop_rate"));
+        let bad_stall = FaultPlan {
+            tool_stall_factor: f64::INFINITY,
+            ..FaultPlan::default()
+        };
+        assert!(bad_stall.validate().unwrap_err().contains("tool_stall_factor"));
+        let zero_boundary = FaultPlan {
+            crash_at_boundary: Some(0),
+            ..FaultPlan::default()
+        };
+        assert!(zero_boundary.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn injector_refuses_invalid_plan() {
+        let _ = FaultInjector::new(
+            FaultPlan {
+                tool_fault_rate: 2.0,
+                ..FaultPlan::default()
+            },
+            1,
+        );
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! clock and seeded RNG streams, a whole serving run replays bit-identically
 //! — the integration tests compare trace fingerprints across runs.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use symphony_gpu::{DeviceSpec, ExecError, GpuExecutor, GpuMetrics, PredRequest};
@@ -37,6 +38,14 @@ use crate::sched::{
 use crate::syscall::{thread_main, Ctx, LipFn, SysReply, Syscall, UpCall};
 use crate::tools::{ToolOutcome, ToolRegistry, ToolSpec};
 use crate::types::{ExitStatus, Limits, Pid, ProcessRecord, ProcessUsage, SysError, Tid};
+use crate::wal::{self, RecoveryReport, WalConfig, WalError, WalRecord, WalState};
+
+/// A re-constructible program body for crash recovery. Unlike the plain
+/// `FnOnce` closures accepted by [`Kernel::spawn_process`], an image can be
+/// invoked again after a kernel crash, so [`Kernel::resume_programs`] can
+/// re-execute the program deterministically from its start while answering
+/// journalled syscall effects from the WAL.
+pub type ProgramImage = Arc<dyn Fn(&mut Ctx) -> Result<(), SysError> + Send + Sync + 'static>;
 
 /// Kernel construction parameters.
 #[derive(Debug, Clone)]
@@ -94,6 +103,10 @@ pub struct KernelConfig {
     /// `pred` admission control under KV-pool pressure; `None` disables
     /// shedding and requeueing (KV exhaustion surfaces as `Kv(NoGpuMemory)`).
     pub admission: Option<AdmissionPolicy>,
+    /// Kernel write-ahead log for crash tolerance; `None` disables
+    /// journalling (and [`Kernel::recover`] fails with
+    /// [`WalError::Disabled`]).
+    pub wal: Option<WalConfig>,
 }
 
 impl KernelConfig {
@@ -125,6 +138,7 @@ impl KernelConfig {
             tool_retry: None,
             breaker: None,
             admission: None,
+            wal: None,
         }
     }
 
@@ -157,6 +171,7 @@ impl KernelConfig {
             tool_retry: None,
             breaker: None,
             admission: None,
+            wal: None,
         }
     }
 }
@@ -174,11 +189,14 @@ enum Event {
     },
     /// Re-evaluate the batch scheduler.
     BatchTimer,
-    /// A scheduled program arrival.
+    /// A scheduled program arrival. `main_tid` is pre-assigned for durable
+    /// programs so their per-thread RNG stream survives a crash before the
+    /// arrival fires.
     SpawnProgram {
         pid: Pid,
         args: String,
         f: LipFn,
+        main_tid: Option<Tid>,
     },
     /// A process's wall-clock deadline passed: fail its blocked receivers.
     DeadlineCheck { pid: Pid },
@@ -197,12 +215,29 @@ struct ThreadState {
     open_syscall: Option<&'static str>,
 }
 
+/// Per-process monotone sequence numbers for journalled syscall effects.
+/// Each effectful syscall class draws the next id from its own stream; on
+/// recovery the re-executed program draws the same ids in the same order,
+/// which is how WAL records are matched back to their call sites (and how
+/// tool side-effects are deduplicated).
+#[derive(Debug, Clone, Copy, Default)]
+struct EffectSeqs {
+    tool: u64,
+    send: u64,
+    recv: u64,
+    lookup: u64,
+    now: u64,
+    pred: u64,
+}
+
 struct Proc {
     main_tid: Tid,
     args: String,
     live_threads: u32,
     mailbox: VecDeque<(Pid, String)>,
-    recv_waiters: VecDeque<Tid>,
+    /// Threads parked in `recv`, with the effect-sequence id their eventual
+    /// delivery will be journalled under.
+    recv_waiters: VecDeque<(Tid, u64)>,
     limits: Limits,
     io_waiting: u32,
     offloaded: Vec<FileId>,
@@ -215,6 +250,11 @@ struct Proc {
     ttft_done: bool,
     /// Completion time of the last `pred` (inter-token latency).
     last_pred_done: Option<SimTime>,
+    /// Effect-sequence counters for WAL journalling/replay.
+    seqs: EffectSeqs,
+    /// `true` for processes spawned via the durable API (journalled to the
+    /// WAL and resumable after a crash).
+    durable: bool,
 }
 
 struct PendingPred {
@@ -243,6 +283,8 @@ struct PendingPred {
     start_len: usize,
     /// Queue delay observed (first admission only).
     delay_recorded: bool,
+    /// Effect-sequence id for the WAL `PredEffect` record of this call.
+    seq: u64,
 }
 
 /// Ensure LIP-thread panics (crash tests, shutdown unwinds) do not spam
@@ -285,6 +327,17 @@ struct KernelMetrics {
     /// Prefill chunks executed by the continuous executor (requests that
     /// spanned more than one iteration).
     prefill_chunks: Counter,
+    /// `finish_io` observed `io_waiting == 0` for the owning process — a
+    /// bookkeeping bug (the decrement is clamped; this makes it visible).
+    io_waiting_underflow: Counter,
+    /// Successful `Kernel::recover` boots.
+    recoveries: Counter,
+    /// WAL frames replayed across all recoveries.
+    replayed_frames: Counter,
+    /// WAL checkpoints written.
+    checkpoints: Counter,
+    /// Durable bytes in the kernel WAL (header + synced frames).
+    wal_bytes: Gauge,
 }
 
 impl KernelMetrics {
@@ -299,6 +352,11 @@ impl KernelMetrics {
             disk_pages_used: registry.gauge("kvfs.disk_pages_used"),
             preemptions: registry.counter("sched.preemptions"),
             prefill_chunks: registry.counter("sched.prefill_chunks"),
+            io_waiting_underflow: registry.counter("kernel.io_waiting_underflow"),
+            recoveries: registry.counter("kernel.recoveries"),
+            replayed_frames: registry.counter("kernel.replayed_frames"),
+            checkpoints: registry.counter("kernel.checkpoints"),
+            wal_bytes: registry.gauge("kernel.wal_bytes"),
         }
     }
 }
@@ -355,11 +413,61 @@ pub struct Kernel {
     offload_min_latency: SimDuration,
     default_limits: Limits,
     max_batch: usize,
+    // Crash tolerance.
+    /// Open write-ahead log (`None` when journalling is disabled).
+    wal: Option<WalState>,
+    /// Journalled state being replayed after `recover`; consulted by
+    /// effectful syscalls to answer from the log instead of re-firing.
+    replay: Option<wal::Replay>,
+    /// Pids spawned through the durable API (their effects are journalled).
+    durable_pids: BTreeSet<u64>,
+    /// `resume_programs` already ran (it must run at most once).
+    programs_resumed: bool,
+    /// Syscall boundaries crossed (crash-injection kill-points).
+    syscall_boundaries: u64,
+    /// Set when an injected kernel crash fired; the run loop halts.
+    crashed: Option<u64>,
 }
 
 impl Kernel {
     /// Builds a kernel from a configuration.
     pub fn new(config: KernelConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// Boots a kernel from the write-ahead log at `config.wal.path`,
+    /// restoring the virtual clock, pid/tid allocators, circuit-breaker
+    /// state and the durable process table. In-flight durable programs are
+    /// *not* re-executed yet — call [`Kernel::resume_programs`] with their
+    /// program images, then [`Kernel::run`].
+    ///
+    /// The returned report counts candidates: `resumed` is the number of
+    /// in-flight programs awaiting [`Kernel::resume_programs`], `finished`
+    /// the completed ones restored as records, `lost` always zero here
+    /// (images are only resolved at resume time).
+    pub fn recover(config: KernelConfig) -> Result<(Self, RecoveryReport), WalError> {
+        let wal_cfg = config.wal.clone().ok_or(WalError::Disabled)?;
+        let bytes = std::fs::read(&wal_cfg.path).map_err(|_| WalError::Unreadable)?;
+        let (seed, records, valid_len, torn) = wal::read_wal(&bytes)?;
+        if seed != config.seed {
+            return Err(WalError::Incompatible);
+        }
+        let replay = wal::build_replay(records, valid_len, torn);
+        let report = RecoveryReport {
+            resumed: replay.procs.values().filter(|p| p.exit.is_none()).count()
+                + replay.scheduled.len(),
+            finished: replay.procs.values().filter(|p| p.exit.is_some()).count(),
+            lost: 0,
+            frames: replay.frames,
+            wal_bytes: replay.wal_bytes,
+            torn: replay.torn,
+            clock: replay.clock,
+        };
+        let kernel = Self::build(config, Some(replay));
+        Ok((kernel, report))
+    }
+
+    fn build(config: KernelConfig, replay: Option<wal::Replay>) -> Self {
         install_quiet_lip_panics();
         let tokenizer = Bpe::default_tokenizer();
         let model = Surrogate::new(config.model, config.model_seed)
@@ -392,7 +500,8 @@ impl Kernel {
             None => KvStore::with_registry(store_config, &registry),
         };
         let (up_tx, up_rx) = unbounded();
-        Kernel {
+        let wal_config = config.wal.clone();
+        let mut kernel = Kernel {
             store,
             restored,
             gpu: GpuExecutor::with_registry(config.device, model, &registry),
@@ -445,7 +554,41 @@ impl Kernel {
             offload_min_latency: config.offload_min_latency,
             default_limits: config.default_limits,
             max_batch: config.max_batch,
+            wal: None,
+            replay: None,
+            durable_pids: BTreeSet::new(),
+            programs_resumed: false,
+            syscall_boundaries: 0,
+            crashed: None,
+        };
+        if let Some(r) = replay {
+            // Restore the virtual clock and allocators so re-executed
+            // programs see identical pids, tids (hence RNG streams) and
+            // scheduling decisions.
+            kernel.events.advance_to(r.clock);
+            kernel.next_pid = kernel.next_pid.max(r.next_pid);
+            kernel.next_tid = kernel.next_tid.max(r.next_tid);
+            if let Some(bank) = kernel.breakers.as_mut() {
+                bank.import_states(r.breakers.clone());
+            }
+            kernel.kmetrics.recoveries.inc();
+            kernel.kmetrics.replayed_frames.add(r.frames);
+            if let Some(cfg) = &wal_config {
+                let w = WalState::open_append(cfg, r.wal_bytes, r.clock)
+                    // lint:allow(k1): an unusable WAL at recovery boot is unrecoverable
+                    .expect("reopen kernel WAL");
+                kernel.kmetrics.wal_bytes.set(w.bytes_written as i64);
+                kernel.wal = Some(w);
+            }
+            kernel.replay = Some(r);
+        } else if let Some(cfg) = &wal_config {
+            let w = WalState::create(cfg, config.seed)
+                // lint:allow(k1): WAL creation failing at kernel boot is unrecoverable
+                .expect("create kernel WAL");
+            kernel.kmetrics.wal_bytes.set(w.bytes_written as i64);
+            kernel.wal = Some(w);
         }
+        kernel
     }
 
     // ---- setup API ------------------------------------------------------------
@@ -532,7 +675,7 @@ impl Kernel {
         F: FnOnce(&mut Ctx) -> Result<(), SysError> + Send + 'static,
     {
         let pid = self.alloc_pid(name, self.events.now(), limits);
-        self.start_process(pid, args.to_string(), Box::new(f));
+        self.start_process(pid, args.to_string(), Box::new(f), None);
         pid
     }
 
@@ -548,9 +691,95 @@ impl Kernel {
                 pid,
                 args: args.to_string(),
                 f: Box::new(f),
+                main_tid: None,
             },
         );
         pid
+    }
+
+    // ---- durable (crash-tolerant) process API ---------------------------------
+
+    /// Spawns a durable LIP immediately: its spawn and effectful syscalls
+    /// are journalled to the WAL so [`Kernel::recover`] +
+    /// [`Kernel::resume_programs`] can re-execute it deterministically
+    /// after a crash. The image must be re-invocable; see [`ProgramImage`].
+    pub fn spawn_durable(&mut self, name: &str, args: &str, image: ProgramImage) -> Pid {
+        self.spawn_durable_with_limits(name, args, self.default_limits, image)
+    }
+
+    /// Spawns a durable LIP with explicit limits.
+    pub fn spawn_durable_with_limits(
+        &mut self,
+        name: &str,
+        args: &str,
+        limits: Limits,
+        image: ProgramImage,
+    ) -> Pid {
+        let pid = self.alloc_pid(name, self.events.now(), limits);
+        self.mark_durable(pid);
+        let f: LipFn = Box::new(move |ctx| image(ctx));
+        self.start_process(pid, args.to_string(), f, None);
+        pid
+    }
+
+    /// Schedules a durable LIP for a future virtual arrival. The schedule
+    /// itself is journalled — with a main thread id pre-assigned *now*, so
+    /// the program's per-thread RNG stream is identical whether or not a
+    /// crash intervenes before it starts — and a crash before the arrival
+    /// does not drop the program.
+    pub fn schedule_durable(
+        &mut self,
+        at: SimTime,
+        name: &str,
+        args: &str,
+        image: ProgramImage,
+    ) -> Pid {
+        self.schedule_durable_with_limits(at, name, args, self.default_limits, image)
+    }
+
+    /// Schedules a durable LIP with explicit limits.
+    pub fn schedule_durable_with_limits(
+        &mut self,
+        at: SimTime,
+        name: &str,
+        args: &str,
+        limits: Limits,
+        image: ProgramImage,
+    ) -> Pid {
+        let pid = self.alloc_pid(name, at, limits);
+        self.mark_durable(pid);
+        // Pre-assign the main tid: recovery re-admits this program from the
+        // journal and must fork the same per-thread RNG stream.
+        let main_tid = Tid(self.next_tid);
+        self.next_tid += 1;
+        self.wal_append(WalRecord::ProcSched {
+            at: self.events.now(),
+            pid: pid.0,
+            main_tid: main_tid.0,
+            arrival: at,
+            durable: true,
+            name: name.to_string(),
+            args: args.to_string(),
+            limits,
+        });
+        let f: LipFn = Box::new(move |ctx| image(ctx));
+        self.events.schedule(
+            at,
+            Event::SpawnProgram {
+                pid,
+                args: args.to_string(),
+                f,
+                main_tid: Some(main_tid),
+            },
+        );
+        pid
+    }
+
+    fn mark_durable(&mut self, pid: Pid) {
+        if let Some(p) = self.procs.get_mut(&pid.0) {
+            p.durable = true;
+        }
+        self.durable_pids.insert(pid.0);
     }
 
     fn alloc_pid(&mut self, name: &str, spawned_at: SimTime, limits: Limits) -> Pid {
@@ -592,12 +821,14 @@ impl Kernel {
                 deadline_hit: false,
                 ttft_done: false,
                 last_pred_done: None,
+                seqs: EffectSeqs::default(),
+                durable: false,
             },
         );
         pid
     }
 
-    fn start_process(&mut self, pid: Pid, args: String, f: LipFn) {
+    fn start_process(&mut self, pid: Pid, args: String, f: LipFn, forced_tid: Option<Tid>) {
         // `spawn` just inserted the record; a miss would mean the caller
         // passed a foreign pid. Degrade to a no-op instead of panicking.
         let Some(proc) = self.procs.get_mut(&pid.0) else {
@@ -611,9 +842,44 @@ impl Kernel {
             self.bus
                 .emit(at, move || EventKind::ProcessSpawn { pid: pid.0, name });
         }
-        let tid = self.spawn_thread(pid, args, f);
+        let tid = match forced_tid {
+            Some(t) => self.spawn_thread_with_tid(t, pid, args, f),
+            None => self.spawn_thread(pid, args, f),
+        };
         if let Some(proc) = self.procs.get_mut(&pid.0) {
             proc.main_tid = tid;
+        }
+        // Journal durable spawns, except re-executions of already-journalled
+        // programs during recovery (their spawn frame is already durable).
+        let journal_spawn = self.durable_pids.contains(&pid.0)
+            && !self
+                .replay
+                .as_ref()
+                .is_some_and(|r| r.procs.contains_key(&pid.0));
+        if journal_spawn {
+            let (name, limits) = {
+                let rec = &self.records[&pid.0];
+                let limits = self
+                    .procs
+                    .get(&pid.0)
+                    .map(|p| p.limits)
+                    .unwrap_or(self.default_limits);
+                (rec.name.clone(), limits)
+            };
+            let args = self
+                .procs
+                .get(&pid.0)
+                .map(|p| p.args.clone())
+                .unwrap_or_default();
+            self.wal_append(WalRecord::ProcSpawn {
+                at: self.events.now(),
+                pid: pid.0,
+                main_tid: tid.0,
+                durable: true,
+                name,
+                args,
+                limits,
+            });
         }
         self.trace.record(
             self.events.now(),
@@ -625,6 +891,12 @@ impl Kernel {
     fn spawn_thread(&mut self, pid: Pid, args: String, f: LipFn) -> Tid {
         let tid = Tid(self.next_tid);
         self.next_tid += 1;
+        self.spawn_thread_with_tid(tid, pid, args, f)
+    }
+
+    /// Spawns the LIP thread under a pre-assigned tid (recovery re-admission
+    /// and journalled schedules, where tid identity pins the RNG stream).
+    fn spawn_thread_with_tid(&mut self, tid: Tid, pid: Pid, args: String, f: LipFn) -> Tid {
         let (reply_tx, reply_rx) = unbounded();
         let ctx = Ctx::new(
             tid,
@@ -666,6 +938,402 @@ impl Kernel {
         self.live_threads += 1;
         self.ready.push_back((tid, SysReply::Start));
         tid
+    }
+
+    // ---- recovery --------------------------------------------------------------
+
+    /// Re-admits journalled programs after [`Kernel::recover`]. `resolve`
+    /// maps a program name to its image: unfinished programs re-execute
+    /// deterministically from their start (journalled effects answer their
+    /// syscalls up to the crash point), finished programs are restored as
+    /// records without re-execution, and unresolvable programs are recorded
+    /// as crashed. Returns the final recovery report; a second call (or a
+    /// call on a non-recovered kernel) is a no-op reporting zeros.
+    pub fn resume_programs<F>(&mut self, resolve: F) -> RecoveryReport
+    where
+        F: Fn(&str) -> Option<ProgramImage>,
+    {
+        let empty = RecoveryReport {
+            resumed: 0,
+            finished: 0,
+            lost: 0,
+            frames: 0,
+            wal_bytes: 0,
+            torn: false,
+            clock: self.events.now(),
+        };
+        if self.programs_resumed {
+            return empty;
+        }
+        let Some(replay) = self.replay.as_ref() else {
+            return empty;
+        };
+        self.programs_resumed = true;
+        let procs: Vec<(u64, wal::ReplayProc)> =
+            replay.procs.iter().map(|(k, v)| (*k, v.clone())).collect();
+        let scheduled: Vec<(u64, wal::ReplaySched)> = replay
+            .scheduled
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        let sends = replay.sends.clone();
+        let mut to_skip = replay.recv_counts();
+        let (frames, wal_bytes, torn, clock) = (
+            replay.frames,
+            replay.wal_bytes,
+            replay.torn,
+            replay.clock,
+        );
+        let (mut resumed, mut finished, mut lost) = (0, 0, 0);
+        for (pid, rp) in &procs {
+            match &rp.exit {
+                Some(exit) => {
+                    self.restore_finished(*pid, rp, exit);
+                    finished += 1;
+                }
+                None => match resolve(&rp.name) {
+                    Some(image) => {
+                        self.readmit(*pid, rp, image);
+                        resumed += 1;
+                    }
+                    None => {
+                        self.restore_lost(*pid, &rp.name, rp.spawned_at);
+                        lost += 1;
+                    }
+                },
+            }
+        }
+        for (pid, rs) in &scheduled {
+            match resolve(&rs.name) {
+                Some(image) => {
+                    self.reschedule(*pid, rs, image);
+                    resumed += 1;
+                }
+                None => {
+                    self.restore_lost(*pid, &rs.name, rs.arrival);
+                    lost += 1;
+                }
+            }
+        }
+        // Rebuild mailboxes: delivered sends in journal order, minus the
+        // prefix each receiver already consumed (journalled recvs replay
+        // from the log, not from the mailbox).
+        for s in sends {
+            if !s.delivered {
+                continue;
+            }
+            if let Some(n) = to_skip.get_mut(&s.to) {
+                if *n > 0 {
+                    *n -= 1;
+                    continue;
+                }
+            }
+            if let Some(p) = self.procs.get_mut(&s.to) {
+                p.mailbox.push_back((Pid(s.from), s.data));
+            }
+        }
+        let at = self.events.now();
+        let resumed_u = resumed as u64;
+        self.bus.emit(at, move || EventKind::KernelRecovery {
+            resumed: resumed_u,
+            replayed_frames: frames,
+        });
+        self.trace.record(
+            at,
+            "kernel",
+            format!("recovered resumed={resumed} finished={finished} lost={lost}"),
+        );
+        RecoveryReport {
+            resumed,
+            finished,
+            lost,
+            frames,
+            wal_bytes,
+            torn,
+            clock,
+        }
+    }
+
+    /// Restores a journalled, completed process as a record (no
+    /// re-execution; its outputs are already durable).
+    fn restore_finished(&mut self, pid: u64, rp: &wal::ReplayProc, exit: &wal::ReplayExit) {
+        self.records.insert(
+            pid,
+            ProcessRecord {
+                pid: Pid(pid),
+                name: rp.name.clone(),
+                spawned_at: rp.spawned_at,
+                exited_at: Some(exit.at),
+                status: exit.status.clone(),
+                output: exit.output.clone(),
+                usage: exit.usage,
+            },
+        );
+        self.names.insert(rp.name.clone(), Pid(pid));
+        self.durable_pids.insert(pid);
+    }
+
+    /// Records an unfinished program whose image could not be resolved.
+    fn restore_lost(&mut self, pid: u64, name: &str, spawned_at: SimTime) {
+        self.records.insert(
+            pid,
+            ProcessRecord {
+                pid: Pid(pid),
+                name: name.to_string(),
+                spawned_at,
+                exited_at: Some(self.events.now()),
+                status: ExitStatus::Crashed,
+                output: String::new(),
+                usage: ProcessUsage::default(),
+            },
+        );
+        self.names.insert(name.to_string(), Pid(pid));
+    }
+
+    /// Re-admits one unfinished program under its original pid and main
+    /// tid, so re-execution draws the same RNG stream and allocates the
+    /// same identifiers as the pre-crash run.
+    fn readmit(&mut self, pid: u64, rp: &wal::ReplayProc, image: ProgramImage) {
+        self.records.insert(
+            pid,
+            ProcessRecord {
+                pid: Pid(pid),
+                name: rp.name.clone(),
+                spawned_at: rp.spawned_at,
+                exited_at: None,
+                status: ExitStatus::Ok,
+                output: String::new(),
+                usage: ProcessUsage::default(),
+            },
+        );
+        self.names.insert(rp.name.clone(), Pid(pid));
+        if let Some(q) = rp.limits.kv_quota_pages {
+            self.store.set_quota(OwnerId(pid), Some(q));
+        }
+        let deadline_at = rp.limits.deadline.map(|d| rp.spawned_at + d);
+        if let Some(t) = deadline_at {
+            self.events
+                .schedule(t.max(self.events.now()), Event::DeadlineCheck { pid: Pid(pid) });
+        }
+        self.procs.insert(
+            pid,
+            Proc {
+                main_tid: Tid(rp.main_tid),
+                args: rp.args.clone(),
+                live_threads: 0,
+                mailbox: VecDeque::new(),
+                recv_waiters: VecDeque::new(),
+                limits: rp.limits,
+                io_waiting: 0,
+                offloaded: Vec::new(),
+                finished: false,
+                deadline_at,
+                deadline_hit: false,
+                ttft_done: false,
+                last_pred_done: None,
+                seqs: EffectSeqs::default(),
+                durable: rp.durable,
+            },
+        );
+        self.durable_pids.insert(pid);
+        if self.bus.is_enabled() {
+            let name = rp.name.clone();
+            let at = self.events.now();
+            self.bus
+                .emit(at, move || EventKind::ProcessSpawn { pid, name });
+        }
+        let f: LipFn = Box::new(move |ctx| image(ctx));
+        self.spawn_thread_with_tid(Tid(rp.main_tid), Pid(pid), rp.args.clone(), f);
+    }
+
+    /// Re-schedules a journalled future arrival that had not started by the
+    /// crash. Arrivals already in the past fire at the restored clock.
+    fn reschedule(&mut self, pid: u64, rs: &wal::ReplaySched, image: ProgramImage) {
+        let arrival = rs.arrival.max(self.events.now());
+        self.records.insert(
+            pid,
+            ProcessRecord {
+                pid: Pid(pid),
+                name: rs.name.clone(),
+                spawned_at: rs.arrival,
+                exited_at: None,
+                status: ExitStatus::Ok,
+                output: String::new(),
+                usage: ProcessUsage::default(),
+            },
+        );
+        self.names.insert(rs.name.clone(), Pid(pid));
+        if let Some(q) = rs.limits.kv_quota_pages {
+            self.store.set_quota(OwnerId(pid), Some(q));
+        }
+        let deadline_at = rs.limits.deadline.map(|d| rs.arrival + d);
+        if let Some(t) = deadline_at {
+            self.events
+                .schedule(t.max(arrival), Event::DeadlineCheck { pid: Pid(pid) });
+        }
+        self.procs.insert(
+            pid,
+            Proc {
+                main_tid: Tid(0),
+                args: String::new(),
+                live_threads: 0,
+                mailbox: VecDeque::new(),
+                recv_waiters: VecDeque::new(),
+                limits: rs.limits,
+                io_waiting: 0,
+                offloaded: Vec::new(),
+                finished: false,
+                deadline_at,
+                deadline_hit: false,
+                ttft_done: false,
+                last_pred_done: None,
+                seqs: EffectSeqs::default(),
+                durable: rs.durable,
+            },
+        );
+        self.durable_pids.insert(pid);
+        let args = rs.args.clone();
+        let f: LipFn = Box::new(move |ctx| image(ctx));
+        self.events.schedule(
+            arrival,
+            Event::SpawnProgram {
+                pid: Pid(pid),
+                args,
+                f,
+                main_tid: Some(Tid(rs.main_tid)),
+            },
+        );
+    }
+
+    // ---- WAL plumbing ----------------------------------------------------------
+
+    /// Appends one synchronous frame (no-op when the WAL is disabled).
+    fn wal_append(&mut self, rec: WalRecord) {
+        let Some(w) = self.wal.as_mut() else {
+            return;
+        };
+        w.append_sync(&rec)
+            // lint:allow(k1): a failed WAL write silently voids durability
+            .expect("kernel WAL append");
+        self.kmetrics.wal_bytes.set(w.bytes_written as i64);
+    }
+
+    /// Buffers a bulky pred frame for the next checkpoint (no-op when the
+    /// WAL is disabled).
+    fn wal_buffer_pred(&mut self, rec: WalRecord) {
+        if let Some(w) = self.wal.as_mut() {
+            w.buffer_pred(&rec);
+        }
+    }
+
+    /// Writes a checkpoint frame (flushing buffered pred frames) when the
+    /// virtual clock has passed the next checkpoint boundary.
+    fn maybe_checkpoint(&mut self) {
+        let now = self.events.now();
+        if self.wal.as_ref().is_none_or(|w| now < w.next_checkpoint_at) {
+            return;
+        }
+        let breakers = self
+            .breakers
+            .as_ref()
+            .map(|b| b.export_states())
+            .unwrap_or_default();
+        let rec = WalRecord::Checkpoint {
+            at: now,
+            next_pid: self.next_pid,
+            next_tid: self.next_tid,
+            breakers,
+        };
+        let Some(w) = self.wal.as_mut() else {
+            return;
+        };
+        let frames = w
+            .checkpoint(&rec)
+            // lint:allow(k1): a failed WAL write silently voids durability
+            .expect("kernel WAL checkpoint");
+        while w.next_checkpoint_at <= now {
+            w.next_checkpoint_at += w.checkpoint_every;
+        }
+        let wal_bytes = w.bytes_written;
+        self.kmetrics.checkpoints.inc();
+        self.kmetrics.wal_bytes.set(wal_bytes as i64);
+        self.bus.emit(now, move || EventKind::WalCheckpoint {
+            frames,
+            wal_bytes,
+        });
+    }
+
+    /// An injected kernel crash: halt the run loop, dropping buffered
+    /// (unflushed) pred frames exactly as a real crash would.
+    fn crash_now(&mut self, boundary: u64) {
+        let at = self.events.now();
+        self.bus
+            .emit(at, move || EventKind::KernelCrash { boundary });
+        self.trace
+            .record(at, "kernel", format!("crash at boundary {boundary}"));
+        if let Some(w) = self.wal.as_mut() {
+            w.pred_buf.clear();
+            w.buffered_frames = 0;
+        }
+        self.crashed = Some(boundary);
+    }
+
+    /// `true` when `pid`'s effectful syscalls are journalled.
+    fn is_durable(&self, pid: Pid) -> bool {
+        self.procs.get(&pid.0).is_some_and(|p| p.durable)
+    }
+
+    /// Rebuilds the KV entries a replayed `pred` appended pre-crash, so
+    /// later live `pred`s against the same file see identical contents.
+    /// Charges no GPU time (the work was already paid for before the
+    /// crash). Returns `false` if the file state does not admit the append
+    /// (the caller then falls back to live execution).
+    fn replay_pred_append(
+        &mut self,
+        file: FileId,
+        owner: OwnerId,
+        tokens: &[(TokenId, u32)],
+    ) -> bool {
+        let fpr = self.gpu.model().fingerprinter();
+        let mut fp = match self.store.tail_fingerprint(file) {
+            Ok(Some(fp)) => fp,
+            Ok(None) => fpr.origin(),
+            Err(_) => return false,
+        };
+        let entries: Vec<symphony_kvfs::KvEntry> = tokens
+            .iter()
+            .map(|&(t, p)| {
+                fp = fpr.advance(fp, t, p);
+                symphony_kvfs::KvEntry::new(t, p, fp)
+            })
+            .collect();
+        self.store.append(file, owner, &entries).is_ok()
+    }
+
+    /// The kill-point that halted this kernel, when an injected crash fired.
+    pub fn crashed(&self) -> Option<u64> {
+        self.crashed
+    }
+
+    /// Syscall boundaries crossed so far — the kill-point space the
+    /// chaos sweep iterates with `FaultPlan::crash_at_boundary`.
+    pub fn syscall_boundaries(&self) -> u64 {
+        self.syscall_boundaries
+    }
+
+    /// Tool-handler invocations in this kernel. Replayed tool calls answer
+    /// from the WAL without re-invoking handlers, so summing this across a
+    /// crashed run and its recovery must equal the crash-free count
+    /// (exactly-once side-effects).
+    pub fn tool_invocations(&self) -> u64 {
+        self.tools.invocations()
+    }
+
+    /// WAL frames replayed by `recover` across this kernel's lifetime.
+    pub fn replayed_frames(&self) -> u64 {
+        self.registry
+            .counter_value("kernel.replayed_frames")
+            .unwrap_or(0)
     }
 
     // ---- introspection ----------------------------------------------------------
@@ -800,7 +1468,13 @@ impl Kernel {
             .count();
         loop {
             while let Some((tid, reply)) = self.ready.pop_front() {
+                if self.crashed.is_some() {
+                    break;
+                }
                 self.resume(tid, reply);
+            }
+            if self.crashed.is_some() {
+                break;
             }
             self.maybe_launch_batch();
             if !self.ready.is_empty() {
@@ -810,6 +1484,7 @@ impl Kernel {
                 Some((_, ev)) => self.handle_event(ev),
                 None => break,
             }
+            self.maybe_checkpoint();
         }
         let after: usize = self
             .records
@@ -906,8 +1581,13 @@ impl Kernel {
             Event::BatchTimer => {
                 self.timer_armed_until = None;
             }
-            Event::SpawnProgram { pid, args, f } => {
-                self.start_process(pid, args, f);
+            Event::SpawnProgram {
+                pid,
+                args,
+                f,
+                main_tid,
+            } => {
+                self.start_process(pid, args, f, main_tid);
             }
             Event::DeadlineCheck { pid } => self.enforce_deadline(pid),
             Event::RequeuePred { pred } => match self.exec {
@@ -943,7 +1623,7 @@ impl Kernel {
             "kernel",
             format!("deadline pid={} woke={}", pid.0, waiters.len()),
         );
-        for w in waiters {
+        for (w, _seq) in waiters {
             self.complete(w, SysReply::Err(SysError::DeadlineExceeded));
         }
     }
@@ -975,7 +1655,10 @@ impl Kernel {
         let tids: Vec<Tid> = pending.iter().map(|p| p.tid).collect();
         let requeues: Vec<u32> = pending.iter().map(|p| p.requeues).collect();
         let enqueued: Vec<SimTime> = pending.iter().map(|p| p.enqueued_at).collect();
-        let metas: Vec<(Pid, bool)> = pending.iter().map(|p| (p.pid, p.critical)).collect();
+        let metas: Vec<(Pid, bool, u64)> = pending
+            .iter()
+            .map(|p| (p.pid, p.critical, p.seq))
+            .collect();
         let requests: Vec<PredRequest> = pending.into_iter().map(|p| p.req).collect();
         for &at in &enqueued {
             self.kmetrics.queue_delay_ns.observe((now - at).as_nanos());
@@ -1023,7 +1706,7 @@ impl Kernel {
             .set(self.store.disk_pages_used() as i64);
         let adm = self.admission;
         let mut replies: Vec<(Tid, SysReply)> = Vec::with_capacity(requests.len());
-        for (((((tid, res), req), requeues), enqueued_at), (ppid, critical)) in tids
+        for (((((tid, res), req), requeues), enqueued_at), (ppid, critical, seq)) in tids
             .into_iter()
             .zip(results)
             .zip(requests)
@@ -1032,7 +1715,17 @@ impl Kernel {
             .zip(metas)
         {
             let reply = match res {
-                Ok(r) => SysReply::Dists(r.dists),
+                Ok(r) => {
+                    if self.is_durable(ppid) {
+                        self.wal_buffer_pred(WalRecord::PredEffect {
+                            at: now,
+                            pid: ppid.0,
+                            seq,
+                            dists: r.dists.clone(),
+                        });
+                    }
+                    SysReply::Dists(r.dists)
+                }
                 // KV-pool exhaustion: with admission control on, back the
                 // request off and re-pool it instead of failing the LIP.
                 Err(ExecError::Kv(KvError::NoGpuMemory))
@@ -1058,6 +1751,7 @@ impl Kernel {
                                 dists: Vec::new(),
                                 start_len: 0,
                                 delay_recorded: false,
+                                seq,
                             },
                         },
                     );
@@ -1367,13 +2061,25 @@ impl Kernel {
                             total: ctotal,
                         });
                     }
-                    let (cpid, ccrit) = (s.pid.0, s.critical);
-                    if s.done == total {
-                        let dists = std::mem::take(&mut s.dists);
-                        replies.push((s.tid, SysReply::Dists(dists)));
+                    let (cpid, ccrit, cseq, ctid) = (s.pid, s.critical, s.seq, s.tid);
+                    let finished_dists = if s.done == total {
+                        Some(std::mem::take(&mut s.dists))
+                    } else {
+                        None
+                    };
+                    if let Some(dists) = finished_dists {
+                        if self.is_durable(cpid) {
+                            self.wal_buffer_pred(WalRecord::PredEffect {
+                                at: now,
+                                pid: cpid.0,
+                                seq: cseq,
+                                dists: dists.clone(),
+                            });
+                        }
+                        replies.push((ctid, SysReply::Dists(dists)));
                         retire.push(i);
                     }
-                    self.cqueue.charge(cpid, ccrit, take as u64);
+                    self.cqueue.charge(cpid.0, ccrit, take as u64);
                 }
                 Err(ExecError::Kv(KvError::NoGpuMemory)) => failed_mem.push(i),
                 Err(e) => {
@@ -1552,6 +2258,15 @@ impl Kernel {
             debug_assert!(false, "syscall from unknown tid {}", tid.0);
             return;
         };
+        // Crash injection: every syscall boundary is a kill-point. The
+        // crash fires *before* the syscall executes, so a handler either
+        // ran and journalled its effect pre-crash, or did neither —
+        // effects are atomic with their WAL frames under this model.
+        self.syscall_boundaries += 1;
+        if self.injector.kernel_crash(self.syscall_boundaries) {
+            self.crash_now(self.syscall_boundaries);
+            return;
+        }
         // Open a syscall span; `resume` closes it when the reply is
         // delivered back to the LIP.
         let sys_name = call.name();
@@ -1658,6 +2373,29 @@ impl Kernel {
                     tokens: n_tokens,
                     pool,
                 });
+                let seq = {
+                    let p = sys!(self.procs.get_mut(&pid.0), "process missing");
+                    let s = p.seqs.pred;
+                    p.seqs.pred += 1;
+                    s
+                };
+                // Recovery replay: a pred whose distributions were durable
+                // at the crash answers from the log, rebuilding its KV
+                // append without charging GPU time.
+                if self.is_durable(pid) {
+                    let hit = self
+                        .replay
+                        .as_ref()
+                        .and_then(|r| r.preds.get(&(pid.0, seq)))
+                        .filter(|d| d.len() == tokens.len())
+                        .cloned();
+                    if let Some(dists) = hit {
+                        if self.replay_pred_append(kv, owner, &tokens) {
+                            self.complete(tid, SysReply::Dists(dists));
+                            return;
+                        }
+                    }
+                }
                 let critical = self.procs[&pid.0].main_tid == tid;
                 let pending = PendingPred {
                     tid,
@@ -1674,6 +2412,7 @@ impl Kernel {
                     dists: Vec::new(),
                     start_len: 0,
                     delay_recorded: false,
+                    seq,
                 };
                 match self.exec {
                     ExecMode::Static => self.sched.on_arrival(self.events.now(), pending),
@@ -1865,9 +2604,50 @@ impl Kernel {
                 sys!(self.records.get_mut(&pid.0), "process record missing")
                     .usage
                     .tool_calls += 1;
+                let seq = {
+                    let p = sys!(self.procs.get_mut(&pid.0), "process missing");
+                    let s = p.seqs.tool;
+                    p.seqs.tool += 1;
+                    s
+                };
+                let now = self.events.now();
+                // Recovery replay: a journalled outcome answers without
+                // re-invoking the handler — the side-effect already happened
+                // pre-crash, and firing it again would double it. The
+                // breaker re-learns the outcome (post-checkpoint reports
+                // were lost with the crash) unless the journalled result
+                // was itself a breaker rejection.
+                if self.is_durable(pid) {
+                    let hit = self
+                        .replay
+                        .as_ref()
+                        .and_then(|r| r.tools.get(&(pid.0, seq)))
+                        .cloned();
+                    if let Some(rec) = hit {
+                        if !matches!(rec.result, Err(SysError::Unavailable)) {
+                            if let Some(bank) = self.breakers.as_mut() {
+                                bank.report(
+                                    &name,
+                                    rec.result.is_ok(),
+                                    now + SimDuration::from_nanos(rec.latency_ns),
+                                );
+                            }
+                        }
+                        self.trace.record(
+                            now,
+                            "io",
+                            format!("tool={} tid={} replayed", name, tid.0),
+                        );
+                        let reply = match rec.result {
+                            Ok(s) => SysReply::Text(s),
+                            Err(e) => SysReply::Err(e),
+                        };
+                        self.complete(tid, reply);
+                        return;
+                    }
+                }
                 // Circuit breaker: fast-fail while open (no latency charge
                 // beyond the syscall cost — that is the point of breaking).
-                let now = self.events.now();
                 if let Some(bank) = self.breakers.as_mut() {
                     match bank.admit(&name, now) {
                         BreakerVerdict::Allow | BreakerVerdict::AllowTrial => {}
@@ -1883,6 +2663,16 @@ impl Kernel {
                                     pid: pid.0,
                                     tid: tid.0,
                                     tool,
+                                });
+                            }
+                            if self.is_durable(pid) {
+                                self.wal_append(WalRecord::ToolEffect {
+                                    at: now,
+                                    pid: pid.0,
+                                    seq,
+                                    latency_ns: 0,
+                                    fired: false,
+                                    result: Err(SysError::Unavailable),
                                 });
                             }
                             self.complete(tid, SysReply::Err(SysError::Unavailable));
@@ -1991,6 +2781,20 @@ impl Kernel {
                         latency_ns,
                     });
                 }
+                // The handler fired and its outcome is decided: make it
+                // durable *now*, atomically with the effect under the
+                // syscall-boundary crash model, so recovery never re-fires
+                // the tool (exactly-once side-effects).
+                if self.is_durable(pid) {
+                    self.wal_append(WalRecord::ToolEffect {
+                        at: now,
+                        pid: pid.0,
+                        seq,
+                        latency_ns: total.as_nanos(),
+                        fired: true,
+                        result: final_result.clone(),
+                    });
+                }
                 self.begin_io(pid, total);
                 self.events.schedule(
                     now + total,
@@ -2001,9 +2805,49 @@ impl Kernel {
                 );
             }
             Syscall::SendMsg { to, data } => {
+                let seq = {
+                    let p = sys!(self.procs.get_mut(&pid.0), "process missing");
+                    let s = p.seqs.send;
+                    p.seqs.send += 1;
+                    s
+                };
+                // Recovery replay: the delivery (if any) happened pre-crash
+                // and is already in the rebuilt mailbox or a journalled
+                // recv; re-delivering would duplicate the message.
+                if self.is_durable(pid) {
+                    let hit = self
+                        .replay
+                        .as_ref()
+                        .and_then(|r| r.send_results.get(&(pid.0, seq)))
+                        .copied();
+                    if let Some(ok) = hit {
+                        let reply = if ok {
+                            SysReply::Unit
+                        } else {
+                            SysReply::Err(SysError::NotFound)
+                        };
+                        self.complete(tid, reply);
+                        return;
+                    }
+                }
+                // Journal the send when either endpoint is durable: the
+                // sender's replay needs the result; the receiver's mailbox
+                // rebuild needs the payload.
+                let journal = self.is_durable(pid) || self.is_durable(to);
                 match self.procs.get(&to.0) {
                     Some(target) if !target.finished => {}
                     _ => {
+                        if journal {
+                            self.wal_append(WalRecord::IpcSend {
+                                at: sys_at,
+                                from: pid.0,
+                                to: to.0,
+                                seq,
+                                ok: false,
+                                delivered: false,
+                                data: data.clone(),
+                            });
+                        }
                         self.complete(tid, SysReply::Err(SysError::NotFound));
                         return;
                     }
@@ -2022,31 +2866,133 @@ impl Kernel {
                         from: pid.0,
                         to: to.0,
                     });
+                    if journal {
+                        self.wal_append(WalRecord::IpcSend {
+                            at: sys_at,
+                            from: pid.0,
+                            to: to.0,
+                            seq,
+                            ok: true,
+                            delivered: false,
+                            data: data.clone(),
+                        });
+                    }
                     self.complete(tid, SysReply::Unit);
                     return;
                 }
-                let target = sys!(self.procs.get_mut(&to.0), "ipc target missing");
-                if let Some(waiter) = target.recv_waiters.pop_front() {
-                    self.complete(waiter, SysReply::Msg { from: pid, data });
-                } else {
-                    target.mailbox.push_back((pid, data));
+                let waiter = {
+                    let target = sys!(self.procs.get_mut(&to.0), "ipc target missing");
+                    match target.recv_waiters.pop_front() {
+                        Some(w) => Some(w),
+                        None => {
+                            target.mailbox.push_back((pid, data.clone()));
+                            None
+                        }
+                    }
+                };
+                if journal {
+                    self.wal_append(WalRecord::IpcSend {
+                        at: sys_at,
+                        from: pid.0,
+                        to: to.0,
+                        seq,
+                        ok: true,
+                        delivered: true,
+                        data: data.clone(),
+                    });
+                }
+                if let Some((wtid, rseq)) = waiter {
+                    if self.is_durable(to) {
+                        self.wal_append(WalRecord::IpcRecv {
+                            at: sys_at,
+                            pid: to.0,
+                            seq: rseq,
+                            from: pid.0,
+                            data: data.clone(),
+                        });
+                    }
+                    self.complete(wtid, SysReply::Msg { from: pid, data });
                 }
                 self.complete(tid, SysReply::Unit);
             }
             Syscall::Recv => {
-                let proc = sys!(self.procs.get_mut(&pid.0), "process missing");
-                if let Some((from, data)) = proc.mailbox.pop_front() {
+                let seq = {
+                    let p = sys!(self.procs.get_mut(&pid.0), "process missing");
+                    let s = p.seqs.recv;
+                    p.seqs.recv += 1;
+                    s
+                };
+                if self.is_durable(pid) {
+                    let hit = self
+                        .replay
+                        .as_ref()
+                        .and_then(|r| r.recvs.get(&(pid.0, seq)))
+                        .cloned();
+                    if let Some((from, data)) = hit {
+                        self.complete(
+                            tid,
+                            SysReply::Msg {
+                                from: Pid(from),
+                                data,
+                            },
+                        );
+                        return;
+                    }
+                }
+                let delivered = {
+                    let proc = sys!(self.procs.get_mut(&pid.0), "process missing");
+                    match proc.mailbox.pop_front() {
+                        Some(m) => Some(m),
+                        None => {
+                            proc.recv_waiters.push_back((tid, seq));
+                            None
+                        }
+                    }
+                };
+                if let Some((from, data)) = delivered {
+                    if self.is_durable(pid) {
+                        self.wal_append(WalRecord::IpcRecv {
+                            at: sys_at,
+                            pid: pid.0,
+                            seq,
+                            from: from.0,
+                            data: data.clone(),
+                        });
+                    }
                     self.complete(tid, SysReply::Msg { from, data });
-                } else {
-                    proc.recv_waiters.push_back(tid);
                 }
             }
             Syscall::LookupProcess { name } => {
+                let seq = {
+                    let p = sys!(self.procs.get_mut(&pid.0), "process missing");
+                    let s = p.seqs.lookup;
+                    p.seqs.lookup += 1;
+                    s
+                };
+                if self.is_durable(pid) {
+                    let hit = self
+                        .replay
+                        .as_ref()
+                        .and_then(|r| r.lookups.get(&(pid.0, seq)))
+                        .copied();
+                    if let Some(found) = hit {
+                        self.complete(tid, SysReply::MaybePid(found.map(Pid)));
+                        return;
+                    }
+                }
                 let found = self
                     .names
                     .get(&name)
                     .copied()
                     .filter(|p| self.procs.get(&p.0).is_some_and(|pr| !pr.finished));
+                if self.is_durable(pid) {
+                    self.wal_append(WalRecord::Lookup {
+                        at: sys_at,
+                        pid: pid.0,
+                        seq,
+                        found: found.map(|p| p.0),
+                    });
+                }
                 self.complete(tid, SysReply::MaybePid(found));
             }
             Syscall::Sleep { dur } => {
@@ -2075,7 +3021,35 @@ impl Kernel {
                 self.complete(tid, SysReply::Text(text));
             }
             Syscall::Now => {
+                let seq = {
+                    let p = sys!(self.procs.get_mut(&pid.0), "process missing");
+                    let s = p.seqs.now;
+                    p.seqs.now += 1;
+                    s
+                };
+                // Replayed `now` returns the *original* observation: the
+                // recovered clock starts past the crash point, and a LIP
+                // branching on time must see the same values it saw before.
+                if self.is_durable(pid) {
+                    let hit = self
+                        .replay
+                        .as_ref()
+                        .and_then(|r| r.nows.get(&(pid.0, seq)))
+                        .copied();
+                    if let Some(t) = hit {
+                        self.complete(tid, SysReply::Time(t));
+                        return;
+                    }
+                }
                 let t = self.events.now();
+                if self.is_durable(pid) {
+                    self.wal_append(WalRecord::NowEffect {
+                        at: sys_at,
+                        pid: pid.0,
+                        seq,
+                        t,
+                    });
+                }
                 self.complete(tid, SysReply::Time(t));
             }
         }
@@ -2136,7 +3110,19 @@ impl Kernel {
             self.ready.push_back((tid, reply));
             return;
         };
+        // An underflow here means an IoDone fired for a process that never
+        // entered `begin_io` — a bookkeeping bug that a silent clamp would
+        // hide (and with it the offload-restore trigger below).
+        let underflow = proc.io_waiting == 0;
+        debug_assert!(!underflow, "finish_io: io_waiting underflow pid={}", pid.0);
         proc.io_waiting = proc.io_waiting.saturating_sub(1);
+        if underflow {
+            self.kmetrics.io_waiting_underflow.inc();
+        }
+        let proc = match self.procs.get_mut(&pid.0) {
+            Some(p) => p,
+            None => return,
+        };
         let mut restored = SwapReport::default();
         if proc.io_waiting == 0 && !proc.offloaded.is_empty() {
             let files = std::mem::take(&mut proc.offloaded);
@@ -2269,6 +3255,22 @@ impl Kernel {
         };
         rec.exited_at = Some(now);
         let ok = rec.status.is_ok();
+        let exit_rec = if self.durable_pids.contains(&pid.0) {
+            Some(WalRecord::ProcExit {
+                at: now,
+                pid: pid.0,
+                status: rec.status.clone(),
+                output: rec.output.clone(),
+                usage: rec.usage,
+            })
+        } else {
+            None
+        };
+        if let Some(r) = exit_rec {
+            // A durable exit frame makes the whole program's outcome
+            // durable: recovery restores it as a record, no re-execution.
+            self.wal_append(r);
+        }
         self.bus
             .emit(now, || EventKind::ProcessExit { pid: pid.0, ok });
         self.trace

@@ -67,14 +67,16 @@ pub mod sched;
 pub mod syscall;
 pub mod tools;
 pub mod types;
+pub mod wal;
 
 pub use faults::{FaultInjector, FaultPlan, FaultStats, ToolFaultKind};
-pub use kernel::{Kernel, KernelConfig};
-pub use resilience::{AdmissionPolicy, BreakerPolicy, ResilienceStats};
+pub use kernel::{Kernel, KernelConfig, ProgramImage};
+pub use resilience::{AdmissionPolicy, BreakerPolicy, BreakerStateView, ResilienceStats};
 pub use sched::{BatchPolicy, ContinuousConfig, ExecMode, MlfqConfig, ProgramQueue, QueueDiscipline};
 pub use syscall::Ctx;
 pub use tools::{ToolOutcome, ToolRegistry, ToolSpec};
 pub use types::{ExitStatus, Limits, Pid, ProcessRecord, SysError, Tid};
+pub use wal::{RecoveryReport, WalConfig, WalError, DEFAULT_CHECKPOINT_EVERY};
 
 // Re-export the substrate types LIPs interact with.
 pub use symphony_kvfs::{

@@ -44,6 +44,24 @@ enum BreakerState {
     HalfOpen,
 }
 
+/// A serialisable view of one breaker's state, used by the kernel WAL to
+/// checkpoint and restore the bank across crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerStateView {
+    /// Calls flow; `consecutive_failures` failures so far.
+    Closed {
+        /// Consecutive whole-call failures counted toward the threshold.
+        consecutive_failures: u32,
+    },
+    /// Fast-failing until the cooldown expires.
+    Open {
+        /// Virtual time at which the cooldown expires.
+        until: SimTime,
+    },
+    /// A trial call was in flight.
+    HalfOpen,
+}
+
 /// The admission verdict for a tool call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BreakerVerdict {
@@ -167,6 +185,45 @@ impl BreakerBank {
                 until: completed_at + self.policy.cooldown,
             };
         }
+    }
+
+    /// Every tool's current state, in name order, for checkpointing.
+    pub fn export_states(&self) -> Vec<(String, BreakerStateView)> {
+        self.states
+            .iter()
+            .map(|(tool, s)| {
+                let view = match *s {
+                    BreakerState::Closed {
+                        consecutive_failures,
+                    } => BreakerStateView::Closed {
+                        consecutive_failures,
+                    },
+                    BreakerState::Open { until } => BreakerStateView::Open { until },
+                    BreakerState::HalfOpen => BreakerStateView::HalfOpen,
+                };
+                (tool.clone(), view)
+            })
+            .collect()
+    }
+
+    /// Replaces the bank's states with a checkpointed snapshot. Trip and
+    /// rejection counters are process-lifetime metrics and are not restored.
+    pub fn import_states(&mut self, states: Vec<(String, BreakerStateView)>) {
+        self.states = states
+            .into_iter()
+            .map(|(tool, view)| {
+                let s = match view {
+                    BreakerStateView::Closed {
+                        consecutive_failures,
+                    } => BreakerState::Closed {
+                        consecutive_failures,
+                    },
+                    BreakerStateView::Open { until } => BreakerState::Open { until },
+                    BreakerStateView::HalfOpen => BreakerState::HalfOpen,
+                };
+                (tool, s)
+            })
+            .collect();
     }
 }
 

@@ -98,7 +98,7 @@ impl ExitStatus {
 
 /// Per-process resource limits (§6 "Security implications": resource
 /// accounting for user-supplied code). `None` means unlimited.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Limits {
     /// Maximum system calls across all threads.
     pub max_syscalls: Option<u64>,
@@ -120,7 +120,7 @@ pub struct Limits {
 }
 
 /// Cumulative per-process accounting.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProcessUsage {
     /// System calls issued.
     pub syscalls: u64,

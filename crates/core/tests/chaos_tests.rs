@@ -413,6 +413,7 @@ fn chaos_run(seed: u64) -> (u64, Vec<(String, String, bool)>, String) {
         swap_in_fault_rate: 0.1,
         ipc_drop_rate: 0.2,
         journal_write_fault_rate: 0.0,
+        ..FaultPlan::default()
     };
     cfg.tool_retry =
         Some(RetryPolicy::exponential(4, SimDuration::from_millis(5)));

@@ -139,6 +139,50 @@ fn fnv1a(bytes: &[u8]) -> u32 {
     hash
 }
 
+/// Appends one raw SYMJ frame — `[tag u8][len u32][payload][crc u32]`,
+/// CRC over tag + payload — to `out`. Exposed so other journals (the
+/// kernel WAL) can reuse the exact framing with their own tag space.
+pub fn append_frame(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    out.push(tag);
+    push_u32(out, payload.len() as u32);
+    out.extend_from_slice(payload);
+    let mut crc_input = Vec::with_capacity(payload.len() + 1);
+    crc_input.push(tag);
+    crc_input.extend_from_slice(payload);
+    push_u32(out, fnv1a(&crc_input));
+}
+
+/// Walks raw SYMJ frames from the start of `bytes`, returning the longest
+/// valid `(tag, payload)` prefix and whether a torn tail followed it
+/// (leftover bytes that do not form a complete, checksummed frame).
+/// Unlike [`read_journal`] this has no header and no terminator: an
+/// append-only log that is still being written is simply "torn" at its
+/// live tail.
+pub fn read_frames(bytes: &[u8]) -> (Vec<(u8, Vec<u8>)>, bool) {
+    let mut c = Cursor::new(bytes);
+    let mut frames = Vec::new();
+    loop {
+        let mark = c.pos;
+        match next_frame(&mut c) {
+            Some((tag, payload)) => frames.push((tag, payload.to_vec())),
+            None => return (frames, mark != bytes.len()),
+        }
+    }
+}
+
+/// Reads one `[tag][len][payload][crc]` frame, verifying the checksum.
+/// `None` on a short or corrupt frame (the cursor may be mid-frame).
+fn next_frame<'a>(c: &mut Cursor<'a>) -> Option<(u8, &'a [u8])> {
+    let tag = c.u8()?;
+    let len = c.u32()?;
+    let payload = c.take(len as usize)?;
+    let stored = c.u32()?;
+    let mut crc_input = Vec::with_capacity(payload.len() + 1);
+    crc_input.push(tag);
+    crc_input.extend_from_slice(payload);
+    (stored == fnv1a(&crc_input)).then_some((tag, payload))
+}
+
 fn push_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
@@ -408,16 +452,9 @@ impl JournalWriter {
     pub fn append(&mut self, rec: &Record) {
         let mut payload = Vec::new();
         encode_payload(rec, &mut payload);
-        let tag = record_tag(rec);
-        self.buf.push(tag);
-        push_u32(&mut self.buf, payload.len() as u32);
-        self.buf.extend_from_slice(&payload);
         // CRC covers tag + payload (not the length, which the frame walk
         // re-derives; a bad length shows up as a bad CRC anyway).
-        let mut crc_input = Vec::with_capacity(payload.len() + 1);
-        crc_input.push(tag);
-        crc_input.extend_from_slice(&payload);
-        push_u32(&mut self.buf, fnv1a(&crc_input));
+        append_frame(&mut self.buf, record_tag(rec), &payload);
     }
 
     /// Terminates the journal and returns the bytes.
@@ -462,16 +499,7 @@ pub fn read_journal(bytes: &[u8]) -> Result<(JournalHeader, Vec<Record>, bool), 
 
     let mut records = Vec::new();
     let mut complete = false;
-    while let Some(tag) = c.u8() {
-        let Some(len) = c.u32() else { break };
-        let Some(payload) = c.take(len as usize) else { break };
-        let Some(stored) = c.u32() else { break };
-        let mut crc_input = Vec::with_capacity(payload.len() + 1);
-        crc_input.push(tag);
-        crc_input.extend_from_slice(payload);
-        if stored != fnv1a(&crc_input) {
-            break;
-        }
+    while let Some((tag, payload)) = next_frame(&mut c) {
         let Some(rec) = decode_payload(tag, payload) else {
             break;
         };
@@ -482,6 +510,36 @@ pub fn read_journal(bytes: &[u8]) -> Result<(JournalHeader, Vec<Record>, bool), 
         records.push(rec);
     }
     Ok((header, records, !complete))
+}
+
+/// Human-readable name for a record's frame type.
+fn record_name(rec: &Record) -> &'static str {
+    match rec {
+        Record::PageWrite { .. } => "page_write",
+        Record::FileMeta { .. } => "file_meta",
+        Record::Link { .. } => "link",
+        Record::Unlink { .. } => "unlink",
+        Record::Remove { .. } => "remove",
+        Record::Truncate { .. } => "truncate",
+        Record::Quota { .. } => "quota",
+        Record::PoolState { .. } => "pool_state",
+        Record::End => "end",
+    }
+}
+
+/// Parses journal bytes and counts valid records per frame type — the
+/// journal-growth observability hook `exp_persist` reports alongside the
+/// `kvfs.journal_bytes` gauge. The `End` terminator is not counted; a
+/// torn tail only shortens the counted prefix.
+pub fn frame_counts(
+    bytes: &[u8],
+) -> Result<std::collections::BTreeMap<&'static str, u64>, KvError> {
+    let (_header, records, _torn) = read_journal(bytes)?;
+    let mut counts = std::collections::BTreeMap::new();
+    for rec in &records {
+        *counts.entry(record_name(rec)).or_insert(0u64) += 1;
+    }
+    Ok(counts)
 }
 
 /// What a journal restore recovered.
@@ -625,5 +683,52 @@ mod tests {
         let (_, records, torn) = read_journal(&bytes).unwrap();
         assert!(records.is_empty());
         assert!(!torn);
+    }
+
+    #[test]
+    fn raw_frames_round_trip_and_tear_at_every_cut() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, 32, b"alpha");
+        append_frame(&mut buf, 40, &[]);
+        append_frame(&mut buf, 33, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let (frames, torn) = read_frames(&buf);
+        assert!(!torn);
+        assert_eq!(
+            frames,
+            vec![
+                (32u8, b"alpha".to_vec()),
+                (40u8, Vec::new()),
+                (33u8, vec![1, 2, 3, 4, 5, 6, 7, 8]),
+            ]
+        );
+        // Frame boundaries: a cut exactly between frames is a clean
+        // (shorter) log, not a tear.
+        let mut boundaries = vec![0usize];
+        let mut off = 0usize;
+        for (_, payload) in &frames {
+            off += 9 + payload.len();
+            boundaries.push(off);
+        }
+        for cut in 0..buf.len() {
+            let (prefix, torn) = read_frames(&buf[..cut]);
+            assert_eq!(
+                torn,
+                !boundaries.contains(&cut),
+                "tear flag at cut {cut}"
+            );
+            assert!(prefix.len() <= frames.len());
+            assert_eq!(prefix[..], frames[..prefix.len()], "prefix at {cut}");
+        }
+    }
+
+    #[test]
+    fn raw_frame_crc_rejects_corruption() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, 32, b"payload");
+        append_frame(&mut buf, 33, b"second");
+        buf[3] ^= 0xff;
+        let (frames, torn) = read_frames(&buf);
+        assert!(torn);
+        assert!(frames.is_empty());
     }
 }

@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 use symphony_model::CtxFingerprint;
-use symphony_telemetry::{Counter, MetricsRegistry};
+use symphony_telemetry::{Counter, Gauge, MetricsRegistry};
 
 use crate::error::KvError;
 use crate::journal::{self, JournalHeader, JournalWriter, Record, RestoreReport};
@@ -202,6 +202,12 @@ struct KvCounters {
     disk_loaded_tokens: Counter,
     cow_copies: Counter,
     copied_entries: Counter,
+    journal_bytes: Gauge,
+    journal_frames_page_write: Gauge,
+    journal_frames_file_meta: Gauge,
+    journal_frames_link: Gauge,
+    journal_frames_quota: Gauge,
+    journal_frames_pool_state: Gauge,
 }
 
 impl KvCounters {
@@ -213,6 +219,12 @@ impl KvCounters {
             disk_loaded_tokens: registry.counter("kvfs.disk_loaded_tokens"),
             cow_copies: registry.counter("kvfs.cow_copies"),
             copied_entries: registry.counter("kvfs.copied_entries"),
+            journal_bytes: registry.gauge("kvfs.journal_bytes"),
+            journal_frames_page_write: registry.gauge("kvfs.journal_frames.page_write"),
+            journal_frames_file_meta: registry.gauge("kvfs.journal_frames.file_meta"),
+            journal_frames_link: registry.gauge("kvfs.journal_frames.link"),
+            journal_frames_quota: registry.gauge("kvfs.journal_frames.quota"),
+            journal_frames_pool_state: registry.gauge("kvfs.journal_frames.pool_state"),
         }
     }
 }
@@ -1013,12 +1025,14 @@ impl KvStore {
             next_file: self.next_file,
             access_clock: self.access_clock,
         });
+        let mut pages = 0i64;
         for (pid, page) in self.pool.iter() {
             w.append(&Record::PageWrite {
                 page: pid.0,
                 tier: page.tier,
                 entries: page.entries.clone(),
             });
+            pages += 1;
         }
         for (&id, m) in &self.files {
             w.append(&Record::FileMeta {
@@ -1039,19 +1053,35 @@ impl KvStore {
                 id: id.0,
             });
         }
+        let mut quotas = 0i64;
         for (&owner, q) in &self.quotas {
             if let Some(limit) = q.limit_pages {
                 w.append(&Record::Quota {
                     owner: owner.0,
                     limit: Some(limit as u64),
                 });
+                quotas += 1;
             }
         }
         w.append(&Record::PoolState {
             slots_len: self.pool.slots_len() as u32,
             free: self.pool.free_list().to_vec(),
         });
-        w.finish()
+        let bytes = w.finish();
+        // Growth observability: gauge the size and per-tag frame mix of the
+        // latest snapshot so unbounded journals show up as a number, not an
+        // out-of-disk surprise.
+        self.counters.journal_bytes.set(bytes.len() as i64);
+        self.counters.journal_frames_page_write.set(pages);
+        self.counters
+            .journal_frames_file_meta
+            .set(self.files.len() as i64);
+        self.counters
+            .journal_frames_link
+            .set(self.namespace.len() as i64);
+        self.counters.journal_frames_quota.set(quotas);
+        self.counters.journal_frames_pool_state.set(1);
+        bytes
     }
 
     /// Writes the journal snapshot to a file.

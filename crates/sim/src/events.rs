@@ -106,6 +106,29 @@ impl<E> EventQueue<E> {
         });
     }
 
+    /// Advances the clock to `t` without processing an event. Recovery uses
+    /// this to restore a journalled clock before re-scheduling work; normal
+    /// simulation should only advance time through [`EventQueue::pop`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current clock or earlier than a
+    /// pending event (which would then be popped "in the past").
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(
+            t >= self.now,
+            "cannot advance backwards: to={t} now={}",
+            self.now
+        );
+        if let Some(head) = self.peek_time() {
+            assert!(
+                t <= head,
+                "cannot advance past a pending event: to={t} head={head}"
+            );
+        }
+        self.now = t;
+    }
+
     /// Timestamp of the next event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
@@ -180,6 +203,34 @@ mod tests {
         q.schedule(SimTime::from_nanos(10), ());
         q.pop();
         q.schedule(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn advance_to_moves_clock_without_popping() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::from_nanos(40));
+        assert_eq!(q.now(), SimTime::from_nanos(40));
+        assert_eq!(q.events_processed(), 0);
+        q.schedule(SimTime::from_nanos(50), ());
+        q.advance_to(SimTime::from_nanos(50));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_nanos(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance past a pending event")]
+    fn advance_past_pending_event_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), ());
+        q.advance_to(SimTime::from_nanos(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance backwards")]
+    fn advance_backwards_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::from_nanos(10));
+        q.advance_to(SimTime::from_nanos(5));
     }
 
     #[test]

@@ -454,6 +454,38 @@ pub fn export_chrome_trace(events: &[TimedEvent]) -> String {
                     Some(format!("{{\"from\":{from},\"to\":{to}}}")),
                 );
             }
+            EventKind::KernelCrash { boundary } => {
+                w.instant(
+                    at,
+                    KERNEL_PID,
+                    SCHED_TID,
+                    "kernel_crash",
+                    Some(format!("{{\"boundary\":{boundary}}}")),
+                );
+            }
+            EventKind::WalCheckpoint { frames, wal_bytes } => {
+                w.instant(
+                    at,
+                    KERNEL_PID,
+                    SCHED_TID,
+                    "wal_checkpoint",
+                    Some(format!("{{\"frames\":{frames},\"wal_bytes\":{wal_bytes}}}")),
+                );
+            }
+            EventKind::KernelRecovery {
+                resumed,
+                replayed_frames,
+            } => {
+                w.instant(
+                    at,
+                    KERNEL_PID,
+                    SCHED_TID,
+                    "kernel_recovery",
+                    Some(format!(
+                        "{{\"resumed\":{resumed},\"replayed_frames\":{replayed_frames}}}"
+                    )),
+                );
+            }
         }
     }
 

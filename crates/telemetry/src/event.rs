@@ -128,6 +128,15 @@ pub enum EventKind {
     KvRestore { pid: u64, tokens: u64 },
     /// An IPC message was dropped in flight (scheduler track).
     IpcDrop { from: u64, to: u64 },
+    /// The kernel crashed at an injected syscall-boundary kill point
+    /// (scheduler track; the last event a crashed run records).
+    KernelCrash { boundary: u64 },
+    /// A WAL checkpoint flushed buffered effect frames to disk
+    /// (scheduler track).
+    WalCheckpoint { frames: u64, wal_bytes: u64 },
+    /// A recovered kernel re-admitted journalled programs (scheduler
+    /// track; the first event a recovered run records).
+    KernelRecovery { resumed: u64, replayed_frames: u64 },
 }
 
 /// An event stamped with virtual time.
