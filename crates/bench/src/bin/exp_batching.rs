@@ -46,7 +46,7 @@ fn run_point(
     cfg.batch_policy = policy;
     cfg.max_batch = 64;
     cfg.trace = false;
-    cfg.telemetry = designated && telemetry.wants_trace();
+    cfg.telemetry = telemetry.record(designated);
     let mut kernel = Kernel::new(cfg);
 
     let mut rng = Rng::new(0xE1);
@@ -84,12 +84,7 @@ fn run_point(
     }
     let gm = kernel.gpu_metrics();
     let span = makespan.as_secs_f64().max(1e-9);
-    if designated {
-        if let Some(t) = telemetry.wants_trace().then(|| kernel.export_chrome_trace()) {
-            telemetry.write_trace(&t);
-        }
-    }
-    let snap = designated.then(|| kernel.metrics_snapshot());
+    let snap = telemetry.export_designated(&kernel, designated);
     let point = Point {
         policy: policy_name.to_string(),
         load_rps: load,

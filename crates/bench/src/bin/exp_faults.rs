@@ -61,7 +61,7 @@ fn run_cell(
     let mut cfg = KernelConfig::paper_setup();
     cfg.seed = SEED;
     cfg.trace = false;
-    cfg.telemetry = designated && telemetry.wants_trace();
+    cfg.telemetry = telemetry.record(designated);
     cfg.model = cfg.model.with_mean_output_tokens(1_000); // segments end by cap
     cfg.faults = FaultPlan {
         tool_fault_rate: fault_rate,
@@ -123,12 +123,7 @@ fn run_cell(
     }
     let fs = kernel.fault_stats();
     let rs = kernel.resilience_stats();
-    if designated {
-        if let Some(t) = telemetry.wants_trace().then(|| kernel.export_chrome_trace()) {
-            telemetry.write_trace(&t);
-        }
-    }
-    let snap = designated.then(|| kernel.metrics_snapshot());
+    let snap = telemetry.export_designated(&kernel, designated);
     let point = Point {
         policy: policy.to_string(),
         fault_rate,

@@ -52,7 +52,7 @@ fn run_point(
         cfg.cpu_swap_bytes = (2 * AGENT_CONTEXT_TOKENS) as u64 * kv_per_token;
     }
     cfg.trace = false;
-    cfg.telemetry = designated && telemetry.wants_trace();
+    cfg.telemetry = telemetry.record(designated);
     let mut kernel = Kernel::new(cfg);
     kernel.register_tool(
         "slow-api",
@@ -146,12 +146,7 @@ fn run_point(
             bg_failures += 1;
         }
     }
-    if designated {
-        if let Some(t) = telemetry.wants_trace().then(|| kernel.export_chrome_trace()) {
-            telemetry.write_trace(&t);
-        }
-    }
-    let snap = designated.then(|| kernel.metrics_snapshot());
+    let snap = telemetry.export_designated(&kernel, designated);
     let stats = kernel.kv_stats();
     let point = Point {
         offload,

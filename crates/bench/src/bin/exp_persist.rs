@@ -191,7 +191,7 @@ fn agent_run(smoke: bool, journal: &std::path::Path, warm: bool) -> Point {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = symphony_bench::ExpArgs::from_args().smoke;
     std::fs::create_dir_all("results").ok();
     let rag_journal = std::path::PathBuf::from("results/exp_persist_rag.journal");
     let agent_journal = std::path::PathBuf::from("results/exp_persist_agent.journal");

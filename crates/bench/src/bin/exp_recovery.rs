@@ -47,6 +47,13 @@ struct Point {
     /// Wall-clock spent in `recover` + `resume_programs`, summed.
     recovery_ms: f64,
     wal_bytes: u64,
+    /// Per-tag WAL frame counts (journal-growth observability), reported
+    /// for every point — clean runs and post-recovery alike.
+    wal_frames: Vec<(String, u64)>,
+    /// Size of the KV store's journal snapshot at point end, taken via
+    /// `KvStore::journal_bytes` (which also publishes the
+    /// `kvfs.journal_bytes` gauge into the kernel's metrics registry).
+    kv_journal_bytes: u64,
     checkpoints: u64,
     /// Completions per virtual second.
     goodput: f64,
@@ -208,21 +215,20 @@ fn run_point(scale: &Scale, every: SimDuration, crash_every: u64, tag: &str) -> 
         .unwrap_or(0);
 
     // Per-tag WAL composition: the journal-growth observability hook.
-    if crash_every > 0 && every == DEFAULT_CHECKPOINT_EVERY {
-        if let Ok(bytes) = std::fs::read(&wal_path) {
-            if let Ok(counts) = wal::frame_counts(&bytes) {
-                let breakdown: Vec<String> =
-                    counts.iter().map(|(k, v)| format!("{k}={v}")).collect();
-                println!(
-                    "wal growth ({:.0}ms/{}): {} bytes; frames: {}",
-                    every.as_millis_f64(),
-                    crash_every,
-                    wal_bytes,
-                    breakdown.join(" ")
-                );
-            }
-        }
-    }
+    // Computed for every point — the final kernel is the recovered one
+    // when crashes were injected, so this reflects post-recovery growth
+    // too, not just clean runs.
+    let wal_frames: Vec<(String, u64)> = std::fs::read(&wal_path)
+        .ok()
+        .and_then(|bytes| wal::frame_counts(&bytes).ok())
+        .map(|counts| counts.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        .unwrap_or_default();
+    // Snapshot the KV store's journal: sizes the in-memory store and sets
+    // the `kvfs.journal_bytes` gauge so the registry reports it after
+    // `Kernel::recover` (re-execution rebuilds the store without touching
+    // the gauge) as well as on clean runs.
+    kernel.store().journal_bytes();
+    let kv_journal_bytes = kernel.metrics_registry().gauge("kvfs.journal_bytes").get() as u64;
     std::fs::remove_file(&wal_path).ok();
 
     Point {
@@ -235,6 +241,8 @@ fn run_point(scale: &Scale, every: SimDuration, crash_every: u64, tag: &str) -> 
         wasted_tokens: 0, // filled in by the caller against the baseline
         recovery_ms,
         wal_bytes,
+        wal_frames,
+        kv_journal_bytes,
         checkpoints,
         goodput,
         goodput_ratio: 0.0, // filled in by the caller
@@ -244,7 +252,7 @@ fn run_point(scale: &Scale, every: SimDuration, crash_every: u64, tag: &str) -> 
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = symphony_bench::ExpArgs::from_args().smoke;
     let scale = Scale::new(smoke);
     let mut points: Vec<Point> = Vec::new();
 
@@ -307,6 +315,24 @@ fn main() {
         ]);
     }
     table.print();
+
+    // Journal growth, every point: WAL frame mix plus the KV journal
+    // gauge — visible after recovery (the recovered kernel's store is
+    // re-snapshotted at point end) and on clean runs alike.
+    println!();
+    for p in &points {
+        let breakdown: Vec<String> =
+            p.wal_frames.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!(
+            "journal growth (ckpt {:.0}ms, crash {}): wal {} bytes; frames: {}; \
+             kvfs.journal_bytes={}",
+            p.checkpoint_ms,
+            if p.crash_every == 0 { "none".into() } else { format!("1/{}", p.crash_every) },
+            p.wal_bytes,
+            if breakdown.is_empty() { "-".to_string() } else { breakdown.join(" ") },
+            p.kv_journal_bytes,
+        );
+    }
 
     // Acceptance gate: at the default checkpoint interval, crashes cost at
     // most 10% goodput — recovery replays the journal instead of re-paying

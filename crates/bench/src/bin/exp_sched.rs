@@ -31,7 +31,7 @@ use symphony::{
     ContinuousConfig, Ctx, ExecMode, Kernel, KernelConfig, MlfqConfig, QueueDiscipline,
     SimDuration, SimTime, SysError, ToolOutcome, ToolSpec,
 };
-use symphony_bench::{write_json_with_metrics, Table, TelemetryOpts};
+use symphony_bench::{write_json_with_metrics, ExpArgs, Table, TelemetryOpts};
 use symphony_sim::{PoissonProcess, Rng, Series};
 
 #[derive(Debug, Clone, Copy)]
@@ -213,7 +213,7 @@ fn run_point(
         cfg.max_batch = cap;
     }
     cfg.trace = false;
-    cfg.telemetry = designated && telemetry.wants_trace();
+    cfg.telemetry = telemetry.record(designated);
     let mut kernel = Kernel::new(cfg);
     kernel.register_tool(
         "api",
@@ -257,12 +257,7 @@ fn run_point(
     }
     let gm = kernel.gpu_metrics();
     let span = makespan.as_secs_f64().max(1e-9);
-    if designated {
-        if let Some(t) = telemetry.wants_trace().then(|| kernel.export_chrome_trace()) {
-            telemetry.write_trace(&t);
-        }
-    }
-    let snap = designated.then(|| kernel.metrics_snapshot());
+    let snap = telemetry.export_designated(&kernel, designated);
     // One sort for both ITL quantiles.
     let itl_q = itl.percentiles(&[0.50, 0.99]);
     let point = Point {
@@ -283,9 +278,10 @@ fn run_point(
 }
 
 fn main() {
-    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let args = ExpArgs::from_args();
+    let smoke = args.smoke;
     let s = if smoke { Scale::smoke() } else { Scale::full() };
-    let opts = TelemetryOpts::from_args();
+    let opts = args.telemetry;
 
     let chunked_fifo = ExecMode::Continuous(ContinuousConfig {
         chunk_tokens: Some(s.chunk),

@@ -92,15 +92,19 @@ fn client_prompt(ctx: &mut Ctx, calls: usize) -> Result<(), SysError> {
     Ok(())
 }
 
-/// Runs one `(mode, calls)` point. `trace` turns on event recording for
-/// this kernel (the Perfetto export); it never changes results — the bus
-/// only observes. The metrics snapshot is returned unconditionally (the
-/// counters run either way).
-fn run_mode(mode: &str, calls: usize, trace: bool) -> (Point, Option<String>, MetricsSnapshot) {
+/// Runs one `(mode, calls)` point. The designated run may record events
+/// for the Perfetto export; recording never changes results — the bus
+/// only observes.
+fn run_mode(
+    mode: &str,
+    calls: usize,
+    telemetry: &TelemetryOpts,
+    designated: bool,
+) -> (Point, Option<MetricsSnapshot>) {
     let mut cfg = KernelConfig::paper_setup();
     cfg.model = cfg.model.with_mean_output_tokens(1_000); // segments end by cap
     cfg.trace = false;
-    cfg.telemetry = trace;
+    cfg.telemetry = telemetry.record(designated);
     let mut kernel = Kernel::new(cfg);
     kernel.register_tool(
         "api",
@@ -125,8 +129,8 @@ fn run_mode(mode: &str, calls: usize, trace: bool) -> (Point, Option<String>, Me
         latency_ms: rec.latency().expect("exited").as_millis_f64(),
         pred_tokens: rec.usage.pred_tokens,
     };
-    let trace_json = trace.then(|| kernel.export_chrome_trace());
-    (point, trace_json, kernel.metrics_snapshot())
+    let snap = telemetry.export_designated(&kernel, designated);
+    (point, snap)
 }
 
 fn main() {
@@ -147,13 +151,9 @@ fn main() {
             .map(|m| {
                 // The designated telemetry run: server-lip at max calls.
                 let designated = *m == "server-lip" && calls == designated_calls;
-                let (pt, trace_json, snap) =
-                    run_mode(m, calls, designated && opts.wants_trace());
+                let (pt, snap) = run_mode(m, calls, &opts, designated);
                 if designated {
-                    if let Some(t) = trace_json {
-                        opts.write_trace(&t);
-                    }
-                    captured = Some(snap);
+                    captured = snap;
                 }
                 pt
             })

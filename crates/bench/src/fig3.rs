@@ -311,6 +311,8 @@ pub fn run_symphony_point_persist(
         default_limits: symphony::Limits::default(),
         trace: false,
         telemetry: false,
+        telemetry_capacity: None,
+        causal: false,
         faults: symphony::FaultPlan::none(),
         tool_retry: None,
         breaker: None,

@@ -7,7 +7,7 @@
 
 pub mod fig3;
 pub mod report;
-pub mod telemetry;
+pub mod telemetry_cli;
 
 pub use report::{write_json, write_json_with_metrics, Table};
-pub use telemetry::TelemetryOpts;
+pub use telemetry_cli::{ExpArgs, TelemetryOpts};

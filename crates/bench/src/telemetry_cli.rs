@@ -1,15 +1,44 @@
-//! Shared `--trace` / `--metrics` CLI plumbing for the experiment binaries.
+//! Shared CLI plumbing for the experiment binaries: `--smoke`,
+//! `--trace <path>`, `--metrics`, and the designated-run telemetry export.
 //!
 //! Telemetry is opt-in per invocation and never changes experiment
 //! results: the flags only decide whether the kernel's event bus records
 //! (for a Perfetto export) and whether the unified metrics snapshot is
 //! folded into the JSON report. A run with and without the flags produces
-//! the same tables and the same `results` payload.
+//! the same tables and the same `results` payload. Every binary parses the
+//! same way via [`ExpArgs::from_args`], and the one-designated-run export
+//! dance lives in [`TelemetryOpts::export_designated`] instead of being
+//! copy-pasted per experiment.
 
 use std::io::Write as _;
 use std::path::Path;
 
-use symphony::MetricsSnapshot;
+use symphony::{Kernel, MetricsSnapshot};
+
+/// Common experiment arguments: the CI smoke switch plus telemetry flags.
+#[derive(Debug, Clone, Default)]
+pub struct ExpArgs {
+    /// `--smoke`: run the tiny-scale CI variant.
+    pub smoke: bool,
+    /// `--trace` / `--metrics` options.
+    pub telemetry: TelemetryOpts,
+}
+
+impl ExpArgs {
+    /// Parses from `std::env::args()`, ignoring unrelated arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        ExpArgs::from_slice(&args)
+    }
+
+    /// Parses from an explicit argument slice (testable form).
+    pub fn from_slice(args: &[String]) -> Self {
+        ExpArgs {
+            smoke: args.iter().any(|a| a == "--smoke"),
+            telemetry: TelemetryOpts::from_slice(args),
+        }
+    }
+}
 
 /// Telemetry options parsed from the process arguments.
 #[derive(Debug, Clone, Default)]
@@ -103,6 +132,25 @@ impl TelemetryOpts {
             None
         }
     }
+
+    /// Whether a run's kernel should record telemetry events: only the
+    /// designated run, and only when `--trace` asked for an export.
+    pub fn record(&self, designated: bool) -> bool {
+        designated && self.wants_trace()
+    }
+
+    /// The per-experiment designated-run export: writes the Chrome trace
+    /// when `--trace` was given and hands back the metrics snapshot for
+    /// report folding. Non-designated runs export nothing.
+    pub fn export_designated(&self, kernel: &Kernel, designated: bool) -> Option<MetricsSnapshot> {
+        if !designated {
+            return None;
+        }
+        if self.wants_trace() {
+            self.write_trace(&kernel.export_chrome_trace());
+        }
+        Some(kernel.metrics_snapshot())
+    }
 }
 
 #[cfg(test)]
@@ -134,5 +182,17 @@ mod tests {
         let o = TelemetryOpts::from_slice(&[]);
         assert!(!o.enabled());
         assert!(o.trace_path.is_none());
+        assert!(!o.record(true));
+    }
+
+    #[test]
+    fn exp_args_parse_smoke_alongside_telemetry() {
+        let a = ExpArgs::from_slice(&strs(&["--smoke", "--trace", "t.json"]));
+        assert!(a.smoke);
+        assert!(a.telemetry.record(true));
+        assert!(!a.telemetry.record(false));
+        let b = ExpArgs::from_slice(&strs(&["--metrics"]));
+        assert!(!b.smoke);
+        assert!(b.telemetry.metrics);
     }
 }

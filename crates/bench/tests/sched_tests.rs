@@ -73,7 +73,8 @@ fn same_seed_continuous_run_exports_byte_identical_trace() {
 /// `UPDATE_GOLDEN=1 cargo test -p symphony-bench --test sched_tests golden`
 #[test]
 fn golden_sched_trace_matches() {
-    let (_, _, trace) = run_traced(0x5C_4E_D0);
+    let (k, _, trace) = run_traced(0x5C_4E_D0);
+    assert_eq!(k.events_dropped(), 0, "golden run must not drop events");
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden/tiny_sched_trace.json");
     if std::env::var_os("UPDATE_GOLDEN").is_some() {

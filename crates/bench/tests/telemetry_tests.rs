@@ -245,6 +245,7 @@ fn golden_trace_matches() {
         Ok(())
     });
     k.run();
+    assert_eq!(k.events_dropped(), 0, "golden run must not drop events");
     let trace = k.export_chrome_trace();
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden/tiny_trace.json");

@@ -22,8 +22,9 @@ use symphony_model::{ModelConfig, Surrogate, TokenId};
 use symphony_model::surrogate::VocabInfo;
 use symphony_sim::{EventQueue, RetryPolicy, Rng, SimDuration, SimTime, Trace};
 use symphony_telemetry::{
-    export_chrome_trace, latency_bounds_ns, percent_bounds, Collector, Counter, EventBus,
-    EventKind, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, SwapDir, TimedEvent,
+    export_chrome_trace, export_chrome_trace_with_flows, latency_bounds_ns, percent_bounds,
+    Collector, Counter, EdgeKind, EventBus, EventKind, Gauge, Histogram, MetricsRegistry,
+    MetricsSnapshot, SwapDir, TimedEvent,
 };
 use symphony_tokenizer::Bpe;
 
@@ -93,6 +94,17 @@ pub struct KernelConfig {
     /// Record typed telemetry events for Chrome-trace export. When `false`
     /// (the default) the event bus is a no-op: no event is ever constructed.
     pub telemetry: bool,
+    /// Additionally record *causal* events (spawn/IPC/join/tool/preempt
+    /// edges, per-batch pred executions, replay hits) so the event stream
+    /// reconstructs into per-program span DAGs
+    /// (`symphony_telemetry::TraceForest`). Off by default: traces recorded
+    /// without it stay byte-identical to the pre-causal format. Only
+    /// meaningful together with `telemetry`.
+    pub causal: bool,
+    /// Cap on events retained by the telemetry bus; beyond it, emissions
+    /// are dropped and counted under `telemetry.events_dropped`. `None`
+    /// (the default) keeps everything.
+    pub telemetry_capacity: Option<usize>,
     /// Fault-injection plan (all-zero = no faults, no extra RNG draws).
     pub faults: FaultPlan,
     /// Kernel-wide tool retry policy; a [`ToolSpec::with_retry`] overrides
@@ -134,6 +146,8 @@ impl KernelConfig {
             default_limits: Limits::default(),
             trace: true,
             telemetry: false,
+            causal: false,
+            telemetry_capacity: None,
             faults: FaultPlan::none(),
             tool_retry: None,
             breaker: None,
@@ -167,6 +181,8 @@ impl KernelConfig {
             default_limits: Limits::default(),
             trace: false,
             telemetry: false,
+            causal: false,
+            telemetry_capacity: None,
             faults: FaultPlan::none(),
             tool_retry: None,
             breaker: None,
@@ -182,10 +198,12 @@ enum Event {
     Resume(Tid, SysReply),
     /// A GPU batch finished.
     BatchDone { batch_id: u64 },
-    /// An I/O (tool) completion.
+    /// An I/O (tool) completion. `issued_at` is when the call entered the
+    /// kernel (the causal tool edge's source time).
     IoDone {
         tid: Tid,
         result: Result<String, SysError>,
+        issued_at: SimTime,
     },
     /// Re-evaluate the batch scheduler.
     BatchTimer,
@@ -234,7 +252,11 @@ struct Proc {
     main_tid: Tid,
     args: String,
     live_threads: u32,
-    mailbox: VecDeque<(Pid, String)>,
+    /// Undelivered messages: `(sender, payload, sent_at, sender_tid)`. The
+    /// send context feeds the causal IPC edge when a later `recv` pops the
+    /// entry; `sender_tid` 0 marks a mailbox rebuilt from the WAL (the
+    /// pre-crash sender thread is unknown, so no edge is emitted).
+    mailbox: VecDeque<(Pid, String, SimTime, u64)>,
     /// Threads parked in `recv`, with the effect-sequence id their eventual
     /// delivery will be journalled under.
     recv_waiters: VecDeque<(Tid, u64)>,
@@ -408,6 +430,7 @@ pub struct Kernel {
     tool_retry: Option<RetryPolicy>,
     res_counters: ResilienceCounters,
     // Config extracts.
+    causal: bool,
     syscall_cost: SimDuration,
     offload_on_io_wait: bool,
     offload_min_latency: SimDuration,
@@ -535,10 +558,18 @@ impl Kernel {
             } else {
                 Trace::disabled()
             },
-            bus: if config.telemetry {
-                EventBus::recording()
-            } else {
-                EventBus::disabled()
+            bus: {
+                // The drop counter registers unconditionally so metrics
+                // snapshots are identical with telemetry on or off.
+                let dropped = registry.counter("telemetry.events_dropped");
+                if config.telemetry {
+                    let mut bus = EventBus::recording();
+                    bus.set_capacity(config.telemetry_capacity);
+                    bus.set_drop_counter(dropped);
+                    bus
+                } else {
+                    EventBus::disabled()
+                }
             },
             kmetrics: KernelMetrics::register(&registry),
             injector: FaultInjector::with_registry(config.faults, config.seed, &registry),
@@ -549,6 +580,7 @@ impl Kernel {
             tool_retry: config.tool_retry,
             res_counters: ResilienceCounters::register(&registry),
             registry,
+            causal: config.causal,
             syscall_cost: config.syscall_cost,
             offload_on_io_wait: config.offload_on_io_wait,
             offload_min_latency: config.offload_min_latency,
@@ -1029,7 +1061,7 @@ impl Kernel {
                 }
             }
             if let Some(p) = self.procs.get_mut(&s.to) {
-                p.mailbox.push_back((Pid(s.from), s.data));
+                p.mailbox.push_back((Pid(s.from), s.data, SimTime::ZERO, 0));
             }
         }
         let at = self.events.now();
@@ -1428,6 +1460,19 @@ impl Kernel {
         export_chrome_trace(self.bus.events())
     }
 
+    /// Like [`Kernel::export_chrome_trace`], but renders the causal events
+    /// recorded under [`KernelConfig::causal`] as Perfetto flow arrows
+    /// (spawn, IPC, join, tool and preemption edges across tracks).
+    pub fn export_chrome_trace_with_flows(&self) -> String {
+        export_chrome_trace_with_flows(self.bus.events())
+    }
+
+    /// Telemetry events discarded by the bus capacity cap
+    /// ([`KernelConfig::telemetry_capacity`]); 0 while unbounded.
+    pub fn events_dropped(&self) -> u64 {
+        self.bus.dropped()
+    }
+
     /// Read access to the KV store (tests and harnesses).
     pub fn store(&self) -> &KvStore {
         &self.store
@@ -1577,7 +1622,11 @@ impl Kernel {
                     self.ready.push_back((tid, reply));
                 }
             }
-            Event::IoDone { tid, result } => self.finish_io(tid, result),
+            Event::IoDone {
+                tid,
+                result,
+                issued_at,
+            } => self.finish_io(tid, result, issued_at),
             Event::BatchTimer => {
                 self.timer_armed_until = None;
             }
@@ -1693,6 +1742,22 @@ impl Kernel {
             occupancy_pct,
             new_tokens,
         });
+        if self.causal {
+            // One scheduler→GPU hop per member: which pooled pred executes
+            // in this batch, and how long it queued.
+            for (k, req) in requests.iter().enumerate() {
+                let (ppid, _, _) = metas[k];
+                let (ptid, penq) = (tids[k], enqueued[k]);
+                let tk = req.tokens.len() as u32;
+                self.bus.emit(now, || EventKind::PredExec {
+                    pid: ppid.0,
+                    tid: ptid.0,
+                    batch: batch_id,
+                    tokens: tk,
+                    enqueued_at: penq,
+                });
+            }
+        }
         let cow_delta = self.store.stats().cow_copies - cow_before;
         if cow_delta > 0 {
             self.bus
@@ -1945,7 +2010,11 @@ impl Kernel {
                 let Some(j) = self.lowest_priority_peer(i, &[], &preempted) else {
                     break;
                 };
-                let (vfile, vtid) = (self.active[j].req.file, self.active[j].tid);
+                let (vfile, vtid, vpid) = (
+                    self.active[j].req.file,
+                    self.active[j].tid,
+                    self.active[j].pid,
+                );
                 match self.store.swap_out(vfile, OwnerId::ADMIN) {
                     Ok(moved) => {
                         swap_extra += self.swap_cost(moved);
@@ -1955,6 +2024,18 @@ impl Kernel {
                             tokens: moved.total() as u64,
                             victim_tid: vtid.0,
                         });
+                        if self.causal {
+                            // Swap dependency: the victim's eviction funds
+                            // this sequence's swap-in.
+                            self.bus.emit(now, || EventKind::CausalEdge {
+                                edge: EdgeKind::Preempt,
+                                src_pid: vpid.0,
+                                src_tid: vtid.0,
+                                src_at: now,
+                                dst_pid: spid.0,
+                                dst_tid: stid.0,
+                            });
+                        }
                         preempted.push(j);
                     }
                     Err(_) => break,
@@ -2028,6 +2109,22 @@ impl Kernel {
             occupancy_pct,
             new_tokens,
         });
+        if self.causal {
+            // One scheduler→GPU hop per iteration member (chunked prefills
+            // hop once per chunk, which is exactly their service pattern).
+            for (k, &i) in parts.iter().enumerate() {
+                let s = &self.active[i];
+                let (ppid, ptid, penq) = (s.pid.0, s.tid.0, s.enqueued_at);
+                let tk = requests[k].tokens.len() as u32;
+                self.bus.emit(now, || EventKind::PredExec {
+                    pid: ppid,
+                    tid: ptid,
+                    batch: batch_id,
+                    tokens: tk,
+                    enqueued_at: penq,
+                });
+            }
+        }
         let cow_delta = self.store.stats().cow_copies - cow_before;
         if cow_delta > 0 {
             self.bus
@@ -2246,6 +2343,19 @@ impl Kernel {
         self.events.schedule(at, Event::Resume(tid, reply));
     }
 
+    /// Marks a syscall answered from the WAL effect journal during recovery
+    /// replay (causal mode only) — the recovery-replay phase bucket.
+    fn note_replay_hit(&mut self, pid: Pid, tid: Tid, sys: &'static str) {
+        if self.causal {
+            let at = self.events.now();
+            self.bus.emit(at, || EventKind::ReplayAnswered {
+                pid: pid.0,
+                tid: tid.0,
+                sys,
+            });
+        }
+    }
+
     fn owner_of(&self, tid: Tid) -> Option<(Pid, OwnerId)> {
         let pid = self.threads.get(&tid.0)?.pid;
         Some((pid, OwnerId(pid.0)))
@@ -2391,6 +2501,7 @@ impl Kernel {
                         .cloned();
                     if let Some(dists) = hit {
                         if self.replay_pred_append(kv, owner, &tokens) {
+                            self.note_replay_hit(pid, tid, sys_name);
                             self.complete(tid, SysReply::Dists(dists));
                             return;
                         }
@@ -2575,6 +2686,16 @@ impl Kernel {
                 // Sibling threads inherit the process's args string.
                 let args = self.procs[&pid.0].args.clone();
                 let new_tid = self.spawn_thread(pid, args, f);
+                if self.causal {
+                    self.bus.emit(sys_at, || EventKind::CausalEdge {
+                        edge: EdgeKind::Spawn,
+                        src_pid: pid.0,
+                        src_tid: tid.0,
+                        src_at: sys_at,
+                        dst_pid: pid.0,
+                        dst_tid: new_tid.0,
+                    });
+                }
                 self.complete(tid, SysReply::NewTid(new_tid));
             }
             Syscall::Join { tid: target } => match self.threads.get_mut(&target.0) {
@@ -2642,6 +2763,7 @@ impl Kernel {
                             Ok(s) => SysReply::Text(s),
                             Err(e) => SysReply::Err(e),
                         };
+                        self.note_replay_hit(pid, tid, sys_name);
                         self.complete(tid, reply);
                         return;
                     }
@@ -2801,6 +2923,7 @@ impl Kernel {
                     Event::IoDone {
                         tid,
                         result: final_result,
+                        issued_at: now,
                     },
                 );
             }
@@ -2826,6 +2949,7 @@ impl Kernel {
                         } else {
                             SysReply::Err(SysError::NotFound)
                         };
+                        self.note_replay_hit(pid, tid, sys_name);
                         self.complete(tid, reply);
                         return;
                     }
@@ -2885,7 +3009,7 @@ impl Kernel {
                     match target.recv_waiters.pop_front() {
                         Some(w) => Some(w),
                         None => {
-                            target.mailbox.push_back((pid, data.clone()));
+                            target.mailbox.push_back((pid, data.clone(), sys_at, tid.0));
                             None
                         }
                     }
@@ -2911,6 +3035,17 @@ impl Kernel {
                             data: data.clone(),
                         });
                     }
+                    if self.causal {
+                        // Direct delivery: this send wakes the parked recv.
+                        self.bus.emit(sys_at, || EventKind::CausalEdge {
+                            edge: EdgeKind::Ipc,
+                            src_pid: pid.0,
+                            src_tid: tid.0,
+                            src_at: sys_at,
+                            dst_pid: to.0,
+                            dst_tid: wtid.0,
+                        });
+                    }
                     self.complete(wtid, SysReply::Msg { from: pid, data });
                 }
                 self.complete(tid, SysReply::Unit);
@@ -2929,6 +3064,7 @@ impl Kernel {
                         .and_then(|r| r.recvs.get(&(pid.0, seq)))
                         .cloned();
                     if let Some((from, data)) = hit {
+                        self.note_replay_hit(pid, tid, sys_name);
                         self.complete(
                             tid,
                             SysReply::Msg {
@@ -2949,7 +3085,7 @@ impl Kernel {
                         }
                     }
                 };
-                if let Some((from, data)) = delivered {
+                if let Some((from, data, sent_at, sender_tid)) = delivered {
                     if self.is_durable(pid) {
                         self.wal_append(WalRecord::IpcRecv {
                             at: sys_at,
@@ -2957,6 +3093,18 @@ impl Kernel {
                             seq,
                             from: from.0,
                             data: data.clone(),
+                        });
+                    }
+                    if self.causal && sender_tid != 0 {
+                        // Mailbox hit: the buffered send (at `sent_at`) is
+                        // what answers this recv.
+                        self.bus.emit(sys_at, || EventKind::CausalEdge {
+                            edge: EdgeKind::Ipc,
+                            src_pid: from.0,
+                            src_tid: sender_tid,
+                            src_at: sent_at,
+                            dst_pid: pid.0,
+                            dst_tid: tid.0,
                         });
                     }
                     self.complete(tid, SysReply::Msg { from, data });
@@ -2976,6 +3124,7 @@ impl Kernel {
                         .and_then(|r| r.lookups.get(&(pid.0, seq)))
                         .copied();
                     if let Some(found) = hit {
+                        self.note_replay_hit(pid, tid, sys_name);
                         self.complete(tid, SysReply::MaybePid(found.map(Pid)));
                         return;
                     }
@@ -3037,6 +3186,7 @@ impl Kernel {
                         .and_then(|r| r.nows.get(&(pid.0, seq)))
                         .copied();
                     if let Some(t) = hit {
+                        self.note_replay_hit(pid, tid, sys_name);
                         self.complete(tid, SysReply::Time(t));
                         return;
                     }
@@ -3094,11 +3244,24 @@ impl Kernel {
         }
     }
 
-    fn finish_io(&mut self, tid: Tid, result: Result<String, SysError>) {
+    fn finish_io(&mut self, tid: Tid, result: Result<String, SysError>, issued_at: SimTime) {
         let Some(ts) = self.threads.get(&tid.0) else {
             return;
         };
         let pid = ts.pid;
+        if self.causal {
+            // Tool edge: the call issued at `issued_at` is what lets this
+            // thread resume now.
+            let at = self.events.now();
+            self.bus.emit(at, || EventKind::CausalEdge {
+                edge: EdgeKind::Tool,
+                src_pid: pid.0,
+                src_tid: tid.0,
+                src_at: issued_at,
+                dst_pid: pid.0,
+                dst_tid: tid.0,
+            });
+        }
         // A missing process record still must not swallow the reply: skip
         // the offload bookkeeping but deliver the result to the thread.
         let Some(proc) = self.procs.get_mut(&pid.0) else {
@@ -3196,6 +3359,19 @@ impl Kernel {
             let _ = h.join();
         }
         for w in waiters {
+            if self.causal {
+                // Join edge: this thread's exit unblocks the joiner.
+                let at = self.events.now();
+                let dst_pid = self.threads.get(&w.0).map(|t| t.pid.0).unwrap_or(pid.0);
+                self.bus.emit(at, || EventKind::CausalEdge {
+                    edge: EdgeKind::Join,
+                    src_pid: pid.0,
+                    src_tid: tid.0,
+                    src_at: at,
+                    dst_pid,
+                    dst_tid: w.0,
+                });
+            }
             self.complete(w, SysReply::Joined(status.clone()));
         }
         let Some(proc) = self.procs.get_mut(&pid.0) else {

@@ -89,6 +89,7 @@ pub use symphony_sim::{RetryPolicy, SimDuration, SimTime};
 // metrics without depending on `symphony-telemetry` directly.
 pub use symphony_telemetry as telemetry;
 pub use symphony_telemetry::{
-    Collector, EventBus, EventKind, MetricValue, MetricsRegistry, MetricsSnapshot, SwapDir,
-    TimedEvent,
+    analyze, build_forest, collapsed_stacks, render_report, Collector, EdgeKind, EventBus,
+    EventKind, LatencyBreakdown, MetricValue, MetricsRegistry, MetricsSnapshot, Phase, SwapDir,
+    TimedEvent, TraceForest, PHASES,
 };

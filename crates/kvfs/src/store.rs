@@ -1376,6 +1376,31 @@ impl KvStore {
         // store cannot be trusted.
         store.verify().map_err(|_| KvError::JournalTorn)?;
 
+        // Growth observability survives recovery: gauge the journal we
+        // just replayed (size and frame mix) so post-restore registries
+        // report journal state without waiting for the next snapshot.
+        store.counters.journal_bytes.set(bytes.len() as i64);
+        store
+            .counters
+            .journal_frames_page_write
+            .set(pages_restored as i64);
+        store
+            .counters
+            .journal_frames_file_meta
+            .set(store.files.len() as i64);
+        store
+            .counters
+            .journal_frames_link
+            .set(store.namespace.len() as i64);
+        store.counters.journal_frames_quota.set(
+            store
+                .quotas
+                .values()
+                .filter(|q| q.limit_pages.is_some())
+                .count() as i64,
+        );
+        store.counters.journal_frames_pool_state.set(1);
+
         let report = RestoreReport {
             files: store.files.len(),
             pages: pages_restored,

@@ -10,6 +10,7 @@
 use symphony_sim::SimTime;
 
 use crate::event::{EventKind, TimedEvent};
+use crate::metrics::Counter;
 
 /// Where emitted events go.
 #[derive(Debug)]
@@ -29,6 +30,16 @@ pub struct EventBus {
     /// Events constructed so far (0 while disabled — the proof that the
     /// disabled hot path does no event work).
     constructed: u64,
+    /// Hard cap on `Memory` retention: once the buffer holds this many
+    /// events, further emissions are counted as dropped instead of stored,
+    /// so tracing an unbounded sweep cannot grow memory without bound.
+    /// `None` (the default) keeps everything.
+    capacity: Option<usize>,
+    /// Events discarded by the capacity cap.
+    dropped: u64,
+    /// Optional registry hook bumped once per dropped event
+    /// (`telemetry.events_dropped` when installed by the kernel).
+    drop_counter: Option<Counter>,
 }
 
 impl EventBus {
@@ -37,6 +48,9 @@ impl EventBus {
         EventBus {
             collector: Collector::Null,
             constructed: 0,
+            capacity: None,
+            dropped: 0,
+            drop_counter: None,
         }
     }
 
@@ -45,6 +59,9 @@ impl EventBus {
         EventBus {
             collector: Collector::Memory(Vec::new()),
             constructed: 0,
+            capacity: None,
+            dropped: 0,
+            drop_counter: None,
         }
     }
 
@@ -53,6 +70,9 @@ impl EventBus {
         EventBus {
             collector: Collector::Counting(0),
             constructed: 0,
+            capacity: None,
+            dropped: 0,
+            drop_counter: None,
         }
     }
 
@@ -61,6 +81,9 @@ impl EventBus {
         EventBus {
             collector,
             constructed: 0,
+            capacity: None,
+            dropped: 0,
+            drop_counter: None,
         }
     }
 
@@ -74,13 +97,39 @@ impl EventBus {
         !matches!(self.collector, Collector::Null)
     }
 
+    /// Caps `Memory` retention at `capacity` events; beyond it, emissions
+    /// are dropped (and counted) rather than stored. `None` removes the
+    /// cap. Counting collectors are unaffected — they never store.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+    }
+
+    /// Installs a registry counter bumped once per dropped event.
+    pub fn set_drop_counter(&mut self, counter: Counter) {
+        self.drop_counter = Some(counter);
+    }
+
+    /// Events discarded by the capacity cap since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Emits one event. The closure runs only when a collector is
     /// installed; callers put all allocation (clones, formatting) inside it.
+    /// A full bounded `Memory` collector skips the closure too — a dropped
+    /// event costs one counter bump, not a construction.
     #[inline]
     pub fn emit(&mut self, at: SimTime, f: impl FnOnce() -> EventKind) {
         match &mut self.collector {
             Collector::Null => {}
             Collector::Memory(events) => {
+                if self.capacity.is_some_and(|cap| events.len() >= cap) {
+                    self.dropped += 1;
+                    if let Some(c) = &self.drop_counter {
+                        c.inc();
+                    }
+                    return;
+                }
                 self.constructed += 1;
                 events.push(TimedEvent { at, kind: f() });
             }
@@ -165,6 +214,46 @@ mod tests {
         assert_eq!(bus.counted(), 5);
         assert_eq!(bus.constructed(), 5);
         assert!(bus.events().is_empty());
+    }
+
+    #[test]
+    fn bounded_bus_drops_beyond_capacity_without_constructing() {
+        let mut bus = EventBus::recording();
+        bus.set_capacity(Some(2));
+        let mut ran = 0u32;
+        for _ in 0..5 {
+            bus.emit(SimTime::ZERO, || {
+                ran += 1;
+                spawn_event()
+            });
+        }
+        assert_eq!(bus.events().len(), 2);
+        assert_eq!(bus.dropped(), 3);
+        assert_eq!(bus.constructed(), 2);
+        assert_eq!(ran, 2, "dropped events must not run the closure");
+    }
+
+    #[test]
+    fn drop_counter_tracks_drops() {
+        let registry = crate::MetricsRegistry::new();
+        let mut bus = EventBus::recording();
+        bus.set_capacity(Some(1));
+        bus.set_drop_counter(registry.counter("telemetry.events_dropped"));
+        for _ in 0..3 {
+            bus.emit(SimTime::ZERO, spawn_event);
+        }
+        assert_eq!(bus.dropped(), 2);
+        assert_eq!(registry.counter_value("telemetry.events_dropped"), Some(2));
+    }
+
+    #[test]
+    fn unbounded_bus_reports_zero_drops() {
+        let mut bus = EventBus::recording();
+        for _ in 0..100 {
+            bus.emit(SimTime::ZERO, spawn_event);
+        }
+        assert_eq!(bus.dropped(), 0);
+        assert_eq!(bus.events().len(), 100);
     }
 
     #[test]

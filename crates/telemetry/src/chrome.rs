@@ -123,6 +123,28 @@ impl Writer {
         );
     }
 
+    /// One half of a flow arrow: `ph` is `"s"` (start) or `"f"` (finish).
+    /// Finishes carry `bp:"e"` so Perfetto binds the arrowhead to the
+    /// enclosing slice rather than the next one.
+    fn flow(&mut self, ph: &str, at: SimTime, pid: u64, tid: u64, name: &str, id: u64) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push_str(",\n");
+        }
+        self.out.push_str("    {\"ph\":\"");
+        self.out.push_str(ph);
+        self.out.push_str("\",\"ts\":");
+        self.out.push_str(&ts(at));
+        self.out
+            .push_str(&format!(",\"pid\":{pid},\"tid\":{tid},\"cat\":\"flow\",\"id\":{id},\"name\":"));
+        push_quoted(&mut self.out, name);
+        if ph == "f" {
+            self.out.push_str(",\"bp\":\"e\"");
+        }
+        self.out.push('}');
+    }
+
     fn finish(mut self) -> String {
         self.out.push_str("\n  ],\"displayTimeUnit\":\"ms\"}\n");
         self.out
@@ -138,8 +160,27 @@ fn quoted(s: &str) -> String {
 /// Renders a recorded event stream as Chrome trace-event JSON.
 ///
 /// The output is deterministic: identical input slices yield byte-identical
-/// strings, making the trace itself a regression artifact.
+/// strings, making the trace itself a regression artifact. Causal events
+/// ([`EventKind::CausalEdge`], [`EventKind::PredExec`],
+/// [`EventKind::ReplayAnswered`]) are *not* rendered here, so traces
+/// recorded without `KernelConfig::causal` stay byte-identical to the
+/// pre-causal format; use [`export_chrome_trace_with_flows`] to render
+/// them as Perfetto flow arrows.
 pub fn export_chrome_trace(events: &[TimedEvent]) -> String {
+    export(events, false)
+}
+
+/// Like [`export_chrome_trace`], but additionally renders causal events:
+/// [`EventKind::CausalEdge`] and [`EventKind::PredExec`] become flow-event
+/// pairs (`ph:"s"` at the source, `ph:"f"`/`bp:"e"` at the destination,
+/// matched by a deterministic `id`) that Perfetto draws as arrows across
+/// tracks, and [`EventKind::ReplayAnswered`] becomes a `replay_hit`
+/// instant on the owning thread track.
+pub fn export_chrome_trace_with_flows(events: &[TimedEvent]) -> String {
+    export(events, true)
+}
+
+fn export(events: &[TimedEvent], flows: bool) -> String {
     // First pass: discover LIP processes and their threads so every track
     // gets a name. The first thread observed for a pid is its main thread.
     let mut proc_names: BTreeMap<u64, String> = BTreeMap::new();
@@ -210,6 +251,9 @@ pub fn export_chrome_trace(events: &[TimedEvent]) -> String {
     }
 
     // Second pass: the events themselves, in recorded (virtual-time) order.
+    // Flow pairs share an id assigned in emission order, so the same event
+    // stream always numbers its arrows identically.
+    let mut flow_id: u64 = 0;
     for ev in events {
         let at = ev.at;
         match &ev.kind {
@@ -486,6 +530,56 @@ pub fn export_chrome_trace(events: &[TimedEvent]) -> String {
                     )),
                 );
             }
+            // Causal events render only in flow mode; the legacy export
+            // ignores them so pre-causal traces stay byte-identical.
+            EventKind::CausalEdge {
+                edge,
+                src_pid,
+                src_tid,
+                src_at,
+                dst_pid,
+                dst_tid,
+            } => {
+                if flows {
+                    let name = format!("flow:{}", edge.label());
+                    w.flow("s", *src_at, *src_pid, *src_tid, &name, flow_id);
+                    w.flow("f", at, *dst_pid, *dst_tid, &name, flow_id);
+                    flow_id += 1;
+                }
+            }
+            EventKind::PredExec {
+                pid,
+                tid,
+                batch,
+                tokens,
+                enqueued_at,
+            } => {
+                if flows {
+                    w.flow("s", *enqueued_at, KERNEL_PID, SCHED_TID, "flow:sched", flow_id);
+                    w.flow("f", at, GPU_PID, GPU_TID, "flow:sched", flow_id);
+                    flow_id += 1;
+                    w.instant(
+                        at,
+                        GPU_PID,
+                        GPU_TID,
+                        "pred_exec",
+                        Some(format!(
+                            "{{\"pid\":{pid},\"tid\":{tid},\"batch\":{batch},\"tokens\":{tokens}}}"
+                        )),
+                    );
+                }
+            }
+            EventKind::ReplayAnswered { pid, tid, sys } => {
+                if flows {
+                    w.instant(
+                        at,
+                        *pid,
+                        *tid,
+                        "replay_hit",
+                        Some(format!("{{\"sys\":{}}}", quoted(sys))),
+                    );
+                }
+            }
         }
     }
 
@@ -605,5 +699,65 @@ mod tests {
     fn export_is_byte_identical_for_same_input() {
         let events = sample_events();
         assert_eq!(export_chrome_trace(&events), export_chrome_trace(&events));
+    }
+
+    fn causal_events() -> Vec<TimedEvent> {
+        use crate::event::EdgeKind;
+        let mut events = sample_events();
+        events.push(TimedEvent {
+            at: t(9_300),
+            kind: EventKind::CausalEdge {
+                edge: EdgeKind::Spawn,
+                src_pid: 1,
+                src_tid: 10,
+                src_at: t(9_000),
+                dst_pid: 1,
+                dst_tid: 11,
+            },
+        });
+        events.push(TimedEvent {
+            at: t(9_400),
+            kind: EventKind::PredExec {
+                pid: 1,
+                tid: 10,
+                batch: 0,
+                tokens: 4,
+                enqueued_at: t(1_600),
+            },
+        });
+        events.push(TimedEvent {
+            at: t(9_500),
+            kind: EventKind::ReplayAnswered {
+                pid: 1,
+                tid: 10,
+                sys: "pred",
+            },
+        });
+        events
+    }
+
+    #[test]
+    fn legacy_export_ignores_causal_events_byte_identically() {
+        assert_eq!(
+            export_chrome_trace(&causal_events()),
+            export_chrome_trace(&sample_events()),
+        );
+    }
+
+    #[test]
+    fn flow_export_renders_paired_arrows_and_replay_instants() {
+        let json = export_chrome_trace_with_flows(&causal_events());
+        serde_json::from_str::<serde_json::Value>(&json).expect("valid JSON");
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 2);
+        assert_eq!(json.matches("\"bp\":\"e\"").count(), 2);
+        assert!(json.contains("flow:spawn"));
+        assert!(json.contains("flow:sched"));
+        assert!(json.contains("\"name\":\"replay_hit\""));
+        // The spawn arrow starts at the source time on the source track.
+        assert!(json.contains("{\"ph\":\"s\",\"ts\":9.000,\"pid\":1,\"tid\":10,"));
+        // Pair ids are deterministic and distinct.
+        assert!(json.contains("\"id\":0"));
+        assert!(json.contains("\"id\":1"));
     }
 }

@@ -17,6 +17,39 @@ pub enum SwapDir {
     Out,
 }
 
+/// The causal relationship carried by an [`EventKind::CausalEdge`].
+///
+/// Each variant names *why* the destination thread made progress at the
+/// edge's timestamp: the edge points from the event that enabled the
+/// progress (the source, at `src_at`) to the thread that benefited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// `spawn` syscall → the new thread's first instruction.
+    Spawn,
+    /// IPC `send_msg` → the `recv` that consumed the message.
+    Ipc,
+    /// A thread's exit → the `join` it unblocked.
+    Join,
+    /// `call_tool` issue → the I/O completion delivering the result.
+    Tool,
+    /// KV-swap preemption: the victim's swap-out → the beneficiary
+    /// sequence whose swap-in it funded.
+    Preempt,
+}
+
+impl EdgeKind {
+    /// Stable lowercase label used by exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            EdgeKind::Spawn => "spawn",
+            EdgeKind::Ipc => "ipc",
+            EdgeKind::Join => "join",
+            EdgeKind::Tool => "tool",
+            EdgeKind::Preempt => "preempt",
+        }
+    }
+}
+
 /// One telemetry event. Span events come in `*Enter`/`*Exit` (or
 /// `Batch{Begin,End}`) pairs on the same logical track; everything else is
 /// an instant.
@@ -137,6 +170,37 @@ pub enum EventKind {
     /// A recovered kernel re-admitted journalled programs (scheduler
     /// track; the first event a recovered run records).
     KernelRecovery { resumed: u64, replayed_frames: u64 },
+    /// A causal edge between two points on the span DAG (emitted at the
+    /// *destination* time; `src_at` records when the source half
+    /// happened). Only recorded when `KernelConfig::causal` is on.
+    CausalEdge {
+        edge: EdgeKind,
+        src_pid: u64,
+        src_tid: u64,
+        src_at: SimTime,
+        dst_pid: u64,
+        dst_tid: u64,
+    },
+    /// A pooled `pred` entered a GPU batch: the scheduler→GPU causal hop.
+    /// `tokens` is the new tokens this member contributes to the batch
+    /// (>1 ⇒ prefill work, 1 ⇒ a decode step); `enqueued_at` is when the
+    /// pred joined the pool, so `at - enqueued_at` is its queue wait.
+    /// Only recorded when `KernelConfig::causal` is on.
+    PredExec {
+        pid: u64,
+        tid: u64,
+        batch: u64,
+        tokens: u32,
+        enqueued_at: SimTime,
+    },
+    /// A syscall was answered from the WAL effect journal during recovery
+    /// replay instead of executing (thread track). Only recorded when
+    /// `KernelConfig::causal` is on.
+    ReplayAnswered {
+        pid: u64,
+        tid: u64,
+        sys: &'static str,
+    },
 }
 
 /// An event stamped with virtual time.

@@ -1,0 +1,80 @@
+//! Collapsed-stack export of critical-path attribution.
+//!
+//! [`collapsed_stacks`] renders [`LatencyBreakdown`]s in the folded format
+//! consumed by `flamegraph.pl` (and any "collapsed stacks" viewer): one
+//! line per stack, frames separated by `;`, a space, then the sample
+//! weight. Weights are virtual nanoseconds, so frame widths in the
+//! rendered flamegraph are exact latency shares, and the same trace always
+//! folds to byte-identical output.
+//!
+//! The stack here is shallow by design — `program;phase` — because the
+//! interesting axis is *where the wall-clock went*, not call depth:
+//!
+//! ```text
+//! agent-3 (pid 5);queue-wait 412000
+//! agent-3 (pid 5);prefill 1210000
+//! ```
+
+use crate::critical_path::{LatencyBreakdown, PHASES};
+
+/// Frame-sanitised program label: semicolons and spaces would corrupt the
+/// folded format, so they become underscores.
+fn frame(b: &LatencyBreakdown) -> String {
+    let name = if b.name.is_empty() { "?" } else { &b.name };
+    format!("{} (pid {})", name, b.pid)
+        .replace([';', ' '], "_")
+}
+
+/// Renders breakdowns as flamegraph.pl-compatible folded stacks. Zero
+/// buckets are omitted; programs appear in input order.
+pub fn collapsed_stacks(breakdowns: &[LatencyBreakdown]) -> String {
+    let mut out = String::new();
+    for b in breakdowns {
+        let frame = frame(b);
+        for phase in PHASES {
+            let ns = b.get(phase);
+            if ns == 0 {
+                continue;
+            }
+            out.push_str(&format!("{frame};{} {ns}\n", phase.label()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LatencyBreakdown {
+        let mut b = LatencyBreakdown {
+            pid: 5,
+            name: "agent 3".into(),
+            total_ns: 1000,
+            phase_ns: [0; 9],
+        };
+        b.phase_ns[0] = 400; // queue-wait
+        b.phase_ns[1] = 600; // prefill
+        b
+    }
+
+    #[test]
+    fn folds_nonzero_phases_with_sanitised_frames() {
+        let out = collapsed_stacks(&[sample()]);
+        assert_eq!(
+            out,
+            "agent_3_(pid_5);queue-wait 400\nagent_3_(pid_5);prefill 600\n"
+        );
+    }
+
+    #[test]
+    fn zero_breakdown_folds_to_nothing() {
+        let empty = LatencyBreakdown {
+            pid: 1,
+            name: String::new(),
+            total_ns: 0,
+            phase_ns: [0; 9],
+        };
+        assert_eq!(collapsed_stacks(&[empty]), "");
+    }
+}

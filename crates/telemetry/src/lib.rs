@@ -12,6 +12,17 @@
 //! * [`export_chrome_trace`] — renders a recorded event stream as Chrome
 //!   trace-event JSON loadable in Perfetto or `chrome://tracing`, with one
 //!   track per LIP process/thread plus dedicated GPU and scheduler tracks.
+//!   [`export_chrome_trace_with_flows`] additionally renders causal
+//!   events as Perfetto flow arrows.
+//!
+//! On top of the raw stream sits the causal layer: when
+//! `KernelConfig::causal` is on the kernel records [`EventKind::CausalEdge`]
+//! (spawn, IPC, join, tool, preemption), [`EventKind::PredExec`] and
+//! [`EventKind::ReplayAnswered`] events. [`trace_tree`] folds the stream
+//! into per-program span trees, [`critical_path`] walks each tree
+//! backwards into exclusive [`critical_path::Phase`] buckets whose sum is
+//! exactly the program's end-to-end latency, and [`flame`] renders that
+//! attribution as flamegraph.pl folded stacks.
 //!
 //! Because every timestamp is virtual time from a same-seed-deterministic
 //! kernel, two identical runs export byte-identical traces — traces double
@@ -20,13 +31,23 @@
 
 mod bus;
 mod chrome;
+pub mod critical_path;
 mod event;
+pub mod flame;
 mod metrics;
+pub mod trace_tree;
 
 pub use bus::{Collector, EventBus};
-pub use chrome::{export_chrome_trace, GPU_PID, GPU_TID, KERNEL_PID, SCHED_TID};
-pub use event::{EventKind, SwapDir, TimedEvent};
+pub use chrome::{
+    export_chrome_trace, export_chrome_trace_with_flows, GPU_PID, GPU_TID, KERNEL_PID, SCHED_TID,
+};
+pub use critical_path::{analyze, critical_path as program_critical_path, render_report,
+    LatencyBreakdown, Phase, PHASES};
+pub use event::{EdgeKind, EventKind, SwapDir, TimedEvent};
+pub use flame::collapsed_stacks;
 pub use metrics::{
     latency_bounds_ns, occupancy_bounds, percent_bounds, Counter, Gauge, Histogram, MetricValue,
     MetricsRegistry, MetricsSnapshot,
 };
+pub use trace_tree::{build_forest, CausalLink, ExecWindow, ProgramTrace, SyscallSpan,
+    ThreadTrace, TraceForest};
