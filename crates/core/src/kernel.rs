@@ -18,8 +18,8 @@ use symphony_kvfs::{
     FileId, KvError, KvStats, KvStore, KvStoreConfig, Mode, OwnerId, Residency, RestoreReport,
     SwapReport,
 };
-use symphony_model::{ModelConfig, Surrogate, TokenId};
 use symphony_model::surrogate::VocabInfo;
+use symphony_model::{ModelConfig, Surrogate, TokenId};
 use symphony_sim::{EventQueue, RetryPolicy, Rng, SimDuration, SimTime, Trace};
 use symphony_telemetry::{
     export_chrome_trace, export_chrome_trace_with_flows, latency_bounds_ns, percent_bounds,
@@ -268,6 +268,9 @@ struct Proc {
     deadline_at: Option<SimTime>,
     /// Deadline already detected (counts once per process).
     deadline_hit: bool,
+    /// Cancelled from outside ([`Kernel::cancel_process`]): every
+    /// subsequent syscall fails with [`SysError::Cancelled`].
+    cancelled: bool,
     /// First `pred` completion observed (TTFT recorded).
     ttft_done: bool,
     /// Completion time of the last `pred` (inter-token latency).
@@ -450,7 +453,47 @@ pub struct Kernel {
     syscall_boundaries: u64,
     /// Set when an injected kernel crash fired; the run loop halts.
     crashed: Option<u64>,
+    // Serving.
+    /// Streaming upcall sink: invoked synchronously on `emit`/`emit_tokens`
+    /// and process exit so a front door (crates/serve) can forward output
+    /// incrementally instead of polling finished records. `None` costs one
+    /// branch per emit.
+    session_sink: Option<SessionSink>,
 }
+
+/// Incremental session notifications delivered to a [`SessionSink`].
+///
+/// Events fire in virtual-time order, synchronously from the kernel event
+/// loop, which is what makes a serving front door deterministic: the same
+/// run yields the same event sequence byte for byte.
+#[derive(Debug, Clone)]
+pub enum SessionEvent {
+    /// A process appended `text` to its output via `emit`/`emit_tokens`.
+    Emitted {
+        /// Emitting process.
+        pid: Pid,
+        /// Virtual emission time.
+        at: SimTime,
+        /// The appended text chunk.
+        text: String,
+        /// Tokens in the chunk (0 for plain-text `emit`).
+        tokens: u64,
+    },
+    /// A process finished and its record is final.
+    Exited {
+        /// Exiting process.
+        pid: Pid,
+        /// Virtual exit time.
+        at: SimTime,
+        /// Final status.
+        status: ExitStatus,
+        /// Final resource usage.
+        usage: ProcessUsage,
+    },
+}
+
+/// Callback receiving [`SessionEvent`]s (see [`Kernel::set_session_sink`]).
+pub type SessionSink = Box<dyn FnMut(SessionEvent) + Send>;
 
 impl Kernel {
     /// Builds a kernel from a configuration.
@@ -592,6 +635,7 @@ impl Kernel {
             programs_resumed: false,
             syscall_boundaries: 0,
             crashed: None,
+            session_sink: None,
         };
         if let Some(r) = replay {
             // Restore the virtual clock and allocators so re-executed
@@ -851,6 +895,7 @@ impl Kernel {
                 finished: false,
                 deadline_at,
                 deadline_hit: false,
+                cancelled: false,
                 ttft_done: false,
                 last_pred_done: None,
                 seqs: EffectSeqs::default(),
@@ -1010,12 +1055,8 @@ impl Kernel {
             .collect();
         let sends = replay.sends.clone();
         let mut to_skip = replay.recv_counts();
-        let (frames, wal_bytes, torn, clock) = (
-            replay.frames,
-            replay.wal_bytes,
-            replay.torn,
-            replay.clock,
-        );
+        let (frames, wal_bytes, torn, clock) =
+            (replay.frames, replay.wal_bytes, replay.torn, replay.clock);
         let (mut resumed, mut finished, mut lost) = (0, 0, 0);
         for (pid, rp) in &procs {
             match &rp.exit {
@@ -1144,8 +1185,10 @@ impl Kernel {
         }
         let deadline_at = rp.limits.deadline.map(|d| rp.spawned_at + d);
         if let Some(t) = deadline_at {
-            self.events
-                .schedule(t.max(self.events.now()), Event::DeadlineCheck { pid: Pid(pid) });
+            self.events.schedule(
+                t.max(self.events.now()),
+                Event::DeadlineCheck { pid: Pid(pid) },
+            );
         }
         self.procs.insert(
             pid,
@@ -1161,6 +1204,7 @@ impl Kernel {
                 finished: false,
                 deadline_at,
                 deadline_hit: false,
+                cancelled: false,
                 ttft_done: false,
                 last_pred_done: None,
                 seqs: EffectSeqs::default(),
@@ -1217,6 +1261,7 @@ impl Kernel {
                 finished: false,
                 deadline_at,
                 deadline_hit: false,
+                cancelled: false,
                 ttft_done: false,
                 last_pred_done: None,
                 seqs: EffectSeqs::default(),
@@ -1289,10 +1334,8 @@ impl Kernel {
         let wal_bytes = w.bytes_written;
         self.kmetrics.checkpoints.inc();
         self.kmetrics.wal_bytes.set(wal_bytes as i64);
-        self.bus.emit(now, move || EventKind::WalCheckpoint {
-            frames,
-            wal_bytes,
-        });
+        self.bus
+            .emit(now, move || EventKind::WalCheckpoint { frames, wal_bytes });
     }
 
     /// An injected kernel crash: halt the run loop, dropping buffered
@@ -1600,16 +1643,13 @@ impl Kernel {
                     if matches!(reply, SysReply::Dists(_)) {
                         if let Some(ts) = self.threads.get(&tid.0) {
                             let pid = ts.pid;
-                            let spawned_at =
-                                self.records.get(&pid.0).map(|r| r.spawned_at);
+                            let spawned_at = self.records.get(&pid.0).map(|r| r.spawned_at);
                             if let (Some(proc), Some(spawned_at)) =
                                 (self.procs.get_mut(&pid.0), spawned_at)
                             {
                                 if !proc.ttft_done {
                                     proc.ttft_done = true;
-                                    self.kmetrics
-                                        .ttft_ns
-                                        .observe((now - spawned_at).as_nanos());
+                                    self.kmetrics.ttft_ns.observe((now - spawned_at).as_nanos());
                                 } else if let Some(prev) = proc.last_pred_done {
                                     self.kmetrics
                                         .inter_token_ns
@@ -1645,6 +1685,53 @@ impl Kernel {
                     self.cqueue.push(pred.pid.0, pred.critical, pred);
                 }
             },
+        }
+    }
+
+    /// Installs the streaming upcall sink. Subsequent `emit`/`emit_tokens`
+    /// completions and process exits invoke it synchronously with
+    /// [`SessionEvent`]s, in virtual-time order.
+    pub fn set_session_sink(&mut self, sink: SessionSink) {
+        self.session_sink = Some(sink);
+    }
+
+    /// Emits a telemetry event stamped with the current virtual time on
+    /// the kernel's bus. Lets layers above the kernel (the serving front
+    /// door) interleave their spans with kernel events in one trace.
+    pub fn emit_event(&mut self, f: impl FnOnce() -> EventKind) {
+        let at = self.events.now();
+        self.bus.emit(at, f);
+    }
+
+    /// Cancels a running process from outside (session teardown at the
+    /// serving layer). Mirrors deadline enforcement: threads blocked in
+    /// `recv_msg` are woken with [`SysError::Cancelled`], and every
+    /// subsequent syscall from any of the process's threads fails with the
+    /// same error, driving the program to a prompt, typed exit. Returns
+    /// `false` if the pid is unknown or already finished.
+    pub fn cancel_process(&mut self, pid: Pid) -> bool {
+        let Some(proc) = self.procs.get_mut(&pid.0) else {
+            return false;
+        };
+        if proc.finished || proc.cancelled {
+            return false;
+        }
+        proc.cancelled = true;
+        let waiters = std::mem::take(&mut proc.recv_waiters);
+        self.trace.record(
+            self.events.now(),
+            "kernel",
+            format!("cancel pid={} woke={}", pid.0, waiters.len()),
+        );
+        for (w, _seq) in waiters {
+            self.complete(w, SysReply::Err(SysError::Cancelled));
+        }
+        true
+    }
+
+    fn notify_session(&mut self, ev: SessionEvent) {
+        if let Some(sink) = self.session_sink.as_mut() {
+            sink(ev);
         }
     }
 
@@ -1704,16 +1791,13 @@ impl Kernel {
         let tids: Vec<Tid> = pending.iter().map(|p| p.tid).collect();
         let requeues: Vec<u32> = pending.iter().map(|p| p.requeues).collect();
         let enqueued: Vec<SimTime> = pending.iter().map(|p| p.enqueued_at).collect();
-        let metas: Vec<(Pid, bool, u64)> = pending
-            .iter()
-            .map(|p| (p.pid, p.critical, p.seq))
-            .collect();
+        let metas: Vec<(Pid, bool, u64)> =
+            pending.iter().map(|p| (p.pid, p.critical, p.seq)).collect();
         let requests: Vec<PredRequest> = pending.into_iter().map(|p| p.req).collect();
         for &at in &enqueued {
             self.kmetrics.queue_delay_ns.observe((now - at).as_nanos());
         }
-        let occupancy_pct =
-            (requests.len() * 100 / self.max_batch.max(1)).min(100) as u32;
+        let occupancy_pct = (requests.len() * 100 / self.max_batch.max(1)).min(100) as u32;
         self.kmetrics
             .batch_occupancy_pct
             .observe(occupancy_pct as u64);
@@ -1825,14 +1909,11 @@ impl Kernel {
                 Err(ExecError::Kv(KvError::NoGpuMemory)) if adm.is_some() => {
                     // Requeue budget exhausted: shed the request.
                     self.res_counters.preds_shed.inc();
-                    self.bus
-                        .emit(now, || EventKind::PredShed { tid: tid.0 });
+                    self.bus.emit(now, || EventKind::PredShed { tid: tid.0 });
                     SysReply::Err(SysError::Busy)
                 }
                 Err(ExecError::Kv(e)) => SysReply::Err(SysError::Kv(e)),
-                Err(ExecError::NotResident) => {
-                    SysReply::Err(SysError::Kv(KvError::NotResident))
-                }
+                Err(ExecError::NotResident) => SysReply::Err(SysError::Kv(KvError::NotResident)),
                 Err(ExecError::EmptyRequest) => SysReply::Err(SysError::BadArgument),
                 Err(ExecError::Faulted) => SysReply::Err(SysError::Fault("gpu.pred")),
             };
@@ -2190,9 +2271,7 @@ impl Kernel {
                         let _ = self.store.truncate(file, owner, start_len);
                     }
                     let reply = match e {
-                        ExecError::NotResident => {
-                            SysReply::Err(SysError::Kv(KvError::NotResident))
-                        }
+                        ExecError::NotResident => SysReply::Err(SysError::Kv(KvError::NotResident)),
                         ExecError::EmptyRequest => SysReply::Err(SysError::BadArgument),
                         ExecError::Faulted => SysReply::Err(SysError::Fault("gpu.pred")),
                         ExecError::Kv(ke) => SysReply::Err(SysError::Kv(ke)),
@@ -2407,10 +2486,7 @@ impl Kernel {
         let (syscalls_so_far, max_syscalls) = {
             let rec = sys!(self.records.get_mut(&pid.0), "process record missing");
             rec.usage.syscalls += 1;
-            (
-                rec.usage.syscalls,
-                self.procs[&pid.0].limits.max_syscalls,
-            )
+            (rec.usage.syscalls, self.procs[&pid.0].limits.max_syscalls)
         };
         if let Some(max) = max_syscalls {
             if syscalls_so_far > max {
@@ -2431,6 +2507,11 @@ impl Kernel {
                 self.complete(tid, SysReply::Err(SysError::DeadlineExceeded));
                 return;
             }
+        }
+        // Cancellation: like a deadline hit, once set every syscall fails.
+        if self.procs[&pid.0].cancelled {
+            self.complete(tid, SysReply::Err(SysError::Cancelled));
+            return;
         }
 
         macro_rules! kv {
@@ -2455,8 +2536,7 @@ impl Kernel {
                 if let Some(adm) = self.admission {
                     if self.pred_queue_len() >= adm.max_queue {
                         self.res_counters.preds_shed.inc();
-                        self.bus
-                            .emit(sys_at, || EventKind::PredShed { tid: tid.0 });
+                        self.bus.emit(sys_at, || EventKind::PredShed { tid: tid.0 });
                         self.complete(tid, SysReply::Err(SysError::Busy));
                         return;
                     }
@@ -2824,11 +2904,10 @@ impl Kernel {
                     // Existence was checked above and the registry is
                     // append-only; if the lookup fails anyway, that error
                     // becomes the call's final result instead of a panic.
-                    let (latency, outcome) =
-                        match self.tools.invoke(&name, &args, &mut self.rng) {
-                            Ok(v) => v,
-                            Err(e) => break Err(e),
-                        };
+                    let (latency, outcome) = match self.tools.invoke(&name, &args, &mut self.rng) {
+                        Ok(v) => v,
+                        Err(e) => break Err(e),
+                    };
                     let mut eff_latency = match fault {
                         Some(ToolFaultKind::Hang) => latency * self.injector.stall_factor(),
                         _ => latency,
@@ -3152,6 +3231,14 @@ impl Kernel {
                 sys!(self.records.get_mut(&pid.0), "process record missing")
                     .output
                     .push_str(&text);
+                if self.session_sink.is_some() {
+                    self.notify_session(SessionEvent::Emitted {
+                        pid,
+                        at: sys_at,
+                        text,
+                        tokens: 0,
+                    });
+                }
                 self.complete(tid, SysReply::Unit);
             }
             Syscall::EmitTokens { tokens } => {
@@ -3159,6 +3246,15 @@ impl Kernel {
                 let rec = sys!(self.records.get_mut(&pid.0), "process record missing");
                 rec.output.push_str(&text);
                 rec.usage.emitted_tokens += tokens.len() as u64;
+                if self.session_sink.is_some() {
+                    let n = tokens.len() as u64;
+                    self.notify_session(SessionEvent::Emitted {
+                        pid,
+                        at: sys_at,
+                        text,
+                        tokens: n,
+                    });
+                }
                 self.complete(tid, SysReply::Unit);
             }
             Syscall::Tokenize { text } => {
@@ -3235,11 +3331,8 @@ impl Kernel {
                     pid: pid.0,
                     file: f.0,
                 });
-                self.trace.record(
-                    at,
-                    "io",
-                    format!("offload pid={} file={}", pid.0, f.0),
-                );
+                self.trace
+                    .record(at, "io", format!("offload pid={} file={}", pid.0, f.0));
             }
         }
     }
@@ -3449,6 +3542,18 @@ impl Kernel {
         }
         self.bus
             .emit(now, || EventKind::ProcessExit { pid: pid.0, ok });
+        if self.session_sink.is_some() {
+            let (status, usage) = match self.records.get(&pid.0) {
+                Some(rec) => (rec.status.clone(), rec.usage),
+                None => return,
+            };
+            self.notify_session(SessionEvent::Exited {
+                pid,
+                at: now,
+                status,
+                usage,
+            });
+        }
         self.trace
             .record(now, "kernel", format!("reap pid={}", pid.0));
     }

@@ -70,12 +70,14 @@ pub mod types;
 pub mod wal;
 
 pub use faults::{FaultInjector, FaultPlan, FaultStats, ToolFaultKind};
-pub use kernel::{Kernel, KernelConfig, ProgramImage};
+pub use kernel::{Kernel, KernelConfig, ProgramImage, SessionEvent, SessionSink};
 pub use resilience::{AdmissionPolicy, BreakerPolicy, BreakerStateView, ResilienceStats};
-pub use sched::{BatchPolicy, ContinuousConfig, ExecMode, MlfqConfig, ProgramQueue, QueueDiscipline};
+pub use sched::{
+    BatchPolicy, ContinuousConfig, ExecMode, MlfqConfig, ProgramQueue, QueueDiscipline,
+};
 pub use syscall::Ctx;
 pub use tools::{ToolOutcome, ToolRegistry, ToolSpec};
-pub use types::{ExitStatus, Limits, Pid, ProcessRecord, SysError, Tid};
+pub use types::{ExitStatus, Limits, Pid, ProcessRecord, ProcessUsage, SysError, Tid};
 pub use wal::{RecoveryReport, WalConfig, WalError, DEFAULT_CHECKPOINT_EVERY};
 
 // Re-export the substrate types LIPs interact with.

@@ -41,6 +41,10 @@ pub enum SysError {
     LimitExceeded(&'static str),
     /// The kernel is shutting down (the process is being torn down).
     Shutdown,
+    /// The process was cancelled from outside (e.g. a serving client tore
+    /// the session down). Like a deadline hit, every subsequent syscall
+    /// fails and blocked receivers are woken with this error.
+    Cancelled,
     /// A kernel bookkeeping invariant did not hold (e.g. a live thread
     /// without a process record). Never expected in practice; surfaced as a
     /// typed error instead of a panic so one corrupted record cannot take
@@ -71,6 +75,7 @@ impl core::fmt::Display for SysError {
             SysError::Fault(site) => write!(f, "transient fault: {site}"),
             SysError::LimitExceeded(what) => write!(f, "limit exceeded: {what}"),
             SysError::Shutdown => write!(f, "kernel shutdown"),
+            SysError::Cancelled => write!(f, "cancelled"),
             SysError::Internal(what) => write!(f, "kernel invariant violated: {what}"),
         }
     }

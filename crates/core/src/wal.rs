@@ -39,9 +39,11 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write;
 use std::path::PathBuf;
 
-use symphony_kvfs::journal::{append_frame, read_frames};
 use symphony_kvfs::KvError;
 use symphony_model::Dist;
+use symphony_sim::frame::{
+    append_frame, fnv1a, push_opt_u64, push_str, push_u32, push_u64, read_frames, Cursor,
+};
 use symphony_sim::{SimDuration, SimTime};
 
 use crate::resilience::BreakerStateView;
@@ -244,74 +246,6 @@ impl WalRecord {
     }
 }
 
-// ---- byte helpers ----------------------------------------------------------
-
-fn push_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn push_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn push_str(out: &mut Vec<u8>, s: &str) {
-    push_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
-}
-
-fn push_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
-    out.push(u8::from(v.is_some()));
-    push_u64(out, v.unwrap_or(0));
-}
-
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
-        Cursor { bytes, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
-        let end = self.pos.checked_add(n)?;
-        if end > self.bytes.len() {
-            return None;
-        }
-        let out = &self.bytes[self.pos..end];
-        self.pos = end;
-        Some(out)
-    }
-
-    fn u8(&mut self) -> Option<u8> {
-        self.take(1).map(|b| b[0])
-    }
-
-    fn u32(&mut self) -> Option<u32> {
-        self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap_or([0; 4])))
-    }
-
-    fn u64(&mut self) -> Option<u64> {
-        self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap_or([0; 8])))
-    }
-
-    fn str(&mut self) -> Option<String> {
-        let n = self.u32()? as usize;
-        String::from_utf8(self.take(n)?.to_vec()).ok()
-    }
-
-    fn opt_u64(&mut self) -> Option<Option<u64>> {
-        let has = self.u8()? != 0;
-        let v = self.u64()?;
-        Some(has.then_some(v))
-    }
-
-    fn done(&self) -> bool {
-        self.pos == self.bytes.len()
-    }
-}
-
 // ---- error codecs ----------------------------------------------------------
 
 const KV_ERRORS: &[KvError] = &[
@@ -337,7 +271,10 @@ fn encode_kv_error(e: KvError) -> u8 {
 }
 
 fn decode_kv_error(b: u8) -> KvError {
-    KV_ERRORS.get(b as usize).copied().unwrap_or(KvError::NotFound)
+    KV_ERRORS
+        .get(b as usize)
+        .copied()
+        .unwrap_or(KvError::NotFound)
 }
 
 /// Re-materialises a `&'static str` error payload. Known kernel constants
@@ -382,6 +319,7 @@ fn encode_sys_error(out: &mut Vec<u8>, e: &SysError) {
         SysError::LimitExceeded(what) => (11, what),
         SysError::Shutdown => (12, ""),
         SysError::Internal(what) => (13, what),
+        SysError::Cancelled => (14, ""),
     };
     out.push(kind);
     out.push(0);
@@ -407,6 +345,7 @@ fn decode_sys_error(c: &mut Cursor<'_>) -> Option<SysError> {
         11 => SysError::LimitExceeded(intern(payload)),
         12 => SysError::Shutdown,
         13 => SysError::Internal(intern(payload)),
+        14 => SysError::Cancelled,
         _ => return None,
     })
 }
@@ -837,15 +776,6 @@ fn header_bytes(seed: u64) -> Vec<u8> {
     buf
 }
 
-fn fnv1a(bytes: &[u8]) -> u32 {
-    let mut hash: u32 = 0x811c_9dc5;
-    for &b in bytes {
-        hash ^= u32::from(b);
-        hash = hash.wrapping_mul(0x0100_0193);
-    }
-    hash
-}
-
 /// Parses WAL bytes: the writing kernel's seed, the longest valid record
 /// prefix, the byte length of that prefix (header included, for torn-tail
 /// truncation on reopen), and whether a torn tail (or an undecodable
@@ -1132,7 +1062,8 @@ pub(crate) fn build_replay(records: Vec<WalRecord>, wal_bytes: u64, torn: bool) 
                 result,
                 ..
             } => {
-                r.tools.insert((pid, seq), ToolOutcomeRec { latency_ns, result });
+                r.tools
+                    .insert((pid, seq), ToolOutcomeRec { latency_ns, result });
             }
             WalRecord::IpcSend {
                 from,
@@ -1156,7 +1087,11 @@ pub(crate) fn build_replay(records: Vec<WalRecord>, wal_bytes: u64, torn: bool) 
                 }
             }
             WalRecord::IpcRecv {
-                pid, seq, from, data, ..
+                pid,
+                seq,
+                from,
+                data,
+                ..
             } => {
                 r.recvs.insert((pid, seq), (from, data));
             }
@@ -1207,7 +1142,12 @@ pub(crate) fn build_replay(records: Vec<WalRecord>, wal_bytes: u64, torn: bool) 
         }
     }
     // A spawn frame supersedes the schedule frame for the same pid.
-    let started: Vec<u64> = r.scheduled.keys().filter(|p| r.procs.contains_key(p)).copied().collect();
+    let started: Vec<u64> = r
+        .scheduled
+        .keys()
+        .filter(|p| r.procs.contains_key(p))
+        .copied()
+        .collect();
     for pid in started {
         r.scheduled.remove(&pid);
     }

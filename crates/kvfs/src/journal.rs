@@ -130,112 +130,13 @@ const TIER_GPU: u8 = 0;
 const TIER_CPU: u8 = 1;
 const TIER_DISK: u8 = 2;
 
-fn fnv1a(bytes: &[u8]) -> u32 {
-    let mut hash: u32 = 0x811c_9dc5;
-    for &b in bytes {
-        hash ^= u32::from(b);
-        hash = hash.wrapping_mul(0x0100_0193);
-    }
-    hash
-}
+// The SYMJ frame layout — `[tag u8][len u32][payload][crc u32]`, FNV-1a
+// over tag + payload — is the workspace-wide codec from
+// `symphony_sim::frame`, re-exported here because the kernel WAL predates
+// the shared module and imports the framing through this path.
+pub use symphony_sim::frame::{append_frame, read_frames};
 
-/// Appends one raw SYMJ frame — `[tag u8][len u32][payload][crc u32]`,
-/// CRC over tag + payload — to `out`. Exposed so other journals (the
-/// kernel WAL) can reuse the exact framing with their own tag space.
-pub fn append_frame(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
-    out.push(tag);
-    push_u32(out, payload.len() as u32);
-    out.extend_from_slice(payload);
-    let mut crc_input = Vec::with_capacity(payload.len() + 1);
-    crc_input.push(tag);
-    crc_input.extend_from_slice(payload);
-    push_u32(out, fnv1a(&crc_input));
-}
-
-/// Walks raw SYMJ frames from the start of `bytes`, returning the longest
-/// valid `(tag, payload)` prefix and whether a torn tail followed it
-/// (leftover bytes that do not form a complete, checksummed frame).
-/// Unlike [`read_journal`] this has no header and no terminator: an
-/// append-only log that is still being written is simply "torn" at its
-/// live tail.
-pub fn read_frames(bytes: &[u8]) -> (Vec<(u8, Vec<u8>)>, bool) {
-    let mut c = Cursor::new(bytes);
-    let mut frames = Vec::new();
-    loop {
-        let mark = c.pos;
-        match next_frame(&mut c) {
-            Some((tag, payload)) => frames.push((tag, payload.to_vec())),
-            None => return (frames, mark != bytes.len()),
-        }
-    }
-}
-
-/// Reads one `[tag][len][payload][crc]` frame, verifying the checksum.
-/// `None` on a short or corrupt frame (the cursor may be mid-frame).
-fn next_frame<'a>(c: &mut Cursor<'a>) -> Option<(u8, &'a [u8])> {
-    let tag = c.u8()?;
-    let len = c.u32()?;
-    let payload = c.take(len as usize)?;
-    let stored = c.u32()?;
-    let mut crc_input = Vec::with_capacity(payload.len() + 1);
-    crc_input.push(tag);
-    crc_input.extend_from_slice(payload);
-    (stored == fnv1a(&crc_input)).then_some((tag, payload))
-}
-
-fn push_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn push_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-/// Sequential byte reader returning `None` past the end (a torn frame).
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
-        Cursor { bytes, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
-        let end = self.pos.checked_add(n)?;
-        if end > self.bytes.len() {
-            return None;
-        }
-        let out = &self.bytes[self.pos..end];
-        self.pos = end;
-        Some(out)
-    }
-
-    fn u8(&mut self) -> Option<u8> {
-        self.take(1).map(|b| b[0])
-    }
-
-    fn u32(&mut self) -> Option<u32> {
-        self.take(4).map(|b| {
-            let mut a = [0u8; 4];
-            a.copy_from_slice(b);
-            u32::from_le_bytes(a)
-        })
-    }
-
-    fn u64(&mut self) -> Option<u64> {
-        self.take(8).map(|b| {
-            let mut a = [0u8; 8];
-            a.copy_from_slice(b);
-            u64::from_le_bytes(a)
-        })
-    }
-
-    fn done(&self) -> bool {
-        self.pos == self.bytes.len()
-    }
-}
+use symphony_sim::frame::{fnv1a, next_frame, push_u32, push_u64, Cursor};
 
 fn encode_tier(tier: Tier) -> u8 {
     match tier {
@@ -593,7 +494,10 @@ mod tests {
                 path: "rag/doc.kv".to_string(),
                 id: 1,
             },
-            Record::Truncate { file: 1, new_len: 0 },
+            Record::Truncate {
+                file: 1,
+                new_len: 0,
+            },
             Record::Unlink {
                 path: "rag/doc.kv".to_string(),
             },
@@ -665,7 +569,10 @@ mod tests {
         let bytes = JournalWriter::new(&header()).finish();
         let mut wrong_magic = bytes.clone();
         wrong_magic[0] = b'X';
-        assert_eq!(read_journal(&wrong_magic), Err(KvError::JournalIncompatible));
+        assert_eq!(
+            read_journal(&wrong_magic),
+            Err(KvError::JournalIncompatible)
+        );
         let mut wrong_version = bytes.clone();
         wrong_version[4] = 99;
         assert_eq!(
@@ -711,11 +618,7 @@ mod tests {
         }
         for cut in 0..buf.len() {
             let (prefix, torn) = read_frames(&buf[..cut]);
-            assert_eq!(
-                torn,
-                !boundaries.contains(&cut),
-                "tear flag at cut {cut}"
-            );
+            assert_eq!(torn, !boundaries.contains(&cut), "tear flag at cut {cut}");
             assert!(prefix.len() <= frames.len());
             assert_eq!(prefix[..], frames[..prefix.len()], "prefix at {cut}");
         }

@@ -29,7 +29,16 @@ pub const ALL_RULES: &[Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::K1, Rule::O
 /// Crates whose output feeds golden traces / fingerprint comparisons:
 /// any order instability or ambient input here silently breaks the
 /// byte-identical-trace regression suites.
-const DETERMINISTIC_CRATES: &[&str] = &["core", "kvfs", "gpu", "sim", "model", "telemetry"];
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "core",
+    "kvfs",
+    "gpu",
+    "sim",
+    "model",
+    "telemetry",
+    "rpc",
+    "serve",
+];
 
 /// Kernel-path files for `k1`: every line of these runs under a syscall or
 /// the event loop, where a panic kills the whole serving kernel.
@@ -67,15 +76,19 @@ impl Rule {
             // Wall-clock and ambient RNG poison determinism wherever they
             // appear, including test helpers that feed golden fixtures.
             Rule::D1 | Rule::D2 => true,
-            Rule::D3 => {
-                DETERMINISTIC_CRATES
-                    .iter()
-                    .any(|c| path.starts_with(&format!("crates/{c}/src/")))
-            }
+            Rule::D3 => DETERMINISTIC_CRATES
+                .iter()
+                .any(|c| path.starts_with(&format!("crates/{c}/src/"))),
             Rule::K1 => {
                 KERNEL_PATHS.contains(&path)
                     || path.starts_with("crates/kvfs/src/")
                     || path.starts_with("crates/gpu/src/")
+                    // The wire front door serves every connection from one
+                    // event loop: a panic in rpc decode or serve dispatch
+                    // drops all tenants at once. Bins are exempt via o1's
+                    // library scoping; the protocol and server libs are not.
+                    || (path.starts_with("crates/rpc/src/") && is_library_file(path))
+                    || (path.starts_with("crates/serve/src/") && is_library_file(path))
             }
             Rule::O1 => is_library_file(path),
             Rule::O2 => path.starts_with("crates/telemetry/src/"),

@@ -1,0 +1,824 @@
+//! SYMR — the Symphony wire protocol.
+//!
+//! The paper's thesis is "serve programs, not prompts": a client hands the
+//! server an *LLM Inference Program* and the server streams its output
+//! back. This crate is the wire format of that hand-off, shared by the
+//! `symphony-serve` front door and the `symphony-client` load generator —
+//! and small enough that a third party can implement a compatible client
+//! from `docs/SERVING.md` alone (the document is normative; this crate is
+//! the reference implementation).
+//!
+//! Framing reuses the workspace-wide `[tag u8][len u32][payload][crc u32]`
+//! discipline from [`symphony_sim::frame`] — the same bytes-on-disk rules
+//! as the KVFS journal (`SYMJ`) and the kernel WAL (`SYMW`), proven by
+//! their torn-tail chaos suites. On a stream transport there is no "torn
+//! tail", only frames that have not finished arriving; [`FrameReader`]
+//! separates that (wait for more bytes) from corruption (typed
+//! [`WireError`], connection must die).
+//!
+//! Everything here is pure data-in/data-out: no sockets, no clocks, no
+//! allocator tricks — which is what lets the protocol round-trip under
+//! property tests and keeps the serving loop deterministic.
+
+use symphony_sim::frame::{
+    append_frame, frame_crc, push_str, push_u32, push_u64, Cursor, FRAME_OVERHEAD,
+};
+
+/// Protocol magic, carried in the HELLO payload (not a stream preamble:
+/// byte 0 of a connection is already a frame tag).
+pub const WIRE_MAGIC: [u8; 4] = *b"SYMR";
+
+/// Current protocol version. A server refuses other versions with
+/// [`ErrCode::BadVersion`]; the rules for compatible evolution are in
+/// docs/SERVING.md §Versioning.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Default cap on a single frame's payload length. Submissions larger
+/// than this are refused with [`ErrCode::FrameTooLarge`] before any
+/// allocation of the payload happens.
+pub const DEFAULT_MAX_FRAME: u32 = 1 << 20;
+
+/// Session id `0` is reserved: in an [`ServerMsg::Error`] it marks a
+/// connection-scope error. Clients allocate ids starting at 1.
+pub const CONN_SCOPE: u64 = 0;
+
+// ---- opcodes ---------------------------------------------------------------
+
+/// Client→server opcodes (frame tags). Server→client tags have the high
+/// bit set, so a direction mix-up is caught at decode time.
+pub mod op {
+    /// First frame on every connection: magic, version, tenant.
+    pub const HELLO: u8 = 0x01;
+    /// Submit a LipScript program under a client-chosen session id.
+    pub const SUBMIT: u8 = 0x02;
+    /// Cancel a running session.
+    pub const CANCEL: u8 = 0x03;
+    /// Liveness/RTT probe.
+    pub const PING: u8 = 0x04;
+    /// Clean shutdown: no more submissions follow.
+    pub const BYE: u8 = 0x05;
+    /// Hello accepted; server is ready for submissions.
+    pub const HELLO_OK: u8 = 0x81;
+    /// Submission accepted and spawned as a kernel process.
+    pub const ACCEPTED: u8 = 0x82;
+    /// One incremental chunk of a session's streamed output.
+    pub const STREAM: u8 = 0x83;
+    /// Session finished; final status and usage.
+    pub const DONE: u8 = 0x84;
+    /// Typed error, session- or connection-scoped.
+    pub const ERROR: u8 = 0x85;
+    /// Reply to PING, echoing its nonce.
+    pub const PONG: u8 = 0x86;
+    /// Reply to BYE; the server closes after sending it.
+    pub const BYE_OK: u8 = 0x87;
+}
+
+// ---- typed errors ----------------------------------------------------------
+
+/// Typed error codes carried by [`ServerMsg::Error`] frames. Codes are
+/// stable wire values: new codes may be appended, existing ones never
+/// renumbered (docs/SERVING.md §Error codes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ErrCode {
+    /// HELLO payload did not start with `SYMR`.
+    BadMagic,
+    /// HELLO carried an unsupported protocol version.
+    BadVersion,
+    /// A frame failed its checksum or its payload did not decode.
+    BadFrame,
+    /// Unknown opcode for this direction.
+    UnknownOpcode,
+    /// Frame length exceeded the server's cap.
+    FrameTooLarge,
+    /// The first frame on the connection was not HELLO.
+    NotHello,
+    /// SUBMIT reused a session id that is still live on this connection.
+    DuplicateSession,
+    /// CANCEL named a session this connection does not own.
+    NoSuchSession,
+    /// The tenant is at its concurrent-session quota; submission shed.
+    QuotaExceeded,
+    /// The server is at its global session cap; submission shed.
+    ServerBusy,
+    /// Program source exceeded the server's size limit.
+    SourceTooLarge,
+    /// The program was rejected before it ran (e.g. reserved session id).
+    ProgramRejected,
+    /// The session was cancelled (by request or connection teardown).
+    Cancelled,
+    /// The client did not drain its stream; the server shed the
+    /// connection's sessions to bound its buffers.
+    SlowClient,
+    /// Server-side invariant failure.
+    Internal,
+}
+
+impl ErrCode {
+    /// Stable wire value.
+    pub fn code(self) -> u16 {
+        match self {
+            ErrCode::BadMagic => 1,
+            ErrCode::BadVersion => 2,
+            ErrCode::BadFrame => 3,
+            ErrCode::UnknownOpcode => 4,
+            ErrCode::FrameTooLarge => 5,
+            ErrCode::NotHello => 6,
+            ErrCode::DuplicateSession => 7,
+            ErrCode::NoSuchSession => 8,
+            ErrCode::QuotaExceeded => 9,
+            ErrCode::ServerBusy => 10,
+            ErrCode::SourceTooLarge => 11,
+            ErrCode::ProgramRejected => 12,
+            ErrCode::Cancelled => 13,
+            ErrCode::SlowClient => 14,
+            ErrCode::Internal => 15,
+        }
+    }
+
+    /// Parses a wire value back to the code, `None` for unknown values
+    /// (a newer peer; treat as fatal but unrenderable).
+    pub fn from_code(v: u16) -> Option<ErrCode> {
+        Some(match v {
+            1 => ErrCode::BadMagic,
+            2 => ErrCode::BadVersion,
+            3 => ErrCode::BadFrame,
+            4 => ErrCode::UnknownOpcode,
+            5 => ErrCode::FrameTooLarge,
+            6 => ErrCode::NotHello,
+            7 => ErrCode::DuplicateSession,
+            8 => ErrCode::NoSuchSession,
+            9 => ErrCode::QuotaExceeded,
+            10 => ErrCode::ServerBusy,
+            11 => ErrCode::SourceTooLarge,
+            12 => ErrCode::ProgramRejected,
+            13 => ErrCode::Cancelled,
+            14 => ErrCode::SlowClient,
+            15 => ErrCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Whether this error tears down the whole connection (true) or only
+    /// the named session (false).
+    pub fn is_conn_fatal(self) -> bool {
+        matches!(
+            self,
+            ErrCode::BadMagic
+                | ErrCode::BadVersion
+                | ErrCode::BadFrame
+                | ErrCode::UnknownOpcode
+                | ErrCode::FrameTooLarge
+                | ErrCode::NotHello
+                | ErrCode::SlowClient
+        )
+    }
+}
+
+impl core::fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            ErrCode::BadMagic => "bad magic",
+            ErrCode::BadVersion => "unsupported protocol version",
+            ErrCode::BadFrame => "malformed frame",
+            ErrCode::UnknownOpcode => "unknown opcode",
+            ErrCode::FrameTooLarge => "frame too large",
+            ErrCode::NotHello => "first frame must be HELLO",
+            ErrCode::DuplicateSession => "session id already live",
+            ErrCode::NoSuchSession => "no such session",
+            ErrCode::QuotaExceeded => "tenant quota exceeded",
+            ErrCode::ServerBusy => "server at session capacity",
+            ErrCode::SourceTooLarge => "program source too large",
+            ErrCode::ProgramRejected => "program rejected",
+            ErrCode::Cancelled => "session cancelled",
+            ErrCode::SlowClient => "client not draining stream",
+            ErrCode::Internal => "internal server error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How a session finished, as carried by [`ServerMsg::Done`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Program returned cleanly.
+    Ok,
+    /// Program returned a typed error (detail string holds it).
+    Error,
+    /// Program crashed (panicked) inside the kernel sandbox.
+    Crashed,
+    /// Session was cancelled before the program finished.
+    Cancelled,
+}
+
+impl SessionStatus {
+    /// Stable wire value.
+    pub fn code(self) -> u8 {
+        match self {
+            SessionStatus::Ok => 0,
+            SessionStatus::Error => 1,
+            SessionStatus::Crashed => 2,
+            SessionStatus::Cancelled => 3,
+        }
+    }
+
+    /// Parses a wire value.
+    pub fn from_code(v: u8) -> Option<SessionStatus> {
+        Some(match v {
+            0 => SessionStatus::Ok,
+            1 => SessionStatus::Error,
+            2 => SessionStatus::Crashed,
+            3 => SessionStatus::Cancelled,
+            _ => return None,
+        })
+    }
+}
+
+// ---- messages --------------------------------------------------------------
+
+/// Client→server messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientMsg {
+    /// Connection opener: protocol magic + version + tenant identity.
+    Hello {
+        /// Protocol version the client speaks.
+        version: u32,
+        /// Tenant id for admission/quota at the door.
+        tenant: u64,
+    },
+    /// Submit a LipScript program as a new session.
+    Submit {
+        /// Client-chosen session id, unique among this connection's live
+        /// sessions; must not be [`CONN_SCOPE`].
+        session: u64,
+        /// Virtual arrival time floor in nanoseconds: the server spawns
+        /// the program no earlier than this instant on its virtual clock.
+        /// `0` means "now". Lets a load generator replay traces with
+        /// simulated client RTT deterministically.
+        not_before_ns: u64,
+        /// Interpreter fuel budget, `0` for the server default.
+        fuel: u64,
+        /// Program name (telemetry/track label).
+        name: String,
+        /// Argument string passed to the program (`args()` builtin).
+        args: String,
+        /// LipScript source text.
+        source: String,
+    },
+    /// Cancel a live session.
+    Cancel {
+        /// Session to cancel.
+        session: u64,
+    },
+    /// Liveness probe; server echoes the nonce in a PONG.
+    Ping {
+        /// Opaque echo value.
+        nonce: u64,
+    },
+    /// Clean shutdown request.
+    Bye,
+}
+
+/// Server→client messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerMsg {
+    /// HELLO accepted.
+    HelloOk {
+        /// Version the server speaks (today: always [`WIRE_VERSION`]).
+        version: u32,
+        /// Server identity string, for operators.
+        server: String,
+    },
+    /// SUBMIT accepted; the program is spawned as kernel process `pid`.
+    Accepted {
+        /// Echoed session id.
+        session: u64,
+        /// Kernel pid executing the program.
+        pid: u64,
+    },
+    /// One streamed output chunk from `emit`/`emit_tokens`.
+    Stream {
+        /// Owning session.
+        session: u64,
+        /// Virtual time of the emission on the server clock (ns).
+        at_ns: u64,
+        /// Token count of the chunk (0 for plain-text emits).
+        tokens: u64,
+        /// The chunk text.
+        text: String,
+    },
+    /// Session finished.
+    Done {
+        /// Owning session.
+        session: u64,
+        /// Virtual completion time on the server clock (ns).
+        at_ns: u64,
+        /// Outcome class.
+        status: SessionStatus,
+        /// Human-readable detail (the typed `SysError` display for
+        /// `Error`, empty otherwise).
+        detail: String,
+        /// Tokens the program emitted.
+        emitted_tokens: u64,
+        /// Tokens the program ran through `pred`.
+        pred_tokens: u64,
+    },
+    /// Typed error. `session == CONN_SCOPE` marks a connection-scope
+    /// error; [`ErrCode::is_conn_fatal`] says whether the connection dies.
+    Error {
+        /// Session scope, or [`CONN_SCOPE`].
+        session: u64,
+        /// Typed code.
+        code: ErrCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// PING reply.
+    Pong {
+        /// Echoed nonce.
+        nonce: u64,
+    },
+    /// BYE reply; the server closes the connection after sending it.
+    ByeOk,
+}
+
+impl ClientMsg {
+    /// Appends this message as one SYMR frame to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let mut p = Vec::new();
+        let tag = match self {
+            ClientMsg::Hello { version, tenant } => {
+                p.extend_from_slice(&WIRE_MAGIC);
+                push_u32(&mut p, *version);
+                push_u64(&mut p, *tenant);
+                op::HELLO
+            }
+            ClientMsg::Submit {
+                session,
+                not_before_ns,
+                fuel,
+                name,
+                args,
+                source,
+            } => {
+                push_u64(&mut p, *session);
+                push_u64(&mut p, *not_before_ns);
+                push_u64(&mut p, *fuel);
+                push_str(&mut p, name);
+                push_str(&mut p, args);
+                push_str(&mut p, source);
+                op::SUBMIT
+            }
+            ClientMsg::Cancel { session } => {
+                push_u64(&mut p, *session);
+                op::CANCEL
+            }
+            ClientMsg::Ping { nonce } => {
+                push_u64(&mut p, *nonce);
+                op::PING
+            }
+            ClientMsg::Bye => op::BYE,
+        };
+        append_frame(out, tag, &p);
+    }
+
+    /// Decodes a client frame. [`ErrCode::UnknownOpcode`] for server-side
+    /// tags, [`ErrCode::BadFrame`] for a payload that does not parse
+    /// exactly (trailing bytes included).
+    pub fn decode(tag: u8, payload: &[u8]) -> Result<ClientMsg, ErrCode> {
+        let mut c = Cursor::new(payload);
+        let msg = match tag {
+            op::HELLO => {
+                let magic = c.take(4).ok_or(ErrCode::BadFrame)?;
+                if magic != WIRE_MAGIC {
+                    return Err(ErrCode::BadMagic);
+                }
+                ClientMsg::Hello {
+                    version: c.u32().ok_or(ErrCode::BadFrame)?,
+                    tenant: c.u64().ok_or(ErrCode::BadFrame)?,
+                }
+            }
+            op::SUBMIT => ClientMsg::Submit {
+                session: c.u64().ok_or(ErrCode::BadFrame)?,
+                not_before_ns: c.u64().ok_or(ErrCode::BadFrame)?,
+                fuel: c.u64().ok_or(ErrCode::BadFrame)?,
+                name: c.str().ok_or(ErrCode::BadFrame)?,
+                args: c.str().ok_or(ErrCode::BadFrame)?,
+                source: c.str().ok_or(ErrCode::BadFrame)?,
+            },
+            op::CANCEL => ClientMsg::Cancel {
+                session: c.u64().ok_or(ErrCode::BadFrame)?,
+            },
+            op::PING => ClientMsg::Ping {
+                nonce: c.u64().ok_or(ErrCode::BadFrame)?,
+            },
+            op::BYE => ClientMsg::Bye,
+            _ => return Err(ErrCode::UnknownOpcode),
+        };
+        if !c.done() {
+            return Err(ErrCode::BadFrame);
+        }
+        Ok(msg)
+    }
+}
+
+impl ServerMsg {
+    /// Appends this message as one SYMR frame to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let mut p = Vec::new();
+        let tag = match self {
+            ServerMsg::HelloOk { version, server } => {
+                push_u32(&mut p, *version);
+                push_str(&mut p, server);
+                op::HELLO_OK
+            }
+            ServerMsg::Accepted { session, pid } => {
+                push_u64(&mut p, *session);
+                push_u64(&mut p, *pid);
+                op::ACCEPTED
+            }
+            ServerMsg::Stream {
+                session,
+                at_ns,
+                tokens,
+                text,
+            } => {
+                push_u64(&mut p, *session);
+                push_u64(&mut p, *at_ns);
+                push_u64(&mut p, *tokens);
+                push_str(&mut p, text);
+                op::STREAM
+            }
+            ServerMsg::Done {
+                session,
+                at_ns,
+                status,
+                detail,
+                emitted_tokens,
+                pred_tokens,
+            } => {
+                push_u64(&mut p, *session);
+                push_u64(&mut p, *at_ns);
+                p.push(status.code());
+                push_str(&mut p, detail);
+                push_u64(&mut p, *emitted_tokens);
+                push_u64(&mut p, *pred_tokens);
+                op::DONE
+            }
+            ServerMsg::Error {
+                session,
+                code,
+                detail,
+            } => {
+                push_u64(&mut p, *session);
+                p.extend_from_slice(&code.code().to_le_bytes());
+                push_str(&mut p, detail);
+                op::ERROR
+            }
+            ServerMsg::Pong { nonce } => {
+                push_u64(&mut p, *nonce);
+                op::PONG
+            }
+            ServerMsg::ByeOk => op::BYE_OK,
+        };
+        append_frame(out, tag, &p);
+    }
+
+    /// Decodes a server frame (client side).
+    pub fn decode(tag: u8, payload: &[u8]) -> Result<ServerMsg, ErrCode> {
+        let mut c = Cursor::new(payload);
+        let msg = match tag {
+            op::HELLO_OK => ServerMsg::HelloOk {
+                version: c.u32().ok_or(ErrCode::BadFrame)?,
+                server: c.str().ok_or(ErrCode::BadFrame)?,
+            },
+            op::ACCEPTED => ServerMsg::Accepted {
+                session: c.u64().ok_or(ErrCode::BadFrame)?,
+                pid: c.u64().ok_or(ErrCode::BadFrame)?,
+            },
+            op::STREAM => ServerMsg::Stream {
+                session: c.u64().ok_or(ErrCode::BadFrame)?,
+                at_ns: c.u64().ok_or(ErrCode::BadFrame)?,
+                tokens: c.u64().ok_or(ErrCode::BadFrame)?,
+                text: c.str().ok_or(ErrCode::BadFrame)?,
+            },
+            op::DONE => ServerMsg::Done {
+                session: c.u64().ok_or(ErrCode::BadFrame)?,
+                at_ns: c.u64().ok_or(ErrCode::BadFrame)?,
+                status: c
+                    .u8()
+                    .and_then(SessionStatus::from_code)
+                    .ok_or(ErrCode::BadFrame)?,
+                detail: c.str().ok_or(ErrCode::BadFrame)?,
+                emitted_tokens: c.u64().ok_or(ErrCode::BadFrame)?,
+                pred_tokens: c.u64().ok_or(ErrCode::BadFrame)?,
+            },
+            op::ERROR => {
+                let session = c.u64().ok_or(ErrCode::BadFrame)?;
+                let raw = c.take(2).ok_or(ErrCode::BadFrame)?;
+                let code = ErrCode::from_code(u16::from_le_bytes([raw[0], raw[1]]))
+                    .ok_or(ErrCode::BadFrame)?;
+                ServerMsg::Error {
+                    session,
+                    code,
+                    detail: c.str().ok_or(ErrCode::BadFrame)?,
+                }
+            }
+            op::PONG => ServerMsg::Pong {
+                nonce: c.u64().ok_or(ErrCode::BadFrame)?,
+            },
+            op::BYE_OK => ServerMsg::ByeOk,
+            _ => return Err(ErrCode::UnknownOpcode),
+        };
+        if !c.done() {
+            return Err(ErrCode::BadFrame);
+        }
+        Ok(msg)
+    }
+}
+
+// ---- incremental frame reader ----------------------------------------------
+
+/// A fatal stream-decode failure. Unlike the on-disk journals, a live
+/// stream never "truncates and continues": a failed checksum means the
+/// two ends have lost framing and the connection must die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// A frame announced a payload longer than the configured cap. Caught
+    /// from the 5 header bytes, before buffering the payload.
+    TooLarge {
+        /// Announced payload length.
+        len: u32,
+        /// Configured cap.
+        max: u32,
+    },
+    /// A complete frame arrived with a bad checksum.
+    Corrupt,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::TooLarge { len, max } => {
+                write!(f, "frame payload {len} bytes exceeds cap {max}")
+            }
+            WireError::Corrupt => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl WireError {
+    /// The typed error code a server reports for this failure.
+    pub fn err_code(self) -> ErrCode {
+        match self {
+            WireError::TooLarge { .. } => ErrCode::FrameTooLarge,
+            WireError::Corrupt => ErrCode::BadFrame,
+        }
+    }
+}
+
+/// Incremental frame decoder for a byte stream: feed arbitrary slices,
+/// pop complete `(tag, payload)` frames. Short input is "not yet", never
+/// an error; a completed frame with a bad CRC (or an oversized length
+/// prefix) is a [`WireError`] and the reader is poisoned.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    pos: usize,
+    max_frame: u32,
+    poisoned: bool,
+}
+
+impl FrameReader {
+    /// A reader with the [`DEFAULT_MAX_FRAME`] payload cap.
+    pub fn new() -> Self {
+        Self::with_max_frame(DEFAULT_MAX_FRAME)
+    }
+
+    /// A reader with an explicit payload cap.
+    pub fn with_max_frame(max_frame: u32) -> Self {
+        FrameReader {
+            buf: Vec::new(),
+            pos: 0,
+            max_frame,
+            poisoned: false,
+        }
+    }
+
+    /// Appends raw received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Reclaim consumed prefix before growing, keeping the buffer
+        // bounded by one frame plus one read's worth of bytes.
+        if self.pos > 0 && self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > self.buf.len().saturating_sub(self.pos) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pops the next complete frame. `Ok(None)` means "need more bytes".
+    /// After an `Err` the reader stays poisoned and returns the same
+    /// error forever — the connection is unrecoverable.
+    pub fn next_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, WireError> {
+        if self.poisoned {
+            return Err(WireError::Corrupt);
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 5 {
+            return Ok(None);
+        }
+        let tag = avail[0];
+        let len = u32::from_le_bytes([avail[1], avail[2], avail[3], avail[4]]);
+        if len > self.max_frame {
+            self.poisoned = true;
+            return Err(WireError::TooLarge {
+                len,
+                max: self.max_frame,
+            });
+        }
+        let total = FRAME_OVERHEAD + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = &avail[5..5 + len as usize];
+        let stored = u32::from_le_bytes([
+            avail[total - 4],
+            avail[total - 3],
+            avail[total - 2],
+            avail[total - 1],
+        ]);
+        if stored != frame_crc(tag, payload) {
+            self.poisoned = true;
+            return Err(WireError::Corrupt);
+        }
+        let frame = (tag, payload.to_vec());
+        self.pos += total;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_msgs() -> Vec<ClientMsg> {
+        vec![
+            ClientMsg::Hello {
+                version: WIRE_VERSION,
+                tenant: 3,
+            },
+            ClientMsg::Submit {
+                session: 1,
+                not_before_ns: 5_000,
+                fuel: 0,
+                name: "agent".into(),
+                args: "q=42".into(),
+                source: "emit(\"hi\")".into(),
+            },
+            ClientMsg::Cancel { session: 1 },
+            ClientMsg::Ping { nonce: 99 },
+            ClientMsg::Bye,
+        ]
+    }
+
+    #[test]
+    fn client_messages_round_trip() {
+        for msg in sample_msgs() {
+            let mut buf = Vec::new();
+            msg.encode(&mut buf);
+            let mut r = FrameReader::new();
+            r.feed(&buf);
+            let (tag, payload) = r.next_frame().unwrap().unwrap();
+            assert_eq!(ClientMsg::decode(tag, &payload).unwrap(), msg);
+            assert_eq!(r.next_frame().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn server_messages_round_trip() {
+        let msgs = vec![
+            ServerMsg::HelloOk {
+                version: WIRE_VERSION,
+                server: "symphony-serve/0.1".into(),
+            },
+            ServerMsg::Accepted { session: 1, pid: 7 },
+            ServerMsg::Stream {
+                session: 1,
+                at_ns: 123,
+                tokens: 4,
+                text: "four tokens!".into(),
+            },
+            ServerMsg::Done {
+                session: 1,
+                at_ns: 456,
+                status: SessionStatus::Ok,
+                detail: String::new(),
+                emitted_tokens: 12,
+                pred_tokens: 80,
+            },
+            ServerMsg::Error {
+                session: CONN_SCOPE,
+                code: ErrCode::QuotaExceeded,
+                detail: "tenant 3 at 2 sessions".into(),
+            },
+            ServerMsg::Pong { nonce: 99 },
+            ServerMsg::ByeOk,
+        ];
+        for msg in msgs {
+            let mut buf = Vec::new();
+            msg.encode(&mut buf);
+            let mut r = FrameReader::new();
+            r.feed(&buf);
+            let (tag, payload) = r.next_frame().unwrap().unwrap();
+            assert_eq!(ServerMsg::decode(tag, &payload).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_feeding_reassembles_frames() {
+        let mut buf = Vec::new();
+        for m in sample_msgs() {
+            m.encode(&mut buf);
+        }
+        let mut r = FrameReader::new();
+        let mut seen = Vec::new();
+        for b in &buf {
+            r.feed(std::slice::from_ref(b));
+            while let Some((tag, payload)) = r.next_frame().unwrap() {
+                seen.push(ClientMsg::decode(tag, &payload).unwrap());
+            }
+        }
+        assert_eq!(seen, sample_msgs());
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn corrupt_frame_poisons_reader() {
+        let mut buf = Vec::new();
+        ClientMsg::Ping { nonce: 1 }.encode(&mut buf);
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let mut r = FrameReader::new();
+        r.feed(&buf);
+        assert_eq!(r.next_frame(), Err(WireError::Corrupt));
+        // Poisoned forever, even if valid bytes follow.
+        let mut good = Vec::new();
+        ClientMsg::Bye.encode(&mut good);
+        r.feed(&good);
+        assert_eq!(r.next_frame(), Err(WireError::Corrupt));
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_from_header_alone() {
+        let mut r = FrameReader::with_max_frame(16);
+        // Header announcing a 1 GiB payload; only 5 bytes ever arrive.
+        r.feed(&[op::SUBMIT, 0, 0, 0, 0x40]);
+        assert_eq!(
+            r.next_frame(),
+            Err(WireError::TooLarge {
+                len: 0x4000_0000,
+                max: 16
+            })
+        );
+    }
+
+    #[test]
+    fn wrong_direction_and_trailing_bytes_are_typed_errors() {
+        let mut buf = Vec::new();
+        ServerMsg::Pong { nonce: 3 }.encode(&mut buf);
+        let mut r = FrameReader::new();
+        r.feed(&buf);
+        let (tag, payload) = r.next_frame().unwrap().unwrap();
+        assert_eq!(
+            ClientMsg::decode(tag, &payload),
+            Err(ErrCode::UnknownOpcode)
+        );
+
+        let mut p = Vec::new();
+        ClientMsg::Ping { nonce: 3 }.encode(&mut p);
+        // Re-frame the ping payload with a trailing junk byte.
+        let mut junk = p[5..5 + 8].to_vec();
+        junk.push(0xee);
+        assert_eq!(ClientMsg::decode(op::PING, &junk), Err(ErrCode::BadFrame));
+    }
+
+    #[test]
+    fn err_codes_round_trip_and_classify() {
+        for v in 1..=15u16 {
+            let c = ErrCode::from_code(v).unwrap();
+            assert_eq!(c.code(), v);
+            assert!(!c.to_string().is_empty());
+        }
+        assert_eq!(ErrCode::from_code(0), None);
+        assert_eq!(ErrCode::from_code(999), None);
+        assert!(ErrCode::BadFrame.is_conn_fatal());
+        assert!(!ErrCode::QuotaExceeded.is_conn_fatal());
+    }
+}

@@ -1,0 +1,509 @@
+//! Loopback replay: a deterministic load generator for the front door.
+//!
+//! Drives a [`ServerCore`] through an in-memory "wire" with a simulated
+//! client↔server RTT: a submission sent at client time `t` reaches the
+//! server at `t + rtt/2` (encoded as the SUBMIT's `not_before_ns` floor),
+//! and a frame the server stamps at virtual `at_ns` is observed by the
+//! client at `at_ns + rtt/2`. Everything — arrival jitter, fault
+//! placement, program shapes — derives from one seed, so two replays of
+//! the same spec produce byte-identical wire traffic and reports. That
+//! determinism is load-bearing: the e2e suite and the CI smoke job diff
+//! two runs.
+//!
+//! Programs are rendered from the workload generators in
+//! `symphony-workloads`: agent traces become tool-calling LipScript
+//! programs, RAG requests become fork-of-shared-prefix programs over the
+//! server's preloaded `doc{n}.kv` corpus.
+
+use std::collections::BTreeMap;
+
+use symphony::{Kernel, KernelConfig, Mode, SimDuration, ToolOutcome, ToolSpec};
+use symphony_rpc::{ClientMsg, ErrCode, FrameReader, ServerMsg, SessionStatus, WIRE_VERSION};
+use symphony_sim::Rng;
+use symphony_workloads::agent::AgentWorkload;
+use symphony_workloads::rag::RagWorkload;
+
+use crate::server::{CloseReason, ServeConfig, ServerCore};
+
+/// Number of preloaded shared RAG document prefixes (`doc0.kv` ..).
+pub const RAG_DOCS: usize = 4;
+
+/// Which program family a replay submits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Tool-calling agents: generate, call a server-side tool, repeat.
+    Agent,
+    /// RAG over shared document prefixes: fork `doc{n}.kv`, append the
+    /// question, generate.
+    Rag,
+}
+
+/// One replay's shape. All randomness flows from `seed`.
+#[derive(Debug, Clone)]
+pub struct ReplaySpec {
+    /// Program family.
+    pub workload: WorkloadKind,
+    /// Total submissions.
+    pub sessions: usize,
+    /// Connections the sessions are spread over (round-robin).
+    pub conns: usize,
+    /// Distinct tenants (connection `i` authenticates as `i % tenants + 1`).
+    pub tenants: u64,
+    /// Simulated client↔server round-trip time.
+    pub rtt: SimDuration,
+    /// Mean client-side gap between submissions (jittered ±50%).
+    pub mean_gap: SimDuration,
+    /// Seed for jitter and program shapes.
+    pub seed: u64,
+    /// Sever this many connections (the highest-numbered ones) right
+    /// after submission, exercising the conn-drop fault path.
+    pub drop_conns: usize,
+    /// Collapse the send window of this many connections (the
+    /// lowest-numbered ones) to force SlowClient sheds.
+    pub slow_conns: usize,
+}
+
+impl Default for ReplaySpec {
+    fn default() -> Self {
+        ReplaySpec {
+            workload: WorkloadKind::Agent,
+            sessions: 24,
+            conns: 4,
+            tenants: 2,
+            rtt: SimDuration::from_millis(20),
+            mean_gap: SimDuration::from_millis(5),
+            seed: 1,
+            drop_conns: 0,
+            slow_conns: 0,
+        }
+    }
+}
+
+/// Client-observed outcome of one submitted program.
+#[derive(Debug, Clone)]
+pub struct ProgramStat {
+    /// Session id (1-based, unique across the replay).
+    pub session: u64,
+    /// Connection that carried it.
+    pub conn: u64,
+    /// Tenant it ran under.
+    pub tenant: u64,
+    /// Client virtual time of the SUBMIT.
+    pub submit_ns: u64,
+    /// Client-observed time to first streamed byte, if any arrived.
+    pub ttft_ns: Option<u64>,
+    /// Client-observed end-to-end latency, if a DONE arrived.
+    pub latency_ns: Option<u64>,
+    /// Streamed chunks observed.
+    pub chunks: u64,
+    /// Final status from DONE, if one arrived.
+    pub status: Option<SessionStatus>,
+    /// Tokens emitted per DONE accounting.
+    pub emitted_tokens: u64,
+    /// Typed refusal, if the submission was shed at the door.
+    pub shed: Option<ErrCode>,
+}
+
+/// Everything a replay observed, client-side.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Per-program outcomes, in session order.
+    pub programs: Vec<ProgramStat>,
+    /// Concatenated streamed text per session (byte-identical across
+    /// same-seed runs; the determinism tests diff this).
+    pub streamed: BTreeMap<u64, String>,
+    /// Close reason per connection.
+    pub closes: BTreeMap<u64, Option<CloseReason>>,
+    /// Total wire bytes the client received.
+    pub wire_bytes: u64,
+}
+
+impl ReplayReport {
+    fn percentile(values: &mut [u64], p: f64) -> Option<u64> {
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_unstable();
+        let idx = ((p / 100.0) * (values.len() - 1) as f64).round() as usize;
+        values.get(idx).copied()
+    }
+
+    /// Client-observed TTFT percentile in nanoseconds.
+    pub fn ttft_p(&self, p: f64) -> Option<u64> {
+        let mut v: Vec<u64> = self.programs.iter().filter_map(|s| s.ttft_ns).collect();
+        Self::percentile(&mut v, p)
+    }
+
+    /// Client-observed per-program latency percentile in nanoseconds.
+    pub fn latency_p(&self, p: f64) -> Option<u64> {
+        let mut v: Vec<u64> = self.programs.iter().filter_map(|s| s.latency_ns).collect();
+        Self::percentile(&mut v, p)
+    }
+
+    /// Programs that completed with a DONE{Ok}.
+    pub fn completed(&self) -> usize {
+        self.programs
+            .iter()
+            .filter(|s| s.status == Some(SessionStatus::Ok))
+            .count()
+    }
+
+    /// Programs refused at the door, by code.
+    pub fn sheds(&self) -> BTreeMap<ErrCode, usize> {
+        let mut m = BTreeMap::new();
+        for s in &self.programs {
+            if let Some(code) = s.shed {
+                *m.entry(code).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+
+    /// Total streamed tokens observed across all sessions.
+    pub fn streamed_tokens(&self) -> u64 {
+        self.programs.iter().map(|s| s.emitted_tokens).sum()
+    }
+
+    /// Deterministic human-readable summary (the load generator's stdout).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let ms = |v: Option<u64>| match v {
+            Some(ns) => format!("{:.2} ms", ns as f64 / 1e6),
+            None => "n/a".to_string(),
+        };
+        out.push_str(&format!(
+            "programs: {} submitted, {} completed, {} streamed tokens\n",
+            self.programs.len(),
+            self.completed(),
+            self.streamed_tokens(),
+        ));
+        out.push_str(&format!(
+            "client-observed ttft:    p50 {}  p99 {}\n",
+            ms(self.ttft_p(50.0)),
+            ms(self.ttft_p(99.0)),
+        ));
+        out.push_str(&format!(
+            "client-observed latency: p50 {}  p99 {}\n",
+            ms(self.latency_p(50.0)),
+            ms(self.latency_p(99.0)),
+        ));
+        let sheds = self.sheds();
+        if sheds.is_empty() {
+            out.push_str("sheds: none\n");
+        } else {
+            for (code, n) in &sheds {
+                out.push_str(&format!("sheds: {n} x {code} (code {})\n", code.code()));
+            }
+        }
+        for (conn, reason) in &self.closes {
+            out.push_str(&format!(
+                "conn {conn}: {}\n",
+                reason
+                    .map(|r| format!("closed ({r:?})"))
+                    .unwrap_or_else(|| "open".into()),
+            ));
+        }
+        out.push_str(&format!("wire: {} bytes received\n", self.wire_bytes));
+        out
+    }
+}
+
+/// Builds a kernel with the standard serving environment: a shared system
+/// prompt, `RAG_DOCS` shared document prefixes (`doc0.kv` ..) and the
+/// `echo`/`time` demo tools — the same environment `lip_run` provides,
+/// plus the corpus.
+pub fn standard_kernel(cfg: KernelConfig) -> Kernel {
+    let mut kernel = Kernel::new(cfg);
+    let sys = kernel
+        .tokenizer()
+        .encode("you are a helpful assistant running as a user program");
+    kernel
+        .preload_kv("sys_msg.kv", &sys, Mode::SHARED_READ, true)
+        // lint:allow(k1): preload into a fresh kernel cannot collide
+        .expect("preload system prompt");
+    for doc in 0..RAG_DOCS {
+        let text = format!(
+            "document {doc}: symphony serves programs, not prompts; topic {doc} reference text"
+        );
+        let toks = kernel.tokenizer().encode(&text);
+        kernel
+            .preload_kv(&format!("doc{doc}.kv"), &toks, Mode::SHARED_READ, true)
+            // lint:allow(k1): doc names are distinct by construction
+            .expect("preload corpus doc");
+    }
+    kernel.register_tool(
+        "echo",
+        ToolSpec::fixed(SimDuration::from_millis(5), |args| {
+            ToolOutcome::Ok(args.to_string())
+        }),
+    );
+    kernel.register_tool(
+        "time",
+        ToolSpec::fixed(SimDuration::from_millis(1), |_| {
+            ToolOutcome::Ok("simulated-epoch".to_string())
+        }),
+    );
+    kernel
+}
+
+/// Renders a tool-calling agent as LipScript: `calls` rounds of
+/// (generate up to `seg` tokens, invoke `echo`, feed the result back).
+pub fn agent_source(calls: usize, seg: usize) -> String {
+    format!(
+        r#"let q = args();
+let kv = kv_create();
+let toks = tokenize("agent: " + q);
+let d = pred(kv, toks, 0)[len(toks) - 1];
+let pos = len(toks);
+let total = 0;
+let i = 0;
+while (i < {calls}) {{
+    let n = 0;
+    while (n < {seg}) {{
+        let t = argmax(d);
+        if (t == eos()) {{ break; }}
+        emit_token(t);
+        d = pred(kv, [t], pos)[0];
+        pos = pos + 1;
+        n = n + 1;
+    }}
+    total = total + n;
+    let r = call_tool("echo", "step " + str(i) + " " + q);
+    emit("[tool " + str(i) + ": " + r + "]");
+    let rt = tokenize(r);
+    d = pred(kv, rt, pos)[len(rt) - 1];
+    pos = pos + len(rt);
+    i = i + 1;
+}}
+emit("[agent done: " + str(total) + "]");
+kv_remove(kv);
+"#
+    )
+}
+
+/// Renders a RAG request as LipScript: fork the shared `doc{{topic}}.kv`
+/// prefix, append the question, generate up to `gen` tokens. The args
+/// string carries `topic|question`.
+pub fn rag_source(gen: usize) -> String {
+    format!(
+        r#"let parts = split(args(), "|");
+let kv = kv_fork(kv_open("doc" + parts[0] + ".kv"));
+let toks = tokenize("q: " + parts[1]);
+let d = pred(kv, toks, kv_len(kv))[len(toks) - 1];
+let pos = kv_len(kv);
+let n = 0;
+while (n < {gen}) {{
+    let t = argmax(d);
+    if (t == eos()) {{ break; }}
+    emit_token(t);
+    d = pred(kv, [t], pos)[0];
+    pos = pos + 1;
+    n = n + 1;
+}}
+emit("[rag done: " + str(n) + "]");
+kv_remove(kv);
+"#
+    )
+}
+
+/// One prepared submission.
+struct Job {
+    session: u64,
+    conn_idx: usize,
+    submit_ns: u64,
+    name: String,
+    args: String,
+    source: String,
+}
+
+fn build_jobs(spec: &ReplaySpec) -> Vec<Job> {
+    let mut rng = Rng::new(spec.seed ^ 0x5e7e);
+    let mut agent = AgentWorkload::new(&["echo", "time"], 2, 12, 16, spec.rtt, spec.seed);
+    let mut rag = RagWorkload::new(RAG_DOCS, 1.2, 50.0, spec.seed);
+    let mut t = 0u64;
+    (0..spec.sessions)
+        .map(|i| {
+            let jitter = 0.5 + rng.next_f64();
+            t += (spec.mean_gap.as_nanos() as f64 * jitter) as u64;
+            let (name, args, source) = match spec.workload {
+                WorkloadKind::Agent => {
+                    let trace = agent.next_trace();
+                    let seg = trace
+                        .gen_segments
+                        .first()
+                        .copied()
+                        .unwrap_or(8)
+                        .clamp(4, 24);
+                    (
+                        format!("agent-{}", i + 1),
+                        format!("task {}", i + 1),
+                        agent_source(trace.calls.len().clamp(1, 3), seg),
+                    )
+                }
+                WorkloadKind::Rag => {
+                    let req = rag.next_request();
+                    (
+                        format!("rag-{}", i + 1),
+                        format!("{}|{}", req.topic % RAG_DOCS, req.query),
+                        rag_source(16),
+                    )
+                }
+            };
+            Job {
+                session: (i + 1) as u64,
+                conn_idx: i % spec.conns,
+                submit_ns: t,
+                name,
+                args,
+                source,
+            }
+        })
+        .collect()
+}
+
+/// Runs a replay against a fresh [`ServerCore`] built from `serve_cfg`
+/// and the standard kernel environment.
+pub fn run_replay(spec: &ReplaySpec, serve_cfg: ServeConfig) -> ReplayReport {
+    let core = ServerCore::new(standard_kernel(KernelConfig::for_tests()), serve_cfg);
+    run_replay_on(spec, core).0
+}
+
+/// Runs a replay against an existing core; returns the report and the
+/// spent core (kernel trace/metrics/telemetry access for harnesses).
+pub fn run_replay_on(spec: &ReplaySpec, mut core: ServerCore) -> (ReplayReport, ServerCore) {
+    let half_rtt = spec.rtt.as_nanos() / 2;
+    let jobs = build_jobs(spec);
+
+    // Open + HELLO every connection.
+    let conn_ids: Vec<u64> = (0..spec.conns).map(|_| core.open_conn()).collect();
+    let mut readers: BTreeMap<u64, FrameReader> = BTreeMap::new();
+    for (i, &conn) in conn_ids.iter().enumerate() {
+        let tenant = (i as u64 % spec.tenants) + 1;
+        let mut wire = Vec::new();
+        ClientMsg::Hello {
+            version: WIRE_VERSION,
+            tenant,
+        }
+        .encode(&mut wire);
+        core.feed(conn, &wire);
+        readers.insert(conn, FrameReader::new());
+    }
+
+    // Collapse send windows on the first `slow_conns` connections.
+    for &conn in conn_ids.iter().take(spec.slow_conns) {
+        core.set_conn_window(conn, 256);
+    }
+
+    // Feed every submission with its arrival floor; ACCEPTED/ERROR replies
+    // appear synchronously, streamed output comes from the pump.
+    let mut stats: BTreeMap<u64, ProgramStat> = BTreeMap::new();
+    for job in &jobs {
+        let conn = conn_ids[job.conn_idx];
+        let tenant = (job.conn_idx as u64 % spec.tenants) + 1;
+        let mut wire = Vec::new();
+        ClientMsg::Submit {
+            session: job.session,
+            not_before_ns: job.submit_ns + half_rtt,
+            fuel: 0,
+            name: job.name.clone(),
+            args: job.args.clone(),
+            source: job.source.clone(),
+        }
+        .encode(&mut wire);
+        core.feed(conn, &wire);
+        stats.insert(
+            job.session,
+            ProgramStat {
+                session: job.session,
+                conn,
+                tenant,
+                submit_ns: job.submit_ns,
+                ttft_ns: None,
+                latency_ns: None,
+                chunks: 0,
+                status: None,
+                emitted_tokens: 0,
+                shed: None,
+            },
+        );
+    }
+
+    // Sever the last `drop_conns` connections before the run: their
+    // sessions are cancelled server-side and stream nothing.
+    for &conn in conn_ids.iter().rev().take(spec.drop_conns) {
+        core.drop_conn(conn);
+    }
+
+    core.pump();
+
+    // Polite shutdown on the survivors, then drain the wire client-side.
+    for &conn in &conn_ids {
+        if !core.is_closed(conn) {
+            let mut wire = Vec::new();
+            ClientMsg::Bye.encode(&mut wire);
+            core.feed(conn, &wire);
+        }
+    }
+    core.pump();
+
+    let mut streamed: BTreeMap<u64, String> = BTreeMap::new();
+    let mut wire_bytes = 0u64;
+    for &conn in &conn_ids {
+        let bytes = core.take_output(conn);
+        wire_bytes += bytes.len() as u64;
+        // lint:allow(k1): reader was inserted for every conn above
+        let reader = readers.get_mut(&conn).expect("reader exists");
+        reader.feed(&bytes);
+        while let Some((tag, payload)) = reader.next_frame().ok().flatten() {
+            let Ok(msg) = ServerMsg::decode(tag, &payload) else {
+                continue;
+            };
+            match msg {
+                ServerMsg::Stream {
+                    session,
+                    at_ns,
+                    tokens: _,
+                    text,
+                } => {
+                    if let Some(s) = stats.get_mut(&session) {
+                        let observed = at_ns + half_rtt;
+                        s.ttft_ns
+                            .get_or_insert(observed.saturating_sub(s.submit_ns));
+                        s.chunks += 1;
+                        streamed.entry(session).or_default().push_str(&text);
+                    }
+                }
+                ServerMsg::Done {
+                    session,
+                    at_ns,
+                    status,
+                    emitted_tokens,
+                    ..
+                } => {
+                    if let Some(s) = stats.get_mut(&session) {
+                        s.latency_ns = Some((at_ns + half_rtt).saturating_sub(s.submit_ns));
+                        s.status = Some(status);
+                        s.emitted_tokens = emitted_tokens;
+                    }
+                }
+                ServerMsg::Error { session, code, .. } => {
+                    if let Some(s) = stats.get_mut(&session) {
+                        s.shed = Some(code);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let report = ReplayReport {
+        programs: stats.into_values().collect(),
+        streamed,
+        closes: conn_ids
+            .iter()
+            .map(|&c| (c, core.close_reason(c)))
+            .collect(),
+        wire_bytes,
+    };
+    (report, core)
+}

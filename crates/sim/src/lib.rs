@@ -28,6 +28,7 @@
 
 pub mod dist;
 pub mod events;
+pub mod frame;
 pub mod retry;
 pub mod rng;
 pub mod stats;

@@ -31,6 +31,10 @@ pub const SCHED_TID: u64 = 1;
 pub const GPU_PID: u64 = 1_000_000;
 /// The batch track's tid inside [`GPU_PID`].
 pub const GPU_TID: u64 = 1;
+/// The synthetic pid hosting the serving front door's track (one thread
+/// lane per client connection). Only materialised when serve events are
+/// present, so kernel-only traces render byte-identically to before.
+pub const SERVE_PID: u64 = 2_000_000;
 
 /// Virtual nanoseconds as a trace-format `ts` literal (microseconds with
 /// three decimals — exact, so no float formatting is involved).
@@ -105,8 +109,26 @@ impl Writer {
         );
     }
 
-    fn span(&mut self, ph: &str, at: SimTime, pid: u64, tid: u64, name: &str, args: Option<String>) {
-        push_event(&mut self.out, &mut self.first, ph, Some(at), pid, tid, name, args, None);
+    fn span(
+        &mut self,
+        ph: &str,
+        at: SimTime,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        args: Option<String>,
+    ) {
+        push_event(
+            &mut self.out,
+            &mut self.first,
+            ph,
+            Some(at),
+            pid,
+            tid,
+            name,
+            args,
+            None,
+        );
     }
 
     fn instant(&mut self, at: SimTime, pid: u64, tid: u64, name: &str, args: Option<String>) {
@@ -136,8 +158,9 @@ impl Writer {
         self.out.push_str(ph);
         self.out.push_str("\",\"ts\":");
         self.out.push_str(&ts(at));
-        self.out
-            .push_str(&format!(",\"pid\":{pid},\"tid\":{tid},\"cat\":\"flow\",\"id\":{id},\"name\":"));
+        self.out.push_str(&format!(
+            ",\"pid\":{pid},\"tid\":{tid},\"cat\":\"flow\",\"id\":{id},\"name\":"
+        ));
         push_quoted(&mut self.out, name);
         if ph == "f" {
             self.out.push_str(",\"bp\":\"e\"");
@@ -185,6 +208,7 @@ fn export(events: &[TimedEvent], flows: bool) -> String {
     // gets a name. The first thread observed for a pid is its main thread.
     let mut proc_names: BTreeMap<u64, String> = BTreeMap::new();
     let mut threads: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut serve_conns: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
     for ev in events {
         match &ev.kind {
             EventKind::ProcessSpawn { pid, name } => {
@@ -196,6 +220,12 @@ fn export(events: &[TimedEvent], flows: bool) -> String {
                     tids.push(*tid);
                 }
             }
+            EventKind::ConnOpen { conn, .. }
+            | EventKind::ConnClose { conn, .. }
+            | EventKind::SessionBegin { conn, .. }
+            | EventKind::SessionEnd { conn, .. } => {
+                serve_conns.insert(*conn);
+            }
             _ => {}
         }
     }
@@ -203,8 +233,18 @@ fn export(events: &[TimedEvent], flows: bool) -> String {
     let mut w = Writer::new();
 
     // Metadata: fixed tracks first, then LIP processes in pid order.
-    w.meta(KERNEL_PID, None, "process_name", "{\"name\":\"kernel\"}".into());
-    w.meta(KERNEL_PID, None, "process_sort_index", "{\"sort_index\":0}".into());
+    w.meta(
+        KERNEL_PID,
+        None,
+        "process_name",
+        "{\"name\":\"kernel\"}".into(),
+    );
+    w.meta(
+        KERNEL_PID,
+        None,
+        "process_sort_index",
+        "{\"sort_index\":0}".into(),
+    );
     w.meta(
         KERNEL_PID,
         Some(SCHED_TID),
@@ -212,8 +252,40 @@ fn export(events: &[TimedEvent], flows: bool) -> String {
         "{\"name\":\"scheduler\"}".into(),
     );
     w.meta(GPU_PID, None, "process_name", "{\"name\":\"gpu\"}".into());
-    w.meta(GPU_PID, None, "process_sort_index", "{\"sort_index\":1}".into());
-    w.meta(GPU_PID, Some(GPU_TID), "thread_name", "{\"name\":\"batches\"}".into());
+    w.meta(
+        GPU_PID,
+        None,
+        "process_sort_index",
+        "{\"sort_index\":1}".into(),
+    );
+    w.meta(
+        GPU_PID,
+        Some(GPU_TID),
+        "thread_name",
+        "{\"name\":\"batches\"}".into(),
+    );
+    if !serve_conns.is_empty() {
+        w.meta(
+            SERVE_PID,
+            None,
+            "process_name",
+            "{\"name\":\"serve\"}".into(),
+        );
+        w.meta(
+            SERVE_PID,
+            None,
+            "process_sort_index",
+            "{\"sort_index\":2}".into(),
+        );
+        for conn in &serve_conns {
+            w.meta(
+                SERVE_PID,
+                Some(*conn),
+                "thread_name",
+                format!("{{\"name\":\"conn {conn}\"}}"),
+            );
+        }
+    }
     let pids: Vec<u64> = proc_names
         .keys()
         .chain(threads.keys())
@@ -226,7 +298,12 @@ fn export(events: &[TimedEvent], flows: bool) -> String {
             Some(name) => format!("{name} (pid {pid})"),
             None => format!("pid {pid}"),
         };
-        w.meta(pid, None, "process_name", format!("{{\"name\":{}}}", quoted(&label)));
+        w.meta(
+            pid,
+            None,
+            "process_name",
+            format!("{{\"name\":{}}}", quoted(&label)),
+        );
         w.meta(
             pid,
             None,
@@ -267,13 +344,25 @@ fn export(events: &[TimedEvent], flows: bool) -> String {
                 );
             }
             EventKind::ProcessExit { pid, ok } => {
-                w.instant(at, *pid, 0, "process_exit", Some(format!("{{\"ok\":{ok}}}")));
+                w.instant(
+                    at,
+                    *pid,
+                    0,
+                    "process_exit",
+                    Some(format!("{{\"ok\":{ok}}}")),
+                );
             }
             EventKind::ThreadSpawn { pid, tid } => {
                 w.instant(at, *pid, *tid, "thread_spawn", None);
             }
             EventKind::ThreadExit { pid, tid, ok } => {
-                w.instant(at, *pid, *tid, "thread_exit", Some(format!("{{\"ok\":{ok}}}")));
+                w.instant(
+                    at,
+                    *pid,
+                    *tid,
+                    "thread_exit",
+                    Some(format!("{{\"ok\":{ok}}}")),
+                );
             }
             EventKind::SyscallEnter { pid, tid, name } => {
                 w.span("B", at, *pid, *tid, &format!("sys:{name}"), None);
@@ -296,7 +385,9 @@ fn export(events: &[TimedEvent], flows: bool) -> String {
                     KERNEL_PID,
                     SCHED_TID,
                     "pred_enqueue",
-                    Some(format!("{{\"tid\":{tid},\"tokens\":{tokens},\"pool\":{pool}}}")),
+                    Some(format!(
+                        "{{\"tid\":{tid},\"tokens\":{tokens},\"pool\":{pool}}}"
+                    )),
                 );
             }
             EventKind::PredRequeue { tid, attempt } => {
@@ -427,7 +518,9 @@ fn export(events: &[TimedEvent], flows: bool) -> String {
                     *pid,
                     *tid,
                     &format!("tool:{tool}"),
-                    Some(format!("{{\"attempts\":{attempts},\"latency_ns\":{latency_ns}}}")),
+                    Some(format!(
+                        "{{\"attempts\":{attempts},\"latency_ns\":{latency_ns}}}"
+                    )),
                 );
             }
             EventKind::ToolRetry {
@@ -478,7 +571,13 @@ fn export(events: &[TimedEvent], flows: bool) -> String {
                 w.instant(at, *pid, 0, "deadline_hit", None);
             }
             EventKind::KvOffload { pid, file } => {
-                w.instant(at, *pid, 0, "kv_offload", Some(format!("{{\"file\":{file}}}")));
+                w.instant(
+                    at,
+                    *pid,
+                    0,
+                    "kv_offload",
+                    Some(format!("{{\"file\":{file}}}")),
+                );
             }
             EventKind::KvRestore { pid, tokens } => {
                 w.instant(
@@ -555,7 +654,14 @@ fn export(events: &[TimedEvent], flows: bool) -> String {
                 enqueued_at,
             } => {
                 if flows {
-                    w.flow("s", *enqueued_at, KERNEL_PID, SCHED_TID, "flow:sched", flow_id);
+                    w.flow(
+                        "s",
+                        *enqueued_at,
+                        KERNEL_PID,
+                        SCHED_TID,
+                        "flow:sched",
+                        flow_id,
+                    );
                     w.flow("f", at, GPU_PID, GPU_TID, "flow:sched", flow_id);
                     flow_id += 1;
                     w.instant(
@@ -579,6 +685,54 @@ fn export(events: &[TimedEvent], flows: bool) -> String {
                         Some(format!("{{\"sys\":{}}}", quoted(sys))),
                     );
                 }
+            }
+            EventKind::ConnOpen { conn, tenant } => {
+                w.instant(
+                    at,
+                    SERVE_PID,
+                    *conn,
+                    "conn_open",
+                    Some(format!("{{\"tenant\":{tenant}}}")),
+                );
+            }
+            EventKind::ConnClose { conn, reason } => {
+                w.instant(
+                    at,
+                    SERVE_PID,
+                    *conn,
+                    "conn_close",
+                    Some(format!("{{\"reason\":{}}}", quoted(reason))),
+                );
+            }
+            EventKind::SessionBegin {
+                conn,
+                session,
+                pid,
+                tenant,
+            } => {
+                w.span(
+                    "B",
+                    at,
+                    SERVE_PID,
+                    *conn,
+                    &format!("session:{session}"),
+                    Some(format!("{{\"pid\":{pid},\"tenant\":{tenant}}}")),
+                );
+            }
+            EventKind::SessionEnd {
+                conn,
+                session,
+                pid,
+                ok,
+            } => {
+                w.span(
+                    "E",
+                    at,
+                    SERVE_PID,
+                    *conn,
+                    &format!("session:{session}"),
+                    Some(format!("{{\"pid\":{pid},\"ok\":{ok}}}")),
+                );
             }
         }
     }
@@ -664,9 +818,7 @@ mod tests {
                     {
                         match o.get("args") {
                             Some(serde_json::Value::Object(a)) => match a.get("name") {
-                                Some(serde_json::Value::String(v)) => {
-                                    Some(format!("{n}={v}"))
-                                }
+                                Some(serde_json::Value::String(v)) => Some(format!("{n}={v}")),
                                 _ => None,
                             },
                             _ => None,

@@ -201,6 +201,38 @@ pub enum EventKind {
         tid: u64,
         sys: &'static str,
     },
+    /// A front-door client connection opened (serving layer). Rendered on
+    /// the dedicated serve track; absent from kernel-only traces.
+    ConnOpen {
+        /// Server-assigned connection id.
+        conn: u64,
+        /// Tenant the connection authenticated as.
+        tenant: u64,
+    },
+    /// A front-door client connection closed (clean bye, drop fault, or
+    /// protocol error).
+    ConnClose {
+        conn: u64,
+        /// Close cause: `"bye"`, `"drop"`, `"error"`, `"slow"`.
+        reason: &'static str,
+    },
+    /// A submitted program was accepted and spawned: the session span
+    /// opens (serve track, one thread lane per connection).
+    SessionBegin {
+        conn: u64,
+        /// Client-chosen session id (unique per connection).
+        session: u64,
+        /// Kernel process actually running the program.
+        pid: u64,
+        tenant: u64,
+    },
+    /// The session's program finished (or was cancelled): the span closes.
+    SessionEnd {
+        conn: u64,
+        session: u64,
+        pid: u64,
+        ok: bool,
+    },
 }
 
 /// An event stamped with virtual time.

@@ -40,14 +40,17 @@ pub mod trace_tree;
 pub use bus::{Collector, EventBus};
 pub use chrome::{
     export_chrome_trace, export_chrome_trace_with_flows, GPU_PID, GPU_TID, KERNEL_PID, SCHED_TID,
+    SERVE_PID,
 };
-pub use critical_path::{analyze, critical_path as program_critical_path, render_report,
-    LatencyBreakdown, Phase, PHASES};
+pub use critical_path::{
+    analyze, critical_path as program_critical_path, render_report, LatencyBreakdown, Phase, PHASES,
+};
 pub use event::{EdgeKind, EventKind, SwapDir, TimedEvent};
 pub use flame::collapsed_stacks;
 pub use metrics::{
     latency_bounds_ns, occupancy_bounds, percent_bounds, Counter, Gauge, Histogram, MetricValue,
     MetricsRegistry, MetricsSnapshot,
 };
-pub use trace_tree::{build_forest, CausalLink, ExecWindow, ProgramTrace, SyscallSpan,
-    ThreadTrace, TraceForest};
+pub use trace_tree::{
+    build_forest, CausalLink, ExecWindow, ProgramTrace, SyscallSpan, ThreadTrace, TraceForest,
+};
