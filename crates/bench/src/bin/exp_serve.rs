@@ -67,6 +67,7 @@ fn run_cell(
         seed: 0xe16,
         drop_conns: 0,
         slow_conns: 0,
+        hostile_every: 0,
     };
     let mut serve_cfg = ServeConfig::default();
     serve_cfg.tenant_session_quota = quota.unwrap_or(usize::MAX);
@@ -79,6 +80,7 @@ fn run_cell(
         workload: match workload {
             WorkloadKind::Agent => "agent".into(),
             WorkloadKind::Rag => "rag".into(),
+            WorkloadKind::MixedCost => "mixed-cost".into(),
         },
         sessions,
         rtt_ms,

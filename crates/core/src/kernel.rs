@@ -363,6 +363,9 @@ struct KernelMetrics {
     checkpoints: Counter,
     /// Durable bytes in the kernel WAL (header + synced frames).
     wal_bytes: Gauge,
+    /// Admission-time static cost hints installed on the scheduler
+    /// ([`Kernel::set_cost_hint`]).
+    cost_hints: Counter,
 }
 
 impl KernelMetrics {
@@ -382,6 +385,7 @@ impl KernelMetrics {
             replayed_frames: registry.counter("kernel.replayed_frames"),
             checkpoints: registry.counter("kernel.checkpoints"),
             wal_bytes: registry.gauge("kernel.wal_bytes"),
+            cost_hints: registry.counter("sched.cost_hints"),
         }
     }
 }
@@ -771,6 +775,19 @@ impl Kernel {
             },
         );
         pid
+    }
+
+    /// Installs an admission-time static cost hint for a program: the
+    /// verifier's upper bound on critical-path pred tokens
+    /// ([`EffectSummary::service_estimate`] in `symphony-lipscript`), or
+    /// `None` when the bound is statically unbounded. The continuous
+    /// executor's MLFQ adds the hint to observed service when picking a
+    /// queue level, so known-cheap programs keep top priority and
+    /// unbounded ones start at the bottom of the ladder. A no-op beyond
+    /// bookkeeping under FIFO or the batch executor.
+    pub fn set_cost_hint(&mut self, pid: Pid, est_service_tokens: Option<u64>) {
+        self.cqueue.set_static_hint(pid.0, est_service_tokens);
+        self.kmetrics.cost_hints.inc();
     }
 
     // ---- durable (crash-tolerant) process API ---------------------------------
@@ -1452,6 +1469,11 @@ impl Kernel {
         self.registry
             .counter_value("sched.prefill_chunks")
             .unwrap_or(0)
+    }
+
+    /// Static cost hints installed via [`Kernel::set_cost_hint`].
+    pub fn cost_hints(&self) -> u64 {
+        self.registry.counter_value("sched.cost_hints").unwrap_or(0)
     }
 
     /// Injected-fault counters for this run.

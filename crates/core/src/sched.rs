@@ -269,12 +269,23 @@ impl Default for MlfqConfig {
 /// speculation — but speculative entries queue one level below the
 /// program's current level, so they never starve another program's
 /// blocking work.
+/// Optionally, an admission-time *static cost hint* (the verifier's upper
+/// bound on critical-path pred tokens) seeds a program's ladder position
+/// before it has consumed anything: a program known to be cheap keeps top
+/// priority for its whole (short) life, while a program whose cost is
+/// statically unbounded starts at the bottom instead of riding level 0 at
+/// the expense of genuinely short work. Hints only ever *add* to observed
+/// service — the discipline stays non-clairvoyant about anything the
+/// verifier could not bound.
 #[derive(Debug)]
 pub struct ProgramQueue<T> {
     discipline: QueueDiscipline,
     levels: Vec<VecDeque<T>>,
     /// Accumulated critical-path service (tokens) per program id.
     service: BTreeMap<u64, u64>,
+    /// Static service estimate per program id, added to observed service
+    /// when picking a level.
+    hints: BTreeMap<u64, u64>,
 }
 
 impl<T> ProgramQueue<T> {
@@ -290,6 +301,7 @@ impl<T> ProgramQueue<T> {
             discipline,
             levels: (0..n).map(|_| VecDeque::new()).collect(),
             service: BTreeMap::new(),
+            hints: BTreeMap::new(),
         }
     }
 
@@ -308,7 +320,12 @@ impl<T> ProgramQueue<T> {
         match self.discipline {
             QueueDiscipline::Fifo => 0,
             QueueDiscipline::Mlfq(cfg) => {
-                let service = self.service.get(&pid).copied().unwrap_or(0);
+                let service = self
+                    .service
+                    .get(&pid)
+                    .copied()
+                    .unwrap_or(0)
+                    .saturating_add(self.hints.get(&pid).copied().unwrap_or(0));
                 let mut level = 0usize;
                 let mut bound = cfg.quantum_tokens.max(1);
                 while service >= bound && level + 1 < cfg.levels.max(1) {
@@ -356,9 +373,35 @@ impl<T> ProgramQueue<T> {
         self.service.get(&pid).copied().unwrap_or(0)
     }
 
-    /// Drops the service record of a finished program.
+    /// Installs an admission-time cost hint for `pid`. `Some(tokens)` is
+    /// the verifier's upper bound on critical-path pred tokens; `None`
+    /// means the bound is statically unbounded and seeds the bottom of
+    /// the ladder so the program cannot crowd genuinely short work out of
+    /// level 0. Under FIFO this is recorded but has no effect.
+    pub fn set_static_hint(&mut self, pid: u64, est_tokens: Option<u64>) {
+        let hint = match (est_tokens, self.discipline) {
+            (Some(t), _) => t,
+            (None, QueueDiscipline::Mlfq(cfg)) => {
+                // Enough synthetic service to bottom out `level_for`'s
+                // geometric ladder from the very first enqueue.
+                let shift = (cfg.levels.max(1) as u32 - 1).min(63);
+                cfg.quantum_tokens.max(1).saturating_mul(1u64 << shift)
+            }
+            (None, QueueDiscipline::Fifo) => 0,
+        };
+        self.hints.insert(pid, hint);
+    }
+
+    /// The static cost hint currently installed for a program, if any.
+    pub fn static_hint_of(&self, pid: u64) -> Option<u64> {
+        self.hints.get(&pid).copied()
+    }
+
+    /// Drops the service record (and any static hint) of a finished
+    /// program.
     pub fn forget(&mut self, pid: u64) {
         self.service.remove(&pid);
+        self.hints.remove(&pid);
     }
 }
 
@@ -630,5 +673,58 @@ mod tests {
         q.forget(7);
         assert_eq!(q.service_of(7), 0);
         assert_eq!(q.level_for(7, true), 0);
+    }
+
+    #[test]
+    fn mlfq_cheap_static_hint_keeps_top_priority() {
+        let cfg = MlfqConfig {
+            levels: 4,
+            quantum_tokens: 100,
+        };
+        let mut q: ProgramQueue<u32> = ProgramQueue::new(QueueDiscipline::Mlfq(cfg));
+        q.set_static_hint(1, Some(5));
+        assert_eq!(q.static_hint_of(1), Some(5));
+        assert_eq!(q.level_for(1, true), 0, "known-cheap stays at level 0");
+        // Hints add to observed service: 95 observed + 5 hinted = quantum.
+        q.charge(1, true, 95);
+        assert_eq!(q.level_for(1, true), 1, "demotes once hint+service crosses");
+    }
+
+    #[test]
+    fn mlfq_unbounded_static_hint_seeds_bottom_of_ladder() {
+        let cfg = MlfqConfig {
+            levels: 4,
+            quantum_tokens: 100,
+        };
+        let mut q: ProgramQueue<u32> = ProgramQueue::new(QueueDiscipline::Mlfq(cfg));
+        q.set_static_hint(1, None);
+        assert_eq!(
+            q.level_for(1, true),
+            cfg.levels - 1,
+            "statically unbounded program starts at the bottom"
+        );
+        // Short work still beats it without having to wait for demotion.
+        q.push(1, true, 10);
+        q.push(2, true, 20);
+        assert_eq!(q.pop(), Some(20));
+        assert_eq!(q.pop(), Some(10));
+    }
+
+    #[test]
+    fn program_queue_forget_clears_static_hint() {
+        let mut q: ProgramQueue<()> =
+            ProgramQueue::new(QueueDiscipline::Mlfq(MlfqConfig::default()));
+        q.set_static_hint(3, None);
+        assert!(q.level_for(3, true) > 0);
+        q.forget(3);
+        assert_eq!(q.static_hint_of(3), None);
+        assert_eq!(q.level_for(3, true), 0);
+    }
+
+    #[test]
+    fn fifo_ignores_static_hints() {
+        let mut q: ProgramQueue<u32> = ProgramQueue::new(QueueDiscipline::Fifo);
+        q.set_static_hint(1, None);
+        assert_eq!(q.level_for(1, true), 0);
     }
 }

@@ -38,6 +38,10 @@ const DETERMINISTIC_CRATES: &[&str] = &[
     "telemetry",
     "rpc",
     "serve",
+    // The LipScript front end runs inside the serving door: parse +
+    // verify must produce identical diagnostics and effect summaries on
+    // every replica, or admission decisions diverge across a fleet.
+    "lipscript",
 ];
 
 /// Kernel-path files for `k1`: every line of these runs under a syscall or
@@ -47,6 +51,10 @@ const KERNEL_PATHS: &[&str] = &[
     "crates/core/src/syscall.rs",
     "crates/core/src/sched.rs",
     "crates/core/src/resilience.rs",
+    // The admission verifier runs on every SUBMIT inside the serve event
+    // loop; a panic while checking or rendering a hostile program is a
+    // remote denial of service.
+    "crates/lipscript/src/verify.rs",
 ];
 
 impl Rule {

@@ -1,0 +1,28 @@
+//! Fixture: the verifier's diagnostic-rendering path must stay panic-free.
+//! Every line here runs on the serve event loop against *attacker-chosen*
+//! program text — an index or unwrap that a hostile source can reach is a
+//! remote denial of service. The bad half must fire k1; the good half
+//! shows the total alternatives and must stay quiet.
+
+pub struct Diag {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+// BAD: panicking calls while turning diagnostics into wire details.
+pub fn first_error_detail_bad(diags: &[Diag], name: &str) -> String {
+    let d = diags.first().unwrap();
+    let head = name.split(':').next().expect("name has a head");
+    if d.message.is_empty() {
+        panic!("diagnostic without a message");
+    }
+    format!("{head}:{}:{}: {}", d.line, d.col, d.message)
+}
+
+// GOOD: total rendering — absent diagnostics and odd names fall back.
+pub fn first_error_detail(diags: &[Diag], name: &str) -> Option<String> {
+    let d = diags.first()?;
+    let head = name.split(':').next().unwrap_or(name);
+    Some(format!("{head}:{}:{}: {}", d.line, d.col, d.message))
+}

@@ -196,3 +196,31 @@ fn explain_covers_every_rule() {
         assert!(text.len() > 100, "explanations are documentation, not stubs");
     }
 }
+
+#[test]
+fn k1_covers_the_verifier_rendering_path() {
+    let src = include_str!("fixtures/k1_verifier_rendering.rs");
+    let v = lint("crates/lipscript/src/verify.rs", src);
+    let k1: Vec<_> = v.iter().filter(|v| v.rule == Rule::K1).collect();
+    assert!(
+        k1.len() >= 3,
+        "unwrap, expect and panic! must fire on the verifier path: {k1:?}"
+    );
+    assert!(
+        k1.iter().all(|v| v.line <= 21),
+        "the total rendering half must stay quiet: {k1:?}"
+    );
+    // The same snippet outside the admission path is out of scope for k1.
+    let elsewhere = lint("crates/workloads/src/fixture.rs", src);
+    assert!(!elsewhere.iter().any(|v| v.rule == Rule::K1));
+}
+
+#[test]
+fn d3_applies_to_the_lipscript_front_end() {
+    let src = include_str!("fixtures/d3_hash_collections.rs");
+    let v = lint("crates/lipscript/src/interp.rs", src);
+    assert!(
+        v.iter().filter(|v| v.rule == Rule::D3).count() >= 2,
+        "order-unstable collections must fire in lipscript: {v:?}"
+    );
+}

@@ -4,16 +4,23 @@
 //! program as data, the server runs it sandboxed and streams its output.
 //!
 //! ```text
-//! lip_run <program.lip> [args-string] [--fuel N] [--trace]
+//! lip_run <program.lip> [args-string] [--fuel N] [--trace] [--no-verify]
 //! ```
+//!
+//! Programs are parsed and verified before execution — the same admission
+//! check the serving door applies — and diagnostics print in compiler
+//! style (`file:line:col: message`). `--no-verify` skips the verifier and
+//! lets the interpreter fault at runtime instead.
 //!
 //! Exit code 0 on clean completion, 1 on program failure, 2 on usage error.
 
 use symphony::{Kernel, KernelConfig, Mode, SimDuration, SysError, ToolOutcome, ToolSpec};
+use symphony_lipscript::parse::parse;
+use symphony_lipscript::verify::verify;
 use symphony_lipscript::{run_lip, InterpLimits};
 
 fn usage() -> ! {
-    eprintln!("usage: lip_run <program.lip> [args-string] [--fuel N] [--trace]");
+    eprintln!("usage: lip_run <program.lip> [args-string] [--fuel N] [--trace] [--no-verify]");
     std::process::exit(2);
 }
 
@@ -22,6 +29,7 @@ fn main() {
     let mut program_args = String::new();
     let mut fuel = 10_000_000u64;
     let mut trace = false;
+    let mut no_verify = false;
     let mut positional = 0;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -33,6 +41,7 @@ fn main() {
                     .unwrap_or_else(|| usage());
             }
             "--trace" => trace = true,
+            "--no-verify" => no_verify = true,
             "--help" | "-h" => usage(),
             _ => {
                 match positional {
@@ -52,6 +61,35 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    // Admission check before spending any kernel time: parse errors and
+    // verifier errors print compiler-style and exit 1; warnings print but
+    // don't block.
+    match parse(&src) {
+        Err(e) => {
+            eprintln!("{}", e.render(&path));
+            std::process::exit(1);
+        }
+        Ok(prog) => {
+            if !no_verify {
+                let report = verify(&prog);
+                for d in &report.diags {
+                    eprintln!(
+                        "{path}:{}:{}: {}[{}]: {}",
+                        d.span.line,
+                        d.span.col,
+                        d.severity,
+                        d.code.id(),
+                        d.message
+                    );
+                }
+                if !report.is_admissible() {
+                    eprintln!("-- rejected by verifier ({} error(s))", report.error_count());
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
 
     let mut cfg = KernelConfig::for_tests();
     cfg.trace = trace;

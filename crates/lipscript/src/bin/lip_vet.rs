@@ -1,0 +1,261 @@
+//! `lip_vet`: static verification of LipScript programs from the shell.
+//!
+//! The same analysis the serving door runs on every SUBMIT
+//! ([`symphony_lipscript::verify`]), exposed as a developer tool in the
+//! style of `symphony-lint`:
+//!
+//! ```text
+//! cargo run -p symphony-lipscript --bin lip_vet -- examples/lipscript/agent.lip
+//! cargo run -p symphony-lipscript --bin lip_vet -- --format json a.lip b.lip
+//! cargo run -p symphony-lipscript --bin lip_vet -- --effects a.lip
+//! cargo run -p symphony-lipscript --bin lip_vet -- --explain V006
+//! ```
+//!
+//! Exit codes: 0 clean (warnings allowed), 1 errors found (the door would
+//! shed this program with `VerifyRejected`), 2 usage/IO error.
+
+use std::process::ExitCode;
+
+use symphony_lipscript::verify::{verify_source, Bound, Diag, DiagCode, VerifyReport};
+use symphony_lipscript::LipError;
+
+struct Args {
+    json: bool,
+    effects: bool,
+    files: Vec<String>,
+}
+
+const CODES: &[(DiagCode, &str)] = &[
+    (
+        DiagCode::UndefinedVar,
+        "use of a variable that is not declared in any enclosing scope",
+    ),
+    (
+        DiagCode::UndefinedFn,
+        "call to a name that is neither a builtin nor a defined function",
+    ),
+    (DiagCode::BadArity, "call with the wrong number of arguments"),
+    (
+        DiagCode::BadSpawnTarget,
+        "spawn target string does not name a defined function",
+    ),
+    (DiagCode::StrayControlFlow, "break or continue outside a loop"),
+    (
+        DiagCode::TypeMisuse,
+        "operation applied to a value whose type makes it fault (definite misuse only)",
+    ),
+    (
+        DiagCode::UseAfterRemove,
+        "kv operation on a binding after kv_remove of that binding in straight-line code",
+    ),
+    (
+        DiagCode::ShadowedBuiltin,
+        "function definition hidden by a builtin of the same name (calls hit the builtin)",
+    ),
+    (
+        DiagCode::DuplicateFn,
+        "duplicate function definition; the first definition wins",
+    ),
+];
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        effects: false,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("human") => args.json = false,
+                other => return Err(format!("--format expects json|human, got {other:?}")),
+            },
+            "--effects" => args.effects = true,
+            "--explain" => {
+                let id = it.next().ok_or("--explain expects a diagnostic code")?;
+                for (code, why) in CODES {
+                    if code.id().eq_ignore_ascii_case(&id) {
+                        println!("{}: {why}", code.id());
+                        std::process::exit(0);
+                    }
+                }
+                return Err(format!("unknown diagnostic code `{id}` (V001..V009)"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "lip_vet: admission-time static verification of LipScript\n\
+                     \n\
+                     USAGE: lip_vet [--format json|human] [--effects] [--explain CODE] FILES...\n\
+                     \n\
+                     Runs the same resolution/typing/effect analysis the serving\n\
+                     door applies to every SUBMIT. Errors mean the door would\n\
+                     shed the program with VerifyRejected; warnings admit.\n\
+                     `--effects` prints the effect & cost summary per file.\n\
+                     `--explain V006` prints the rationale for a code.\n\
+                     See docs/VERIFIER.md."
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown argument `{other}` (try --help)"))
+            }
+            path => args.files.push(path.to_string()),
+        }
+    }
+    if args.files.is_empty() {
+        return Err("no input files (try --help)".into());
+    }
+    Ok(args)
+}
+
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            '\t' => "\\t".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn bound_json(b: Bound) -> String {
+    match b.finite() {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn names_json(set: &std::collections::BTreeSet<String>) -> String {
+    let inner: Vec<String> = set.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn diag_json(path: &str, d: &Diag) -> String {
+    format!(
+        "{{\"path\":\"{}\",\"line\":{},\"col\":{},\"severity\":\"{}\",\"code\":\"{}\",\"message\":\"{}\"}}",
+        esc(path),
+        d.span.line,
+        d.span.col,
+        d.severity,
+        d.code.id(),
+        esc(&d.message)
+    )
+}
+
+fn report_json(path: &str, r: &VerifyReport, with_effects: bool) -> String {
+    let diags: Vec<String> = r.diags.iter().map(|d| diag_json(path, d)).collect();
+    let fx = &r.effects;
+    let effects = if with_effects {
+        format!(
+            ",\"effects\":{{\"uses_pred\":{},\"uses_tools\":{},\"tool_names\":{},\"uses_ipc\":{},\
+             \"uses_spawn\":{},\"spawn_targets\":{},\"kv_open_paths\":{},\"kv_link_paths\":{},\
+             \"fuel_bound\":{},\"pred_bound\":{},\"spawn_bound\":{},\"kv_file_bound\":{}}}",
+            fx.uses_pred,
+            fx.uses_tools,
+            names_json(&fx.tool_names),
+            fx.uses_ipc,
+            fx.uses_spawn,
+            names_json(&fx.spawn_targets),
+            names_json(&fx.kv_open_paths),
+            names_json(&fx.kv_link_paths),
+            bound_json(fx.fuel_bound),
+            bound_json(fx.pred_bound),
+            bound_json(fx.spawn_bound),
+            bound_json(fx.kv_file_bound),
+        )
+    } else {
+        String::new()
+    };
+    format!(
+        "{{\"path\":\"{}\",\"admissible\":{},\"diags\":[{}]{}}}",
+        esc(path),
+        r.is_admissible(),
+        diags.join(","),
+        effects
+    )
+}
+
+fn parse_error_json(path: &str, e: &LipError) -> String {
+    format!(
+        "{{\"path\":\"{}\",\"admissible\":false,\"parse_error\":\"{}\",\"line\":{},\"col\":{},\"diags\":[]}}",
+        esc(path),
+        esc(&e.message()),
+        e.span().line,
+        e.span().col,
+    )
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lip_vet: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failed = false;
+    let mut file_reports: Vec<String> = Vec::new();
+    for path in &args.files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("lip_vet: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match verify_source(&source) {
+            Err(e) => {
+                failed = true;
+                if args.json {
+                    file_reports.push(parse_error_json(path, &e));
+                } else {
+                    println!("{}", e.render(path));
+                }
+            }
+            Ok(report) => {
+                if !report.is_admissible() {
+                    failed = true;
+                }
+                if args.json {
+                    file_reports.push(report_json(path, &report, args.effects));
+                } else {
+                    for d in &report.diags {
+                        println!(
+                            "{path}:{}:{}: {}[{}]: {}",
+                            d.span.line,
+                            d.span.col,
+                            d.severity,
+                            d.code.id(),
+                            d.message
+                        );
+                    }
+                    if args.effects {
+                        println!("{path}: effects:");
+                        for line in report.effects.render().lines() {
+                            println!("  {line}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if args.json {
+        let errors = u32::from(failed);
+        println!(
+            "{{\"files\":[{}],\"failed\":{errors}}}",
+            file_reports.join(",")
+        );
+    } else if !failed && !args.effects {
+        println!("lip_vet: {} file(s) clean", args.files.len());
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

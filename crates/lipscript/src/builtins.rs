@@ -28,6 +28,26 @@ pub fn is_builtin(name: &str) -> bool {
     NAMES.contains(&name)
 }
 
+/// The fixed argument count of a builtin, `None` for non-builtins.
+///
+/// Single source of truth shared by [`call`] (runtime enforcement via
+/// [`RuntimeErrorKind::BadArity`]) and the static verifier
+/// (`crate::verify` pass 1), so the two can never disagree.
+pub fn arity_of(name: &str) -> Option<usize> {
+    Some(match name {
+        "rand" | "args" | "eos" | "kv_create" | "recv" | "now_ms" => 0,
+        "len" | "str" | "int" | "float" | "abs" | "print" | "sample" | "argmax" | "entropy"
+        | "tokenize" | "detokenize" | "kv_open" | "kv_fork" | "kv_remove" | "kv_len"
+        | "kv_next_pos" | "kv_merge" | "kv_unlink" | "kv_pin" | "kv_unpin" | "emit"
+        | "emit_token" | "emit_tokens" | "lookup" | "sleep_ms" | "join" => 1,
+        "push" | "contains" | "range" | "min" | "max" | "join_str" | "split" | "sample_t"
+        | "prob" | "top_k" | "top_p" | "constrain" | "kv_truncate" | "kv_link" | "call_tool"
+        | "send" | "spawn" => 2,
+        "slice" | "pred" | "pred_at" | "kv_extract" => 3,
+        _ => return None,
+    })
+}
+
 fn err(kind: RuntimeErrorKind, span: Span) -> RuntimeError {
     RuntimeError::new(kind, span)
 }

@@ -58,9 +58,10 @@ impl RuntimeError {
     }
 }
 
-impl fmt::Display for RuntimeError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let msg = match &self.kind {
+impl RuntimeError {
+    /// The bare message, without the `at line:col` suffix.
+    pub fn message(&self) -> String {
+        match &self.kind {
             RuntimeErrorKind::Type(m) => format!("type error: {m}"),
             RuntimeErrorKind::Undefined(n) => format!("undefined name `{n}`"),
             RuntimeErrorKind::OutOfFuel => "out of fuel".to_string(),
@@ -75,8 +76,13 @@ impl fmt::Display for RuntimeError {
             RuntimeErrorKind::BadControlFlow => {
                 "break/continue outside a loop".to_string()
             }
-        };
-        write!(f, "{} at {}", msg, self.span)
+        }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message(), self.span)
     }
 }
 
@@ -100,6 +106,31 @@ impl fmt::Display for LipError {
             LipError::Parse { message, span } => write!(f, "parse error: {message} at {span}"),
             LipError::Runtime(e) => write!(f, "runtime error: {e}"),
         }
+    }
+}
+
+impl LipError {
+    /// The position of the failure.
+    pub fn span(&self) -> Span {
+        match self {
+            LipError::Lex { span, .. } | LipError::Parse { span, .. } => *span,
+            LipError::Runtime(e) => e.span,
+        }
+    }
+
+    /// The bare message, without the `at line:col` suffix.
+    pub fn message(&self) -> String {
+        match self {
+            LipError::Lex { message, .. } => format!("lex error: {message}"),
+            LipError::Parse { message, .. } => format!("parse error: {message}"),
+            LipError::Runtime(e) => format!("runtime error: {}", e.message()),
+        }
+    }
+
+    /// Renders as `file:line:col: message` — the compiler-style format used
+    /// by `lip_run`, `lip_vet` and the SYMR SUBMIT error payload.
+    pub fn render(&self, file: &str) -> String {
+        format!("{file}:{}: {}", self.span(), self.message())
     }
 }
 

@@ -1,6 +1,6 @@
 //! The tree-walking interpreter with fuel, memory and depth metering.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::ast::{BinOp, Expr, ExprKind, Program, Stmt, StmtKind, UnOp};
@@ -42,18 +42,18 @@ pub(crate) enum Flow {
 
 /// Lexical environment: a stack of scopes.
 pub(crate) struct Env {
-    scopes: Vec<HashMap<String, Value>>,
+    scopes: Vec<BTreeMap<String, Value>>,
 }
 
 impl Env {
     fn new() -> Self {
         Env {
-            scopes: vec![HashMap::new()],
+            scopes: vec![BTreeMap::new()],
         }
     }
 
     fn push(&mut self) {
-        self.scopes.push(HashMap::new());
+        self.scopes.push(BTreeMap::new());
     }
 
     fn pop(&mut self) {

@@ -66,8 +66,10 @@ pub mod lex;
 pub mod parse;
 pub mod printer;
 pub mod value;
+pub mod verify;
 
 pub use error::{LipError, RuntimeError};
 pub use host::Host;
 pub use interp::{run_lip, run_with_host, InterpLimits, Interpreter};
 pub use value::Value;
+pub use verify::{verify, verify_source, Bound, Diag, EffectSummary, Severity, VerifyReport};

@@ -1,0 +1,1690 @@
+//! Admission-time static verification of LipScript programs.
+//!
+//! The paper's core move — clients ship *programs*, not prompts — means the
+//! server, like an OS loading eBPF, should reject bad programs **before**
+//! spending fuel, GPU time, or KV quota on them (§6 resource accounting).
+//! This module is that check: a multi-pass analyzer over the parsed AST
+//! that runs at the admission door in O(program size), with no host access.
+//!
+//! Passes:
+//!
+//! 1. **Resolution & arity** — undefined variables/functions, builtin and
+//!    user-function arity, `spawn("name", ...)` targets that don't resolve,
+//!    `break`/`continue` outside loops, variables only assigned on some
+//!    paths (via lexical scoping, mirroring the interpreter's `Env`).
+//! 2. **Abstract typing** — a flat lattice (int / float / bool / string /
+//!    list / dist / kv / thread / nil / ⊤) propagated flow-insensitively
+//!    per function body; only *definite* misuse is reported (indexing an
+//!    int, `join` on a non-thread, `pred` on a non-kv, `kv_*` after
+//!    `kv_remove` of the same binding in straight-line code).
+//! 3. **Effects & cost** — the program's syscall effect set (pred, tools,
+//!    IPC, spawns, named `kv_open`/`kv_link` paths) and conservative upper
+//!    bounds on fuel, `pred` calls, spawned threads and KV files created,
+//!    [`Bound::Finite`] where every loop is statically bounded
+//!    (`for x in <literal or range(lit, lit)>`), [`Bound::Unbounded`]
+//!    otherwise. The scheduler uses the `pred` bound as an initial service
+//!    estimate (Autellix-style program-level clairvoyance).
+//!
+//! # The no-false-positive contract
+//!
+//! The verifier must never reject a program the interpreter would run to
+//! completion. The interpreter only faults on code it actually executes, so
+//! a diagnostic is an [`Severity::Error`] only when the offending code is
+//! on the program's *guaranteed* execution path: the straight-line prefix
+//! of the top level, branches under literal conditions, the first iteration
+//! of loops over non-empty literal lists, and bodies of functions that are
+//! definitely called from such code. Everything else — dead branches,
+//! uncalled functions, spawned-thread bodies (thread faults never fail the
+//! parent program) — demotes to [`Severity::Warning`]. A property test
+//! (`tests/prop_verify.rs`) enforces this against the real interpreter.
+
+use core::fmt;
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{BinOp, Expr, ExprKind, Program, Stmt, StmtKind, UnOp};
+use crate::builtins;
+use crate::error::{LipError, Span};
+use crate::parse::parse;
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not provably fatal: the code is off the guaranteed
+    /// execution path, or the types involved are unknown (⊤).
+    Warning,
+    /// Provably faults if the program is admitted: the interpreter would
+    /// terminate the program on its guaranteed execution path.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes (documented in `docs/VERIFIER.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DiagCode {
+    /// V001: use of an undeclared variable.
+    UndefinedVar,
+    /// V002: call to a function that is neither a builtin nor defined.
+    UndefinedFn,
+    /// V003: call with the wrong number of arguments.
+    BadArity,
+    /// V004: `spawn` target that does not name a defined function.
+    BadSpawnTarget,
+    /// V005: `break`/`continue` outside any loop.
+    StrayControlFlow,
+    /// V006: operation applied to a value of a definitely-wrong type.
+    TypeMisuse,
+    /// V007: KV operation on a binding after `kv_remove` of that binding.
+    UseAfterRemove,
+    /// V008: function definition shadowed by a builtin of the same name.
+    ShadowedBuiltin,
+    /// V009: duplicate function definition (the first one wins).
+    DuplicateFn,
+}
+
+impl DiagCode {
+    /// The stable `Vnnn` identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            DiagCode::UndefinedVar => "V001",
+            DiagCode::UndefinedFn => "V002",
+            DiagCode::BadArity => "V003",
+            DiagCode::BadSpawnTarget => "V004",
+            DiagCode::StrayControlFlow => "V005",
+            DiagCode::TypeMisuse => "V006",
+            DiagCode::UseAfterRemove => "V007",
+            DiagCode::ShadowedBuiltin => "V008",
+            DiagCode::DuplicateFn => "V009",
+        }
+    }
+}
+
+/// A single verifier finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Stable code.
+    pub code: DiagCode,
+    /// Error (provably faults) or warning.
+    pub severity: Severity,
+    /// Source position of the offending node.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diag {
+    /// Renders as `file:line:col: message` — the format used by `lip_run`
+    /// and the SYMR SUBMIT error payload.
+    pub fn render(&self, file: &str) -> String {
+        format!("{file}:{}: {}", self.span, self.message)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounds and effect summaries
+// ---------------------------------------------------------------------------
+
+/// A conservative upper bound on a resource count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// At most this many (saturating).
+    Finite(u64),
+    /// No static bound (unbounded loop, recursion, or dynamic spawn).
+    Unbounded,
+}
+
+impl Bound {
+    /// Zero.
+    pub const ZERO: Bound = Bound::Finite(0);
+
+    /// Pointwise maximum.
+    pub fn max(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.max(b)),
+            _ => Bound::Unbounded,
+        }
+    }
+
+    /// `Some(n)` for a finite bound.
+    pub fn finite(self) -> Option<u64> {
+        match self {
+            Bound::Finite(n) => Some(n),
+            Bound::Unbounded => None,
+        }
+    }
+}
+
+/// Saturating addition.
+impl std::ops::Add for Bound {
+    type Output = Bound;
+    fn add(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.saturating_add(b)),
+            _ => Bound::Unbounded,
+        }
+    }
+}
+
+/// Saturating multiplication; zero short-circuits (a loop that runs
+/// zero times costs nothing even if its body is unbounded).
+impl std::ops::Mul for Bound {
+    type Output = Bound;
+    fn mul(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(0), _) | (_, Bound::Finite(0)) => Bound::Finite(0),
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.saturating_mul(b)),
+            _ => Bound::Unbounded,
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Finite(n) => write!(f, "<={n}"),
+            Bound::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// What a program can touch and how much it can cost, derived statically.
+///
+/// Fuel and `pred` bounds cover the main thread (spawned threads run on
+/// their own fuel budgets); spawn and KV-file bounds include work done by
+/// statically-resolved spawn targets, transitively.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EffectSummary {
+    /// Calls `pred`/`pred_at` (GPU work).
+    pub uses_pred: bool,
+    /// Calls `call_tool`.
+    pub uses_tools: bool,
+    /// Tool names passed as string literals.
+    pub tool_names: BTreeSet<String>,
+    /// A `call_tool` with a computed tool name exists.
+    pub dynamic_tools: bool,
+    /// Uses `send`/`recv`/`lookup` (inter-program IPC).
+    pub uses_ipc: bool,
+    /// Calls `spawn`.
+    pub uses_spawn: bool,
+    /// Spawn targets named by string literals.
+    pub spawn_targets: BTreeSet<String>,
+    /// A `spawn` with a computed target name exists (escape hatch: such a
+    /// program may reach any defined function).
+    pub dynamic_spawns: bool,
+    /// Paths passed to `kv_open` as string literals.
+    pub kv_open_paths: BTreeSet<String>,
+    /// Paths passed to `kv_link` as string literals.
+    pub kv_link_paths: BTreeSet<String>,
+    /// A `kv_open`/`kv_link` with a computed path exists.
+    pub dynamic_kv_paths: bool,
+    /// Upper bound on interpreter fuel burned by the main thread.
+    pub fuel_bound: Bound,
+    /// Upper bound on `pred`/`pred_at` calls by the main thread.
+    pub pred_bound: Bound,
+    /// Upper bound on threads spawned (transitive).
+    pub spawn_bound: Bound,
+    /// Upper bound on KV files created (transitive).
+    pub kv_file_bound: Bound,
+}
+
+impl Default for EffectSummary {
+    fn default() -> Self {
+        EffectSummary {
+            uses_pred: false,
+            uses_tools: false,
+            tool_names: BTreeSet::new(),
+            dynamic_tools: false,
+            uses_ipc: false,
+            uses_spawn: false,
+            spawn_targets: BTreeSet::new(),
+            dynamic_spawns: false,
+            kv_open_paths: BTreeSet::new(),
+            kv_link_paths: BTreeSet::new(),
+            dynamic_kv_paths: false,
+            fuel_bound: Bound::ZERO,
+            pred_bound: Bound::ZERO,
+            spawn_bound: Bound::ZERO,
+            kv_file_bound: Bound::ZERO,
+        }
+    }
+}
+
+impl EffectSummary {
+    /// The scheduler's initial service estimate: the static `pred` bound
+    /// when finite, `None` when the program is statically unbounded.
+    pub fn service_estimate(&self) -> Option<u64> {
+        self.pred_bound.finite()
+    }
+
+    /// Stable multi-line rendering (pinned as a golden fixture for the
+    /// shipped examples).
+    pub fn render(&self) -> String {
+        fn names(set: &BTreeSet<String>, dynamic: bool) -> String {
+            let mut parts: Vec<String> = set.iter().map(|s| format!("{s:?}")).collect();
+            if dynamic {
+                parts.push("<dynamic>".to_string());
+            }
+            if parts.is_empty() {
+                "none".to_string()
+            } else {
+                parts.join(", ")
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "pred: {}\n",
+            if self.uses_pred { "yes" } else { "no" }
+        ));
+        out.push_str(&format!(
+            "tools: {}\n",
+            if self.uses_tools {
+                names(&self.tool_names, self.dynamic_tools)
+            } else {
+                "none".to_string()
+            }
+        ));
+        out.push_str(&format!(
+            "ipc: {}\n",
+            if self.uses_ipc { "yes" } else { "no" }
+        ));
+        out.push_str(&format!(
+            "spawn targets: {}\n",
+            if self.uses_spawn {
+                names(&self.spawn_targets, self.dynamic_spawns)
+            } else {
+                "none".to_string()
+            }
+        ));
+        out.push_str(&format!(
+            "kv open: {}\n",
+            names(&self.kv_open_paths, self.dynamic_kv_paths)
+        ));
+        out.push_str(&format!("kv link: {}\n", names(&self.kv_link_paths, false)));
+        out.push_str(&format!("fuel: {}\n", self.fuel_bound));
+        out.push_str(&format!("preds: {}\n", self.pred_bound));
+        out.push_str(&format!("spawns: {}\n", self.spawn_bound));
+        out.push_str(&format!("kv files: {}\n", self.kv_file_bound));
+        out
+    }
+}
+
+/// The verifier's verdict on one program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// All findings, in source order.
+    pub diags: Vec<Diag>,
+    /// Effect set and cost bounds (pass 3).
+    pub effects: EffectSummary,
+}
+
+impl VerifyReport {
+    /// `true` when no [`Severity::Error`] diagnostic exists — the door
+    /// admits the program.
+    pub fn is_admissible(&self) -> bool {
+        self.diags.iter().all(|d| d.severity != Severity::Error)
+    }
+
+    /// The first error, if any (carried in the SYMR shed payload).
+    pub fn first_error(&self) -> Option<&Diag> {
+        self.diags.iter().find(|d| d.severity == Severity::Error)
+    }
+
+    /// Count of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The abstract type lattice (pass 2)
+// ---------------------------------------------------------------------------
+
+/// Flat lattice: every concrete runtime type, plus ⊤ (`Any`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    Int,
+    Float,
+    Bool,
+    Str,
+    List,
+    Dist,
+    Kv,
+    Thread,
+    Nil,
+    Any,
+}
+
+impl Ty {
+    fn join(self, other: Ty) -> Ty {
+        if self == other {
+            self
+        } else {
+            Ty::Any
+        }
+    }
+
+    fn is_num(self) -> bool {
+        matches!(self, Ty::Int | Ty::Float)
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Ty::Int => "int",
+            Ty::Float => "float",
+            Ty::Bool => "bool",
+            Ty::Str => "string",
+            Ty::List => "list",
+            Ty::Dist => "dist",
+            Ty::Kv => "kv handle",
+            Ty::Thread => "thread",
+            Ty::Nil => "nil",
+            Ty::Any => "unknown",
+        }
+    }
+}
+
+/// What a builtin requires of one argument. Mirrors the `as_*` coercions in
+/// [`crate::builtins`]; a concrete type outside the requirement provably
+/// faults at runtime.
+#[derive(Debug, Clone, Copy)]
+enum Req {
+    Any,
+    Num,
+    Int,
+    Str,
+    List,
+    ListOrStr,
+    Dist,
+    Kv,
+    Thread,
+    /// `int()` coercion: int, float, bool or string.
+    IntLike,
+}
+
+impl Req {
+    fn allows(self, t: Ty) -> bool {
+        match self {
+            Req::Any => true,
+            Req::Num => t.is_num(),
+            Req::Int => t == Ty::Int,
+            Req::Str => t == Ty::Str,
+            Req::List => t == Ty::List,
+            Req::ListOrStr => matches!(t, Ty::List | Ty::Str),
+            Req::Dist => t == Ty::Dist,
+            Req::Kv => t == Ty::Kv,
+            Req::Thread => t == Ty::Thread,
+            Req::IntLike => matches!(t, Ty::Int | Ty::Float | Ty::Bool | Ty::Str),
+        }
+    }
+
+    fn want(self) -> &'static str {
+        match self {
+            Req::Any => "any value",
+            Req::Num => "a number",
+            Req::Int => "an int",
+            Req::Str => "a string",
+            Req::List => "a list",
+            Req::ListOrStr => "a list or string",
+            Req::Dist => "a dist",
+            Req::Kv => "a kv handle",
+            Req::Thread => "a thread handle",
+            Req::IntLike => "an int, float, bool or string",
+        }
+    }
+}
+
+/// Per-argument requirements for each builtin (empty slice: no typed args).
+fn builtin_args_full(name: &str) -> &'static [Req] {
+    match name {
+        "len" => &[Req::ListOrStr],
+        "push" => &[Req::List, Req::Any],
+        "slice" => &[Req::ListOrStr, Req::Int, Req::Int],
+        "contains" => &[Req::ListOrStr, Req::Any],
+        "range" => &[Req::Int, Req::Int],
+        "str" | "print" => &[Req::Any],
+        "int" => &[Req::IntLike],
+        "float" | "abs" => &[Req::Num],
+        "min" | "max" => &[Req::Num, Req::Num],
+        "join_str" => &[Req::List, Req::Str],
+        "split" => &[Req::Str, Req::Str],
+        "sample" | "argmax" | "entropy" => &[Req::Dist],
+        "sample_t" | "top_p" => &[Req::Dist, Req::Num],
+        "prob" | "top_k" => &[Req::Dist, Req::Int],
+        "constrain" => &[Req::Dist, Req::List],
+        "tokenize" | "kv_open" | "kv_unlink" | "emit" | "lookup" => &[Req::Str],
+        "detokenize" | "emit_tokens" | "kv_merge" => &[Req::List],
+        "pred" => &[Req::Kv, Req::List, Req::Int],
+        "pred_at" => &[Req::Kv, Req::List, Req::List],
+        "kv_fork" | "kv_remove" | "kv_len" | "kv_next_pos" | "kv_pin" | "kv_unpin" => &[Req::Kv],
+        "kv_truncate" => &[Req::Kv, Req::Int],
+        "kv_extract" => &[Req::Kv, Req::Int, Req::Int],
+        "kv_link" => &[Req::Kv, Req::Str],
+        "emit_token" | "sleep_ms" => &[Req::Int],
+        "call_tool" => &[Req::Str, Req::Str],
+        "send" => &[Req::Int, Req::Str],
+        "spawn" => &[Req::Str, Req::List],
+        "join" => &[Req::Thread],
+        _ => &[],
+    }
+}
+
+/// What a builtin returns (abstractly). `Any` where the runtime result type
+/// depends on the argument values (`min`, `slice`, `lookup`, ...).
+fn builtin_ret(name: &str) -> Ty {
+    match name {
+        "len" | "sample" | "sample_t" | "argmax" | "eos" | "kv_len" | "kv_next_pos" => Ty::Int,
+        "int" => Ty::Int,
+        "rand" | "float" | "prob" | "entropy" | "now_ms" => Ty::Float,
+        "contains" | "join" => Ty::Bool,
+        "str" | "join_str" | "args" | "detokenize" | "call_tool" => Ty::Str,
+        "push" | "range" | "split" | "tokenize" | "pred" | "pred_at" | "recv" => Ty::List,
+        "top_k" | "top_p" | "constrain" => Ty::Dist,
+        "kv_create" | "kv_open" | "kv_fork" | "kv_extract" | "kv_merge" => Ty::Kv,
+        "spawn" => Ty::Thread,
+        "print" | "kv_remove" | "kv_truncate" | "kv_link" | "kv_unlink" | "kv_pin" | "kv_unpin"
+        | "emit" | "emit_token" | "emit_tokens" | "send" | "sleep_ms" => Ty::Nil,
+        _ => Ty::Any,
+    }
+}
+
+/// KV-consuming builtins whose first argument faults if the handle's file
+/// was removed (used by the V007 straight-line check).
+fn consumes_kv_handle(name: &str) -> bool {
+    matches!(
+        name,
+        "pred"
+            | "pred_at"
+            | "kv_fork"
+            | "kv_remove"
+            | "kv_len"
+            | "kv_next_pos"
+            | "kv_truncate"
+            | "kv_extract"
+            | "kv_link"
+            | "kv_pin"
+            | "kv_unpin"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Binary operator legality (mirrors Interpreter::binop exactly)
+// ---------------------------------------------------------------------------
+
+/// `true` when the interpreter provably faults applying `op` to concrete
+/// types `l`, `r`. Both must be non-`Any`.
+fn binop_faults(op: BinOp, l: Ty, r: Ty) -> bool {
+    let num = l.is_num() && r.is_num();
+    match op {
+        BinOp::And | BinOp::Or => false,
+        // Float compares promote; a float against a non-number faults.
+        BinOp::Eq | BinOp::Ne => {
+            (l == Ty::Float && !r.is_num()) || (r == Ty::Float && !l.is_num())
+        }
+        BinOp::Add => {
+            !(num || l == Ty::Str || r == Ty::Str || (l == Ty::List && r == Ty::List))
+        }
+        BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => !num,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            !(num || (l == Ty::Str && r == Ty::Str))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1 + 2: resolution, arity, types — one walk per body
+// ---------------------------------------------------------------------------
+
+struct Checker<'a> {
+    prog: &'a Program,
+    /// First-definition arity per function name.
+    fn_arity: BTreeMap<&'a str, usize>,
+    diags: Vec<Diag>,
+    /// When false, no diagnostics are recorded (the definitely-called
+    /// discovery pre-pass reuses the walk).
+    emit: bool,
+    /// User functions called from definite code (collected during walks).
+    definite_calls: BTreeSet<String>,
+    // Per-body state:
+    tyenv: BTreeMap<String, Ty>,
+    scopes: Vec<BTreeSet<String>>,
+    removed: BTreeSet<String>,
+    loops: usize,
+}
+
+impl<'a> Checker<'a> {
+    fn new(prog: &'a Program) -> Self {
+        let mut fn_arity = BTreeMap::new();
+        for f in &prog.functions {
+            fn_arity.entry(f.name.as_str()).or_insert(f.params.len());
+        }
+        Checker {
+            prog,
+            fn_arity,
+            diags: Vec::new(),
+            emit: true,
+            definite_calls: BTreeSet::new(),
+            tyenv: BTreeMap::new(),
+            scopes: Vec::new(),
+            removed: BTreeSet::new(),
+            loops: 0,
+        }
+    }
+
+    fn diag(&mut self, code: DiagCode, definite: bool, span: Span, message: String) {
+        if self.emit {
+            let severity = if definite {
+                Severity::Error
+            } else {
+                Severity::Warning
+            };
+            self.diags.push(Diag {
+                code,
+                severity,
+                span,
+                message,
+            });
+        }
+    }
+
+    // -- abstract typing helpers -------------------------------------------
+
+    /// Flow-insensitive type of an expression under the current body's
+    /// joined assignment environment.
+    fn ty_of(&self, e: &Expr) -> Ty {
+        match &e.kind {
+            ExprKind::Int(_) => Ty::Int,
+            ExprKind::Float(_) => Ty::Float,
+            ExprKind::Str(_) => Ty::Str,
+            ExprKind::Bool(_) => Ty::Bool,
+            ExprKind::Nil => Ty::Nil,
+            ExprKind::Var(n) => self.tyenv.get(n).copied().unwrap_or(Ty::Any),
+            ExprKind::List(_) => Ty::List,
+            ExprKind::Un(UnOp::Not, _) => Ty::Bool,
+            ExprKind::Un(UnOp::Neg, inner) => match self.ty_of(inner) {
+                t @ (Ty::Int | Ty::Float) => t,
+                _ => Ty::Any,
+            },
+            ExprKind::Bin(op, l, r) => self.ty_of_bin(*op, l, r),
+            ExprKind::Call(name, _) => {
+                if builtins::is_builtin(name) {
+                    builtin_ret(name)
+                } else {
+                    Ty::Any
+                }
+            }
+            ExprKind::Index(base, _) => match self.ty_of(base) {
+                Ty::Str => Ty::Str,
+                _ => Ty::Any,
+            },
+        }
+    }
+
+    fn ty_of_bin(&self, op: BinOp, l: &Expr, r: &Expr) -> Ty {
+        match op {
+            BinOp::And
+            | BinOp::Or
+            | BinOp::Eq
+            | BinOp::Ne
+            | BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge => Ty::Bool,
+            BinOp::Add => {
+                let (lt, rt) = (self.ty_of(l), self.ty_of(r));
+                if lt == Ty::Str || rt == Ty::Str {
+                    Ty::Str
+                } else if lt == Ty::List && rt == Ty::List {
+                    Ty::List
+                } else if lt == Ty::Int && rt == Ty::Int {
+                    Ty::Int
+                } else if lt.is_num() && rt.is_num() {
+                    Ty::Float
+                } else {
+                    Ty::Any
+                }
+            }
+            BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                let (lt, rt) = (self.ty_of(l), self.ty_of(r));
+                if lt == Ty::Int && rt == Ty::Int {
+                    Ty::Int
+                } else if lt.is_num() && rt.is_num() {
+                    Ty::Float
+                } else {
+                    Ty::Any
+                }
+            }
+        }
+    }
+
+    /// Builds the body's flow-insensitive type environment: every
+    /// assignment's type joined per name, iterated to a fixpoint. Shadowing
+    /// is deliberately ignored — joins only widen toward ⊤, which keeps the
+    /// result sound.
+    fn build_tyenv(&mut self, params: &[String], body: &[Stmt]) {
+        self.tyenv = params.iter().map(|p| (p.clone(), Ty::Any)).collect();
+        loop {
+            let mut changed = false;
+            self.collect_block(body, &mut changed);
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    fn join_into(&mut self, name: &str, t: Ty, changed: &mut bool) {
+        let cur = self.tyenv.get(name).copied();
+        let next = match cur {
+            Some(old) => old.join(t),
+            None => t,
+        };
+        if cur != Some(next) {
+            self.tyenv.insert(name.to_string(), next);
+            *changed = true;
+        }
+    }
+
+    fn collect_block(&mut self, stmts: &[Stmt], changed: &mut bool) {
+        for s in stmts {
+            match &s.kind {
+                StmtKind::Let(n, e) | StmtKind::Assign(n, e) => {
+                    let t = self.ty_of(e);
+                    self.join_into(n, t, changed);
+                }
+                StmtKind::If(_, t, e) => {
+                    self.collect_block(t, changed);
+                    self.collect_block(e, changed);
+                }
+                StmtKind::While(_, b) => self.collect_block(b, changed),
+                StmtKind::For(v, it, b) => {
+                    let t = self.elem_ty(it);
+                    self.join_into(v, t, changed);
+                    self.collect_block(b, changed);
+                }
+                StmtKind::IndexAssign(..)
+                | StmtKind::Break
+                | StmtKind::Continue
+                | StmtKind::Return(_)
+                | StmtKind::Expr(_) => {}
+            }
+        }
+    }
+
+    /// Element type for `for x in <iter>`.
+    fn elem_ty(&self, iter: &Expr) -> Ty {
+        match &iter.kind {
+            ExprKind::List(items) => {
+                let mut t: Option<Ty> = None;
+                for e in items {
+                    let et = self.ty_of(e);
+                    t = Some(match t {
+                        Some(prev) => prev.join(et),
+                        None => et,
+                    });
+                }
+                t.unwrap_or(Ty::Any)
+            }
+            ExprKind::Call(name, _) if name == "range" => Ty::Int,
+            _ => Ty::Any,
+        }
+    }
+
+    // -- the checking walk --------------------------------------------------
+
+    /// Checks one body (top level or a function). `definite` means the body
+    /// is on the guaranteed execution path.
+    fn check_body(&mut self, params: &[String], body: &[Stmt], definite: bool) {
+        self.build_tyenv(params, body);
+        self.scopes = vec![params.iter().cloned().collect()];
+        self.removed.clear();
+        self.loops = 0;
+        self.check_block(body, definite);
+    }
+
+    fn declared(&self, name: &str) -> bool {
+        self.scopes.iter().any(|s| s.contains(name))
+    }
+
+    fn declare(&mut self, name: &str) {
+        if let Some(top) = self.scopes.last_mut() {
+            top.insert(name.to_string());
+        }
+        self.removed.remove(name);
+    }
+
+    fn check_block(&mut self, stmts: &[Stmt], mut definite: bool) {
+        for s in stmts {
+            definite = self.check_stmt(s, definite);
+        }
+    }
+
+    /// Checks one statement; returns whether *subsequent* statements in the
+    /// same block remain on the guaranteed path.
+    fn check_stmt(&mut self, s: &Stmt, definite: bool) -> bool {
+        match &s.kind {
+            StmtKind::Let(name, e) => {
+                self.check_expr(e, definite);
+                self.declare(name);
+                definite
+            }
+            StmtKind::Assign(name, e) => {
+                self.check_expr(e, definite);
+                if !self.declared(name) {
+                    self.diag(
+                        DiagCode::UndefinedVar,
+                        definite,
+                        s.span,
+                        format!("assignment to undeclared variable `{name}`"),
+                    );
+                }
+                self.declare(name);
+                definite
+            }
+            StmtKind::IndexAssign(name, idx, e) => {
+                self.check_expr(idx, definite);
+                self.check_expr(e, definite);
+                if !self.declared(name) {
+                    self.diag(
+                        DiagCode::UndefinedVar,
+                        definite,
+                        s.span,
+                        format!("index-assignment to undeclared variable `{name}`"),
+                    );
+                    self.declare(name);
+                }
+                let base = self.tyenv.get(name).copied().unwrap_or(Ty::Any);
+                if base != Ty::Any && base != Ty::List {
+                    self.diag(
+                        DiagCode::TypeMisuse,
+                        definite,
+                        s.span,
+                        format!("cannot index-assign into {} `{name}`", base.name()),
+                    );
+                }
+                let it = self.ty_of(idx);
+                if it != Ty::Any && it != Ty::Int {
+                    self.diag(
+                        DiagCode::TypeMisuse,
+                        definite,
+                        idx.span,
+                        format!("list index must be int, got {}", it.name()),
+                    );
+                }
+                definite
+            }
+            StmtKind::If(cond, then, els) => {
+                self.check_expr(cond, definite);
+                let lit = literal_bool(cond);
+                self.scopes.push(BTreeSet::new());
+                self.check_block(then, definite && lit == Some(true));
+                self.scopes.pop();
+                self.scopes.push(BTreeSet::new());
+                self.check_block(els, definite && lit == Some(false));
+                self.scopes.pop();
+                // A branch may have removed KV handles or diverged.
+                self.removed.clear();
+                let diverges = match lit {
+                    Some(true) => block_diverges(then),
+                    Some(false) => block_diverges(els),
+                    None => block_diverges(then) || block_diverges(els),
+                };
+                definite && !diverges
+            }
+            StmtKind::While(cond, body) => {
+                self.check_expr(cond, definite);
+                let lit = literal_bool(cond);
+                self.loops += 1;
+                self.scopes.push(BTreeSet::new());
+                // Only a literal-true loop definitely runs its first
+                // iteration.
+                self.check_block(body, definite && lit == Some(true));
+                self.scopes.pop();
+                self.loops -= 1;
+                self.removed.clear();
+                definite && !block_returns(body)
+            }
+            StmtKind::For(var, iter, body) => {
+                self.check_expr(iter, definite);
+                let it = self.ty_of(iter);
+                if it != Ty::Any && it != Ty::List {
+                    self.diag(
+                        DiagCode::TypeMisuse,
+                        definite,
+                        iter.span,
+                        format!("for-loop needs a list, got {}", it.name()),
+                    );
+                }
+                let first_runs = statically_nonempty(iter);
+                self.loops += 1;
+                self.scopes.push(BTreeSet::new());
+                self.declare(var);
+                self.check_block(body, definite && first_runs);
+                self.scopes.pop();
+                self.loops -= 1;
+                self.removed.clear();
+                definite && !block_returns(body)
+            }
+            StmtKind::Break | StmtKind::Continue => {
+                if self.loops == 0 {
+                    let what = if matches!(s.kind, StmtKind::Break) {
+                        "break"
+                    } else {
+                        "continue"
+                    };
+                    self.diag(
+                        DiagCode::StrayControlFlow,
+                        definite,
+                        s.span,
+                        format!("`{what}` outside a loop"),
+                    );
+                }
+                // Anything after is dead code.
+                false
+            }
+            StmtKind::Return(e) => {
+                if let Some(e) = e {
+                    self.check_expr(e, definite);
+                }
+                false
+            }
+            StmtKind::Expr(e) => {
+                self.check_expr(e, definite);
+                definite
+            }
+        }
+    }
+
+    fn check_expr(&mut self, e: &Expr, definite: bool) {
+        match &e.kind {
+            ExprKind::Int(_)
+            | ExprKind::Float(_)
+            | ExprKind::Str(_)
+            | ExprKind::Bool(_)
+            | ExprKind::Nil => {}
+            ExprKind::Var(name) => {
+                if !self.declared(name) {
+                    self.diag(
+                        DiagCode::UndefinedVar,
+                        definite,
+                        e.span,
+                        format!("undefined variable `{name}`"),
+                    );
+                }
+            }
+            ExprKind::List(items) => {
+                for it in items {
+                    self.check_expr(it, definite);
+                }
+            }
+            ExprKind::Un(op, inner) => {
+                self.check_expr(inner, definite);
+                if *op == UnOp::Neg {
+                    let t = self.ty_of(inner);
+                    if t != Ty::Any && !t.is_num() {
+                        self.diag(
+                            DiagCode::TypeMisuse,
+                            definite,
+                            e.span,
+                            format!("cannot negate {}", t.name()),
+                        );
+                    }
+                }
+            }
+            ExprKind::Bin(op, l, r) => {
+                self.check_expr(l, definite);
+                // The right side of a short-circuit operator may never run.
+                let r_definite = if matches!(op, BinOp::And | BinOp::Or) {
+                    false
+                } else {
+                    definite
+                };
+                self.check_expr(r, r_definite);
+                let (lt, rt) = (self.ty_of(l), self.ty_of(r));
+                if lt != Ty::Any && rt != Ty::Any && binop_faults(*op, lt, rt) {
+                    self.diag(
+                        DiagCode::TypeMisuse,
+                        definite,
+                        e.span,
+                        format!(
+                            "cannot apply {op:?} to {} and {}",
+                            lt.name(),
+                            rt.name()
+                        ),
+                    );
+                }
+            }
+            ExprKind::Index(base, idx) => {
+                self.check_expr(base, definite);
+                self.check_expr(idx, definite);
+                let bt = self.ty_of(base);
+                if bt != Ty::Any && bt != Ty::List && bt != Ty::Str {
+                    self.diag(
+                        DiagCode::TypeMisuse,
+                        definite,
+                        e.span,
+                        format!("cannot index {}", bt.name()),
+                    );
+                }
+                let it = self.ty_of(idx);
+                if it != Ty::Any && it != Ty::Int {
+                    self.diag(
+                        DiagCode::TypeMisuse,
+                        definite,
+                        idx.span,
+                        format!("index must be int, got {}", it.name()),
+                    );
+                }
+            }
+            ExprKind::Call(name, call_args) => {
+                for a in call_args {
+                    self.check_expr(a, definite);
+                }
+                if let Some(want) = builtins::arity_of(name) {
+                    self.check_builtin_call(name, call_args, want, e.span, definite);
+                } else if let Some(&want) = self.fn_arity.get(name.as_str()) {
+                    if call_args.len() != want {
+                        self.diag(
+                            DiagCode::BadArity,
+                            definite,
+                            e.span,
+                            format!("{name} expects {want} args, got {}", call_args.len()),
+                        );
+                    } else if definite {
+                        self.definite_calls.insert(name.clone());
+                    }
+                } else {
+                    self.diag(
+                        DiagCode::UndefinedFn,
+                        definite,
+                        e.span,
+                        format!("call to undefined function `{name}`"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn check_builtin_call(
+        &mut self,
+        name: &str,
+        call_args: &[Expr],
+        want: usize,
+        span: Span,
+        definite: bool,
+    ) {
+        if call_args.len() != want {
+            self.diag(
+                DiagCode::BadArity,
+                definite,
+                span,
+                format!("{name} expects {want} args, got {}", call_args.len()),
+            );
+            return;
+        }
+        for (req, arg) in builtin_args_full(name).iter().zip(call_args) {
+            let t = self.ty_of(arg);
+            if t != Ty::Any && !req.allows(t) {
+                self.diag(
+                    DiagCode::TypeMisuse,
+                    definite,
+                    arg.span,
+                    format!("{name} needs {}, got {}", req.want(), t.name()),
+                );
+            }
+        }
+        // `contains` on a string needs a string needle.
+        if name == "contains" {
+            if let (Some(a), Some(b)) = (call_args.first(), call_args.get(1)) {
+                let (at, bt) = (self.ty_of(a), self.ty_of(b));
+                if at == Ty::Str && bt != Ty::Any && bt != Ty::Str {
+                    self.diag(
+                        DiagCode::TypeMisuse,
+                        definite,
+                        b.span,
+                        format!("contains on a string needs a string, got {}", bt.name()),
+                    );
+                }
+            }
+        }
+        // V007: straight-line use of a removed KV binding.
+        if consumes_kv_handle(name) {
+            if let Some(Expr {
+                kind: ExprKind::Var(v),
+                ..
+            }) = call_args.first()
+            {
+                if self.removed.contains(v) {
+                    self.diag(
+                        DiagCode::UseAfterRemove,
+                        definite,
+                        span,
+                        format!("`{v}` used after kv_remove"),
+                    );
+                }
+            }
+        }
+        if name == "kv_remove" {
+            if let Some(Expr {
+                kind: ExprKind::Var(v),
+                ..
+            }) = call_args.first()
+            {
+                self.removed.insert(v.clone());
+            }
+        }
+        // V004: spawn target resolution (the spawn call itself faults in
+        // the *parent* when the target is not a defined function).
+        if name == "spawn" {
+            if let Some(Expr {
+                kind: ExprKind::Str(target),
+                ..
+            }) = call_args.first()
+            {
+                if self.prog.function(target).is_none() {
+                    self.diag(
+                        DiagCode::BadSpawnTarget,
+                        definite,
+                        span,
+                        format!("spawn target `{target}` is not a defined function"),
+                    );
+                } else if let Some(Expr {
+                    kind: ExprKind::List(spawn_args),
+                    ..
+                }) = call_args.get(1)
+                {
+                    // Arity mismatch faults inside the spawned thread, and
+                    // thread faults never fail the parent: warning only.
+                    if let Some(&fwant) = self.fn_arity.get(target.as_str()) {
+                        if spawn_args.len() != fwant {
+                            self.diag(
+                                DiagCode::BadArity,
+                                false,
+                                span,
+                                format!(
+                                    "spawn of `{target}` passes {} args, expects {fwant}",
+                                    spawn_args.len()
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `true` when the condition is a literal `true`/`false`.
+fn literal_bool(e: &Expr) -> Option<bool> {
+    match e.kind {
+        ExprKind::Bool(b) => Some(b),
+        _ => None,
+    }
+}
+
+/// `true` when `for x in <iter>` definitely runs at least one iteration.
+fn statically_nonempty(iter: &Expr) -> bool {
+    match &iter.kind {
+        ExprKind::List(items) => !items.is_empty(),
+        ExprKind::Call(name, call_args) if name == "range" => {
+            match (call_args.first(), call_args.get(1)) {
+                (
+                    Some(Expr {
+                        kind: ExprKind::Int(a),
+                        ..
+                    }),
+                    Some(Expr {
+                        kind: ExprKind::Int(b),
+                        ..
+                    }),
+                ) => b > a,
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Static trip count of a `for` iterator, when known.
+fn static_trip(iter: &Expr) -> Option<u64> {
+    match &iter.kind {
+        ExprKind::List(items) => Some(items.len() as u64),
+        ExprKind::Call(name, call_args) if name == "range" => {
+            match (call_args.first(), call_args.get(1)) {
+                (
+                    Some(Expr {
+                        kind: ExprKind::Int(a),
+                        ..
+                    }),
+                    Some(Expr {
+                        kind: ExprKind::Int(b),
+                        ..
+                    }),
+                ) => Some(b.saturating_sub(*a).max(0) as u64),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Any `return` anywhere in the block (escapes an enclosing loop).
+fn block_returns(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match &s.kind {
+        StmtKind::Return(_) => true,
+        StmtKind::If(_, t, e) => block_returns(t) || block_returns(e),
+        StmtKind::While(_, b) | StmtKind::For(_, _, b) => block_returns(b),
+        _ => false,
+    })
+}
+
+/// Any `return`/`break`/`continue` anywhere in the block — after executing
+/// such a block, following statements are no longer guaranteed to run.
+fn block_diverges(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match &s.kind {
+        StmtKind::Return(_) | StmtKind::Break | StmtKind::Continue => true,
+        StmtKind::If(_, t, e) => block_diverges(t) || block_diverges(e),
+        StmtKind::While(_, b) | StmtKind::For(_, _, b) => block_diverges(b),
+        _ => false,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: effects & cost
+// ---------------------------------------------------------------------------
+
+/// Per-body cost vector, all conservative upper bounds.
+#[derive(Debug, Clone, Copy)]
+struct Cost {
+    fuel: Bound,
+    preds: Bound,
+    spawns: Bound,
+    kv_files: Bound,
+}
+
+impl Cost {
+    const ZERO: Cost = Cost {
+        fuel: Bound::ZERO,
+        preds: Bound::ZERO,
+        spawns: Bound::ZERO,
+        kv_files: Bound::ZERO,
+    };
+
+    const UNBOUNDED: Cost = Cost {
+        fuel: Bound::Unbounded,
+        preds: Bound::Unbounded,
+        spawns: Bound::Unbounded,
+        kv_files: Bound::Unbounded,
+    };
+
+    fn fuel(n: u64) -> Cost {
+        Cost {
+            fuel: Bound::Finite(n),
+            ..Cost::ZERO
+        }
+    }
+
+    fn add(self, o: Cost) -> Cost {
+        Cost {
+            fuel: self.fuel + o.fuel,
+            preds: self.preds + o.preds,
+            spawns: self.spawns + o.spawns,
+            kv_files: self.kv_files + o.kv_files,
+        }
+    }
+
+    fn max(self, o: Cost) -> Cost {
+        Cost {
+            fuel: self.fuel.max(o.fuel),
+            preds: self.preds.max(o.preds),
+            spawns: self.spawns.max(o.spawns),
+            kv_files: self.kv_files.max(o.kv_files),
+        }
+    }
+
+    fn mul(self, trips: Bound) -> Cost {
+        Cost {
+            fuel: self.fuel * trips,
+            preds: self.preds * trips,
+            spawns: self.spawns * trips,
+            kv_files: self.kv_files * trips,
+        }
+    }
+}
+
+struct CostPass<'a> {
+    prog: &'a Program,
+    cache: BTreeMap<String, Cost>,
+    stack: Vec<String>,
+    fx: EffectSummary,
+    /// Variables of the current body that are let-bound exactly once to a
+    /// statically-sized iterable and never rebound: their `for` trip count
+    /// is known. Sound because values have copy semantics and
+    /// index-assignment preserves list length.
+    trips: BTreeMap<String, u64>,
+}
+
+/// Computes the single-binding trip map for one body. A name qualifies if
+/// it has exactly one `let` in the body, is not a parameter or `for`
+/// variable, is never re-assigned, and its initializer has a static trip
+/// count.
+fn body_trips(params: &[String], body: &[Stmt]) -> BTreeMap<String, u64> {
+    #[derive(Default)]
+    struct Counts {
+        lets: u32,
+        other_binds: u32,
+        trip: Option<u64>,
+    }
+    fn scan(stmts: &[Stmt], counts: &mut BTreeMap<String, Counts>) {
+        for s in stmts {
+            match &s.kind {
+                StmtKind::Let(n, e) => {
+                    let c = counts.entry(n.clone()).or_default();
+                    c.lets += 1;
+                    if c.lets == 1 {
+                        c.trip = static_trip(e);
+                    }
+                }
+                StmtKind::Assign(n, _) => {
+                    counts.entry(n.clone()).or_default().other_binds += 1;
+                }
+                StmtKind::If(_, t, e) => {
+                    scan(t, counts);
+                    scan(e, counts);
+                }
+                StmtKind::While(_, b) => scan(b, counts),
+                StmtKind::For(v, _, b) => {
+                    counts.entry(v.clone()).or_default().other_binds += 1;
+                    scan(b, counts);
+                }
+                StmtKind::IndexAssign(..)
+                | StmtKind::Break
+                | StmtKind::Continue
+                | StmtKind::Return(_)
+                | StmtKind::Expr(_) => {}
+            }
+        }
+    }
+    let mut counts: BTreeMap<String, Counts> = BTreeMap::new();
+    for p in params {
+        counts.entry(p.clone()).or_default().other_binds += 1;
+    }
+    scan(body, &mut counts);
+    counts
+        .into_iter()
+        .filter_map(|(n, c)| match (c.lets, c.other_binds, c.trip) {
+            (1, 0, Some(t)) => Some((n, t)),
+            _ => None,
+        })
+        .collect()
+}
+
+impl<'a> CostPass<'a> {
+    fn new(prog: &'a Program) -> Self {
+        CostPass {
+            prog,
+            cache: BTreeMap::new(),
+            stack: Vec::new(),
+            fx: EffectSummary::default(),
+            trips: BTreeMap::new(),
+        }
+    }
+
+    fn run(mut self) -> EffectSummary {
+        let prog = self.prog;
+        self.trips = body_trips(&[], &prog.top);
+        let top = self.block_cost(&prog.top);
+        self.fx.fuel_bound = top.fuel;
+        self.fx.pred_bound = top.preds;
+        self.fx.spawn_bound = top.spawns;
+        self.fx.kv_file_bound = top.kv_files;
+        if self.fx.dynamic_spawns {
+            // A computed spawn target may reach any function: fold every
+            // function's effects in and give up on spawn/KV bounds.
+            let names: Vec<String> = self.prog.functions.iter().map(|f| f.name.clone()).collect();
+            for n in names {
+                let _ = self.fn_cost(&n);
+            }
+            self.fx.spawn_bound = Bound::Unbounded;
+            self.fx.kv_file_bound = Bound::Unbounded;
+        }
+        self.fx
+    }
+
+    fn fn_cost(&mut self, name: &str) -> Cost {
+        if let Some(c) = self.cache.get(name) {
+            return *c;
+        }
+        if self.stack.iter().any(|n| n == name) {
+            return Cost::UNBOUNDED;
+        }
+        let prog = self.prog;
+        let Some(def) = prog.function(name) else {
+            return Cost::ZERO;
+        };
+        self.stack.push(name.to_string());
+        let saved = std::mem::replace(&mut self.trips, body_trips(&def.params, &def.body));
+        let c = self.block_cost(&def.body);
+        self.trips = saved;
+        self.stack.pop();
+        self.cache.insert(name.to_string(), c);
+        c
+    }
+
+    fn block_cost(&mut self, stmts: &[Stmt]) -> Cost {
+        let mut total = Cost::ZERO;
+        for s in stmts {
+            total = total.add(self.stmt_cost(s));
+        }
+        total
+    }
+
+    fn stmt_cost(&mut self, s: &Stmt) -> Cost {
+        // Every statement burns one fuel on entry.
+        let base = Cost::fuel(1);
+        match &s.kind {
+            StmtKind::Let(_, e) | StmtKind::Assign(_, e) | StmtKind::Expr(e) => {
+                base.add(self.expr_cost(e))
+            }
+            StmtKind::IndexAssign(_, idx, e) => {
+                base.add(self.expr_cost(idx)).add(self.expr_cost(e))
+            }
+            StmtKind::Return(Some(e)) => base.add(self.expr_cost(e)),
+            StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => base,
+            StmtKind::If(c, t, e) => {
+                let branches = match literal_bool(c) {
+                    Some(true) => self.block_cost(t),
+                    Some(false) => self.block_cost(e),
+                    None => {
+                        let tc = self.block_cost(t);
+                        let ec = self.block_cost(e);
+                        tc.max(ec)
+                    }
+                };
+                base.add(self.expr_cost(c)).add(branches)
+            }
+            StmtKind::While(c, b) => {
+                let cond = self.expr_cost(c);
+                let body = self.block_cost(b);
+                if literal_bool(c) == Some(false) {
+                    // One iteration-burn plus one condition evaluation.
+                    base.add(Cost::fuel(1)).add(cond)
+                } else {
+                    let per_iter = cond.add(body).add(Cost::fuel(1));
+                    base.add(per_iter.mul(Bound::Unbounded))
+                }
+            }
+            StmtKind::For(_, it, b) => {
+                let iter = self.expr_cost(it);
+                let body = self.block_cost(b);
+                let per_iter = body.add(Cost::fuel(1));
+                let known = static_trip(it).or_else(|| match &it.kind {
+                    ExprKind::Var(n) => self.trips.get(n).copied(),
+                    _ => None,
+                });
+                let trips = match known {
+                    Some(n) => Bound::Finite(n),
+                    None => Bound::Unbounded,
+                };
+                base.add(iter).add(per_iter.mul(trips))
+            }
+        }
+    }
+
+    fn expr_cost(&mut self, e: &Expr) -> Cost {
+        // Every evaluated node burns one fuel.
+        let base = Cost::fuel(1);
+        match &e.kind {
+            ExprKind::Int(_)
+            | ExprKind::Float(_)
+            | ExprKind::Str(_)
+            | ExprKind::Bool(_)
+            | ExprKind::Nil
+            | ExprKind::Var(_) => base,
+            ExprKind::List(items) => {
+                let mut c = base;
+                for it in items {
+                    c = c.add(self.expr_cost(it));
+                }
+                c
+            }
+            ExprKind::Un(_, inner) => base.add(self.expr_cost(inner)),
+            ExprKind::Bin(_, l, r) => base.add(self.expr_cost(l)).add(self.expr_cost(r)),
+            ExprKind::Index(b, i) => base.add(self.expr_cost(b)).add(self.expr_cost(i)),
+            ExprKind::Call(name, call_args) => {
+                let mut c = base;
+                for a in call_args {
+                    c = c.add(self.expr_cost(a));
+                }
+                if builtins::is_builtin(name) {
+                    c.add(self.builtin_cost(name, call_args))
+                } else {
+                    c.add(self.fn_cost(name))
+                }
+            }
+        }
+    }
+
+    fn builtin_cost(&mut self, name: &str, call_args: &[Expr]) -> Cost {
+        match name {
+            "pred" | "pred_at" => {
+                self.fx.uses_pred = true;
+                Cost {
+                    preds: Bound::Finite(1),
+                    ..Cost::ZERO
+                }
+            }
+            "call_tool" => {
+                self.fx.uses_tools = true;
+                match call_args.first() {
+                    Some(Expr {
+                        kind: ExprKind::Str(tool),
+                        ..
+                    }) => {
+                        self.fx.tool_names.insert(tool.clone());
+                    }
+                    _ => self.fx.dynamic_tools = true,
+                }
+                Cost::ZERO
+            }
+            "send" | "recv" | "lookup" => {
+                self.fx.uses_ipc = true;
+                Cost::ZERO
+            }
+            "kv_create" | "kv_fork" | "kv_extract" | "kv_merge" => Cost {
+                kv_files: Bound::Finite(1),
+                ..Cost::ZERO
+            },
+            "kv_open" => {
+                match call_args.first() {
+                    Some(Expr {
+                        kind: ExprKind::Str(path),
+                        ..
+                    }) => {
+                        self.fx.kv_open_paths.insert(path.clone());
+                    }
+                    _ => self.fx.dynamic_kv_paths = true,
+                }
+                Cost::ZERO
+            }
+            "kv_link" => {
+                match call_args.get(1) {
+                    Some(Expr {
+                        kind: ExprKind::Str(path),
+                        ..
+                    }) => {
+                        self.fx.kv_link_paths.insert(path.clone());
+                    }
+                    _ => self.fx.dynamic_kv_paths = true,
+                }
+                Cost::ZERO
+            }
+            "spawn" => {
+                self.fx.uses_spawn = true;
+                let one = Cost {
+                    spawns: Bound::Finite(1),
+                    ..Cost::ZERO
+                };
+                match call_args.first() {
+                    Some(Expr {
+                        kind: ExprKind::Str(target),
+                        ..
+                    }) => {
+                        self.fx.spawn_targets.insert(target.clone());
+                        // Fuel and preds run on the child's own budget;
+                        // spawn and KV-file creation are global.
+                        let child = self.fn_cost(target);
+                        one.add(Cost {
+                            spawns: child.spawns,
+                            kv_files: child.kv_files,
+                            ..Cost::ZERO
+                        })
+                    }
+                    _ => {
+                        self.fx.dynamic_spawns = true;
+                        Cost {
+                            spawns: Bound::Unbounded,
+                            kv_files: Bound::Unbounded,
+                            ..Cost::ZERO
+                        }
+                    }
+                }
+            }
+            _ => Cost::ZERO,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Verifies a parsed program: all three passes, diagnostics in source order.
+pub fn verify(prog: &Program) -> VerifyReport {
+    let mut checker = Checker::new(prog);
+
+    // Discovery pre-pass: find functions *definitely called* from definite
+    // code, to a fixpoint, with diagnostics suppressed.
+    checker.emit = false;
+    checker.check_body(&[], &prog.top, true);
+    let mut marked: BTreeSet<String> = BTreeSet::new();
+    let mut queue: Vec<String> = checker.definite_calls.iter().cloned().collect();
+    while let Some(name) = queue.pop() {
+        if !marked.insert(name.clone()) {
+            continue;
+        }
+        if let Some(def) = prog.function(&name) {
+            checker.definite_calls.clear();
+            checker.check_body(&def.params, &def.body, true);
+            for callee in checker.definite_calls.iter() {
+                if !marked.contains(callee) {
+                    queue.push(callee.clone());
+                }
+            }
+        }
+    }
+
+    // Real pass: top level is definite; a function body is definite iff the
+    // function is definitely called (spawned bodies never are — thread
+    // faults don't fail the parent program).
+    checker.emit = true;
+    checker.definite_calls.clear();
+    checker.check_body(&[], &prog.top, true);
+    let mut seen_fns: BTreeSet<&str> = BTreeSet::new();
+    for def in &prog.functions {
+        if builtins::is_builtin(&def.name) {
+            checker.diags.push(Diag {
+                code: DiagCode::ShadowedBuiltin,
+                severity: Severity::Warning,
+                span: def.span,
+                message: format!("function `{}` is shadowed by the builtin", def.name),
+            });
+        }
+        let duplicate = !seen_fns.insert(def.name.as_str());
+        if duplicate {
+            checker.diags.push(Diag {
+                code: DiagCode::DuplicateFn,
+                severity: Severity::Warning,
+                span: def.span,
+                message: format!("duplicate definition of `{}` (the first wins)", def.name),
+            });
+        }
+        let definite = !duplicate && marked.contains(&def.name);
+        checker.check_body(&def.params, &def.body, definite);
+    }
+
+    let mut diags = checker.diags;
+    diags.sort_by_key(|d| (d.span.line, d.span.col, d.code));
+
+    let effects = CostPass::new(prog).run();
+    VerifyReport { diags, effects }
+}
+
+/// Parses then verifies source text.
+pub fn verify_source(src: &str) -> Result<VerifyReport, LipError> {
+    let prog = parse(src)?;
+    Ok(verify(&prog))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vet(src: &str) -> VerifyReport {
+        match verify_source(src) {
+            Ok(r) => r,
+            Err(e) => unreachable!("parse failed: {e}"),
+        }
+    }
+
+    #[test]
+    fn clean_program_is_admissible() {
+        let r = vet("let x = 1; let y = x + 2; print(str(y));");
+        assert!(r.is_admissible(), "{:?}", r.diags);
+        assert!(r.diags.is_empty());
+        assert_eq!(r.effects.pred_bound, Bound::Finite(0));
+        assert!(r.effects.fuel_bound.finite().is_some());
+    }
+
+    #[test]
+    fn undefined_variable_is_an_error() {
+        let r = vet("let x = y + 1;");
+        let first = r.first_error().map(|d| d.code);
+        assert_eq!(first, Some(DiagCode::UndefinedVar));
+    }
+
+    #[test]
+    fn dead_branch_demotes_to_warning() {
+        let r = vet("if (false) { let x = y + 1; }");
+        assert!(r.is_admissible(), "{:?}", r.diags);
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn bounds_multiply_through_static_loops() {
+        let r = vet("let kv = kv_create();\nfor i in range(0, 4) { let d = pred(kv, [i], i); }");
+        assert!(r.is_admissible(), "{:?}", r.diags);
+        assert_eq!(r.effects.pred_bound, Bound::Finite(4));
+        assert!(r.effects.fuel_bound.finite().is_some());
+    }
+
+    #[test]
+    fn while_loop_is_unbounded() {
+        let r = vet("let n = 0; while (n < 3) { n = n + 1; }");
+        assert!(r.is_admissible(), "{:?}", r.diags);
+        assert_eq!(r.effects.fuel_bound, Bound::Unbounded);
+    }
+}

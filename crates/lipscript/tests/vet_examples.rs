@@ -1,0 +1,92 @@
+//! The shipped examples must pass the verifier with zero errors, and their
+//! effect summaries are pinned as goldens — a drift here means either an
+//! example changed or the cost/effect analysis changed, and both deserve a
+//! deliberate review.
+
+use symphony_lipscript::verify::verify_source;
+
+fn vet(path: &str) -> symphony_lipscript::verify::VerifyReport {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    verify_source(&src).unwrap_or_else(|e| panic!("{}", e.render(path)))
+}
+
+#[test]
+fn examples_verify_with_zero_errors() {
+    for path in [
+        "../../examples/lipscript/agent.lip",
+        "../../examples/lipscript/completion.lip",
+        "../../examples/lipscript/parallel.lip",
+    ] {
+        let report = vet(path);
+        assert!(
+            report.is_admissible(),
+            "{path} has verifier errors: {:?}",
+            report.diags
+        );
+        assert!(
+            report.diags.is_empty(),
+            "{path} has verifier warnings: {:?}",
+            report.diags
+        );
+    }
+}
+
+#[test]
+fn agent_effect_summary_golden() {
+    let report = vet("../../examples/lipscript/agent.lip");
+    assert_eq!(
+        report.effects.render(),
+        "\
+pred: yes
+tools: \"echo\"
+ipc: no
+spawn targets: none
+kv open: none
+kv link: none
+fuel: unbounded
+preds: unbounded
+spawns: <=0
+kv files: <=1
+"
+    );
+}
+
+#[test]
+fn completion_effect_summary_golden() {
+    let report = vet("../../examples/lipscript/completion.lip");
+    assert_eq!(
+        report.effects.render(),
+        "\
+pred: yes
+tools: none
+ipc: no
+spawn targets: none
+kv open: none
+kv link: none
+fuel: unbounded
+preds: unbounded
+spawns: <=0
+kv files: <=1
+"
+    );
+}
+
+#[test]
+fn parallel_effect_summary_golden() {
+    let report = vet("../../examples/lipscript/parallel.lip");
+    assert_eq!(
+        report.effects.render(),
+        "\
+pred: yes
+tools: none
+ipc: no
+spawn targets: \"branch\"
+kv open: \"sys_msg.kv\"
+kv link: none
+fuel: unbounded
+preds: <=0
+spawns: <=3
+kv files: <=3
+"
+    );
+}

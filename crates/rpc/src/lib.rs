@@ -111,6 +111,10 @@ pub enum ErrCode {
     SlowClient,
     /// Server-side invariant failure.
     Internal,
+    /// The program parsed but failed admission-time static verification;
+    /// the detail string carries the first diagnostic as
+    /// `name:line:col: message`.
+    VerifyRejected,
 }
 
 impl ErrCode {
@@ -132,6 +136,7 @@ impl ErrCode {
             ErrCode::Cancelled => 13,
             ErrCode::SlowClient => 14,
             ErrCode::Internal => 15,
+            ErrCode::VerifyRejected => 16,
         }
     }
 
@@ -154,6 +159,7 @@ impl ErrCode {
             13 => ErrCode::Cancelled,
             14 => ErrCode::SlowClient,
             15 => ErrCode::Internal,
+            16 => ErrCode::VerifyRejected,
             _ => return None,
         })
     }
@@ -192,6 +198,7 @@ impl core::fmt::Display for ErrCode {
             ErrCode::Cancelled => "session cancelled",
             ErrCode::SlowClient => "client not draining stream",
             ErrCode::Internal => "internal server error",
+            ErrCode::VerifyRejected => "program failed verification",
         };
         f.write_str(s)
     }
@@ -811,7 +818,7 @@ mod tests {
 
     #[test]
     fn err_codes_round_trip_and_classify() {
-        for v in 1..=15u16 {
+        for v in 1..=16u16 {
             let c = ErrCode::from_code(v).unwrap();
             assert_eq!(c.code(), v);
             assert!(!c.to_string().is_empty());

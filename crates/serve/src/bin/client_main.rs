@@ -21,7 +21,7 @@ use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use symphony_rpc::{ClientMsg, FrameReader, ServerMsg, SessionStatus, WIRE_VERSION};
-use symphony_serve::replay::{agent_source, rag_source, RAG_DOCS};
+use symphony_serve::replay::{agent_source, rag_source, short_source, RAG_DOCS};
 use symphony_serve::{run_replay, ReplaySpec, ServeConfig, WorkloadKind};
 use symphony_sim::SimDuration;
 
@@ -55,6 +55,7 @@ fn main() {
                 spec.workload = match argv.next().as_deref() {
                     Some("agent") => WorkloadKind::Agent,
                     Some("rag") => WorkloadKind::Rag,
+                    Some("mixed-cost") => WorkloadKind::MixedCost,
                     _ => usage(),
                 }
             }
@@ -121,10 +122,12 @@ fn tcp_session(addr: &str, spec: &ReplaySpec) -> Result<String, String> {
         let source = match spec.workload {
             WorkloadKind::Agent => agent_source(2, 8),
             WorkloadKind::Rag => rag_source(12),
+            WorkloadKind::MixedCost => short_source(6),
         };
         let args = match spec.workload {
             WorkloadKind::Agent => format!("task {s}"),
             WorkloadKind::Rag => format!("{}|question {s}", (s as usize - 1) % RAG_DOCS),
+            WorkloadKind::MixedCost => format!("q {s}"),
         };
         ClientMsg::Submit {
             session: s,

@@ -36,6 +36,11 @@ pub enum WorkloadKind {
     /// RAG over shared document prefixes: fork `doc{n}.kv`, append the
     /// question, generate.
     Rag,
+    /// Mixed static cost: three statically-bounded short programs
+    /// (`short-*`, finite verifier pred bound) for every unbounded
+    /// agent program (`long-*`). The workload that shows what the
+    /// scheduler's admission-time cost hints buy.
+    MixedCost,
 }
 
 /// One replay's shape. All randomness flows from `seed`.
@@ -61,6 +66,11 @@ pub struct ReplaySpec {
     /// Collapse the send window of this many connections (the
     /// lowest-numbered ones) to force SlowClient sheds.
     pub slow_conns: usize,
+    /// When non-zero, every `hostile_every`-th submission is replaced by
+    /// a parseable-but-invalid program (`hostile-*`, rotating through
+    /// the verifier's error classes) that the door must shed with
+    /// `VerifyRejected` before it costs any interpreter fuel.
+    pub hostile_every: usize,
 }
 
 impl Default for ReplaySpec {
@@ -75,6 +85,7 @@ impl Default for ReplaySpec {
             seed: 1,
             drop_conns: 0,
             slow_conns: 0,
+            hostile_every: 0,
         }
     }
 }
@@ -84,6 +95,9 @@ impl Default for ReplaySpec {
 pub struct ProgramStat {
     /// Session id (1-based, unique across the replay).
     pub session: u64,
+    /// Program name the SUBMIT carried (`agent-3`, `short-7`,
+    /// `hostile-2`, ...); harnesses segment latency by its prefix.
+    pub name: String,
     /// Connection that carried it.
     pub conn: u64,
     /// Tenant it ran under.
@@ -137,6 +151,19 @@ impl ReplayReport {
     /// Client-observed per-program latency percentile in nanoseconds.
     pub fn latency_p(&self, p: f64) -> Option<u64> {
         let mut v: Vec<u64> = self.programs.iter().filter_map(|s| s.latency_ns).collect();
+        Self::percentile(&mut v, p)
+    }
+
+    /// Latency percentile restricted to programs whose name starts with
+    /// `prefix` (e.g. `"short-"` in the [`WorkloadKind::MixedCost`]
+    /// workload).
+    pub fn latency_p_named(&self, prefix: &str, p: f64) -> Option<u64> {
+        let mut v: Vec<u64> = self
+            .programs
+            .iter()
+            .filter(|s| s.name.starts_with(prefix))
+            .filter_map(|s| s.latency_ns)
+            .collect();
         Self::percentile(&mut v, p)
     }
 
@@ -306,6 +333,49 @@ kv_remove(kv);
     )
 }
 
+/// Renders a statically-bounded short completion as LipScript: prefill,
+/// then exactly `gen` single-token generation steps inside a
+/// `for .. in range(..)` loop the verifier can count. Its effect summary
+/// carries a finite pred bound (`gen + 1`), so the door's cost hint
+/// keeps it at the top of the MLFQ ladder for its whole short life.
+pub fn short_source(gen: usize) -> String {
+    format!(
+        r#"let q = args();
+let kv = kv_create();
+let toks = tokenize("short: " + q);
+let d = pred(kv, toks, 0)[len(toks) - 1];
+let pos = len(toks);
+let n = 0;
+for i in range(0, {gen}) {{
+    let t = argmax(d);
+    if (t == eos()) {{ break; }}
+    emit_token(t);
+    d = pred(kv, [t], pos)[0];
+    pos = pos + 1;
+    n = n + 1;
+}}
+emit("[short done: " + str(n) + "]");
+kv_remove(kv);
+"#
+    )
+}
+
+/// Renders a parseable-but-invalid program: `kind` rotates through the
+/// verifier's error classes (undefined variable, undefined function,
+/// builtin arity, bad spawn target, definite type misuse, stray
+/// control flow). Every one of these parses cleanly — only the static
+/// verifier stands between it and an interpreter fault.
+pub fn hostile_source(kind: usize) -> String {
+    match kind % 6 {
+        0 => "let x = missing + 1;\nemit(str(x));\n".to_string(),
+        1 => "let r = frobnicate(args());\nemit(r);\n".to_string(),
+        2 => "let n = len();\nemit(str(n));\n".to_string(),
+        3 => "let t = spawn(\"no_such_fn\", 1);\njoin(t);\n".to_string(),
+        4 => "let n = 1 - \"two\";\nemit(str(n));\n".to_string(),
+        _ => "break;\n".to_string(),
+    }
+}
+
 /// One prepared submission.
 struct Job {
     session: u64,
@@ -325,28 +395,59 @@ fn build_jobs(spec: &ReplaySpec) -> Vec<Job> {
         .map(|i| {
             let jitter = 0.5 + rng.next_f64();
             t += (spec.mean_gap.as_nanos() as f64 * jitter) as u64;
-            let (name, args, source) = match spec.workload {
-                WorkloadKind::Agent => {
-                    let trace = agent.next_trace();
-                    let seg = trace
-                        .gen_segments
-                        .first()
-                        .copied()
-                        .unwrap_or(8)
-                        .clamp(4, 24);
-                    (
-                        format!("agent-{}", i + 1),
-                        format!("task {}", i + 1),
-                        agent_source(trace.calls.len().clamp(1, 3), seg),
-                    )
-                }
-                WorkloadKind::Rag => {
-                    let req = rag.next_request();
-                    (
-                        format!("rag-{}", i + 1),
-                        format!("{}|{}", req.topic % RAG_DOCS, req.query),
-                        rag_source(16),
-                    )
+            let hostile = spec.hostile_every > 0 && (i + 1) % spec.hostile_every == 0;
+            let (name, args, source) = if hostile {
+                (
+                    format!("hostile-{}", i + 1),
+                    String::new(),
+                    hostile_source(i / spec.hostile_every),
+                )
+            } else {
+                match spec.workload {
+                    WorkloadKind::Agent => {
+                        let trace = agent.next_trace();
+                        let seg = trace
+                            .gen_segments
+                            .first()
+                            .copied()
+                            .unwrap_or(8)
+                            .clamp(4, 24);
+                        (
+                            format!("agent-{}", i + 1),
+                            format!("task {}", i + 1),
+                            agent_source(trace.calls.len().clamp(1, 3), seg),
+                        )
+                    }
+                    WorkloadKind::Rag => {
+                        let req = rag.next_request();
+                        (
+                            format!("rag-{}", i + 1),
+                            format!("{}|{}", req.topic % RAG_DOCS, req.query),
+                            rag_source(16),
+                        )
+                    }
+                    WorkloadKind::MixedCost => {
+                        if (i + 1) % 4 == 0 {
+                            let trace = agent.next_trace();
+                            let seg = trace
+                                .gen_segments
+                                .first()
+                                .copied()
+                                .unwrap_or(8)
+                                .clamp(8, 24);
+                            (
+                                format!("long-{}", i + 1),
+                                format!("task {}", i + 1),
+                                agent_source(trace.calls.len().clamp(2, 3), seg),
+                            )
+                        } else {
+                            (
+                                format!("short-{}", i + 1),
+                                format!("q {}", i + 1),
+                                short_source(6),
+                            )
+                        }
+                    }
                 }
             };
             Job {
@@ -415,6 +516,7 @@ pub fn run_replay_on(spec: &ReplaySpec, mut core: ServerCore) -> (ReplayReport, 
             job.session,
             ProgramStat {
                 session: job.session,
+                name: job.name.clone(),
                 conn,
                 tenant,
                 submit_ns: job.submit_ns,

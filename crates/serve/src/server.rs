@@ -23,7 +23,7 @@ use std::sync::{Arc, Mutex};
 
 use symphony::telemetry::EventKind;
 use symphony::{ExitStatus, Kernel, Pid, SessionEvent, SimTime, SysError};
-use symphony_lipscript::{parse::parse, run_lip, InterpLimits};
+use symphony_lipscript::{parse::parse, run_lip, verify::verify, InterpLimits};
 use symphony_rpc::{
     ClientMsg, ErrCode, FrameReader, ServerMsg, SessionStatus, CONN_SCOPE, DEFAULT_MAX_FRAME,
     WIRE_VERSION,
@@ -47,6 +47,13 @@ pub struct ServeConfig {
     /// Output-buffer cap per connection; exceeding it sheds the
     /// connection as a slow client.
     pub conn_outbuf_cap: usize,
+    /// Run the static verifier on every SUBMIT; programs with verifier
+    /// errors are shed with [`ErrCode::VerifyRejected`] before touching
+    /// the kernel.
+    pub verify: bool,
+    /// Feed the verifier's pred-token bound to the scheduler as a static
+    /// cost hint ([`Kernel::set_cost_hint`]); requires `verify`.
+    pub cost_hints: bool,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +66,8 @@ impl Default for ServeConfig {
             tenant_session_quota: 8,
             max_live_sessions: 256,
             conn_outbuf_cap: 1 << 20,
+            verify: true,
+            cost_hints: true,
         }
     }
 }
@@ -399,6 +408,7 @@ impl ServerCore {
         };
         // Admission checks, cheapest first; each refusal is one typed
         // session-scoped ERROR and costs no kernel state.
+        let mut static_hint: Option<Option<u64>> = None;
         let refusal = if session == CONN_SCOPE {
             Some((ErrCode::ProgramRejected, "session id 0 is reserved".into()))
         } else if duplicate {
@@ -428,16 +438,40 @@ impl ServerCore {
                 ErrCode::ServerBusy,
                 format!("server at {} live sessions", self.cfg.max_live_sessions),
             ))
-        } else if let Err(e) = parse(&source) {
-            Some((ErrCode::ProgramRejected, e.to_string()))
         } else {
-            None
+            // The program gate: parse errors stay `ProgramRejected`,
+            // verifier errors shed as `VerifyRejected` — both carry a
+            // compiler-style `name:line:col: message` detail and cost
+            // zero interpreter fuel. An admissible program's effect
+            // summary doubles as the scheduler's static cost hint.
+            match parse(&source) {
+                Err(e) => Some((ErrCode::ProgramRejected, e.render(name))),
+                Ok(prog) if self.cfg.verify => {
+                    let report = verify(&prog);
+                    match report.first_error() {
+                        Some(d) => Some((ErrCode::VerifyRejected, d.render(name))),
+                        None => {
+                            if self.cfg.cost_hints {
+                                static_hint = Some(report.effects.service_estimate());
+                            }
+                            None
+                        }
+                    }
+                }
+                Ok(_) => None,
+            }
         };
         if let Some((code, detail)) = refusal {
             self.kernel
                 .metrics_registry()
                 .counter("serve.sessions.shed")
                 .inc();
+            if code == ErrCode::VerifyRejected {
+                self.kernel
+                    .metrics_registry()
+                    .counter("serve.sessions.verify_rejected")
+                    .inc();
+            }
             self.reply(
                 conn,
                 &ServerMsg::Error {
@@ -465,6 +499,9 @@ impl ServerCore {
                 .map(|_| ())
                 .map_err(|e| SysError::ToolFailed(e.to_string()))
         });
+        if let Some(hint) = static_hint {
+            self.kernel.set_cost_hint(pid, hint);
+        }
         // lint:allow(k1): conn presence established by the caller
         let c = self.conns.get_mut(&conn).expect("conn exists");
         c.sessions.insert(session, pid);

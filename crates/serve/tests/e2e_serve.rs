@@ -8,7 +8,7 @@ use symphony::KernelConfig;
 use symphony_rpc::{
     ClientMsg, ErrCode, FrameReader, ServerMsg, SessionStatus, CONN_SCOPE, WIRE_VERSION,
 };
-use symphony_serve::replay::{agent_source, rag_source, standard_kernel};
+use symphony_serve::replay::{agent_source, hostile_source, rag_source, standard_kernel};
 use symphony_serve::{run_replay, CloseReason, ReplaySpec, ServeConfig, ServerCore, WorkloadKind};
 
 /// A client end of one loopback connection.
@@ -496,4 +496,133 @@ fn replay_is_deterministic_and_faults_are_attributed() {
         a.completed() < spec.sessions,
         "faulted sessions cannot all complete"
     );
+}
+
+#[test]
+fn verifier_errors_shed_at_the_door_with_zero_kernel_work() {
+    let mut core = new_core();
+    let mut client = Client::connect(&mut core, 1);
+    client.submit(&mut core, 1, &hostile_source(0), "x");
+    core.pump();
+    let msgs = client.drain(&mut core);
+    let [ServerMsg::Error {
+        session: 1,
+        code: ErrCode::VerifyRejected,
+        detail,
+    }] = msgs.as_slice()
+    else {
+        panic!("expected one VerifyRejected error: {msgs:?}");
+    };
+    // The detail is the first diagnostic, compiler-style, anchored to the
+    // submitted program name.
+    assert_eq!(detail, "e2e-1:1:9: undefined variable `missing`");
+    // The program never touched the kernel: nothing accepted, nothing
+    // scheduled, no fuel burned.
+    let reg = core.kernel().metrics_registry();
+    assert_eq!(reg.counter_value("serve.sessions.accepted").unwrap_or(0), 0);
+    assert_eq!(reg.counter_value("serve.sessions.shed"), Some(1));
+    assert_eq!(reg.counter_value("serve.sessions.verify_rejected"), Some(1));
+}
+
+#[test]
+fn parse_error_details_render_compiler_style() {
+    let msgs = run_once("let = broken syntax here", "x");
+    let [ServerMsg::Error {
+        session: 1,
+        code: ErrCode::ProgramRejected,
+        detail,
+    }] = msgs.as_slice()
+    else {
+        panic!("expected one ProgramRejected error: {msgs:?}");
+    };
+    assert!(
+        detail.starts_with("e2e-1:1:"),
+        "detail must be name:line:col-anchored, got {detail:?}"
+    );
+    assert!(detail.contains("parse error"), "detail: {detail:?}");
+}
+
+#[test]
+fn verify_can_be_disabled_and_programs_fault_at_runtime_instead() {
+    let mut core = ServerCore::new(
+        standard_kernel(KernelConfig::for_tests()),
+        ServeConfig {
+            verify: false,
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = Client::connect(&mut core, 1);
+    client.submit(&mut core, 1, &hostile_source(0), "x");
+    core.pump();
+    let msgs = client.drain(&mut core);
+    assert!(
+        matches!(msgs.first(), Some(ServerMsg::Accepted { session: 1, .. })),
+        "without the verifier the bad program is admitted: {msgs:?}"
+    );
+    let Some(ServerMsg::Done { status, .. }) = msgs.last() else {
+        panic!("missing DONE: {:?}", msgs.last());
+    };
+    assert_ne!(
+        *status,
+        SessionStatus::Ok,
+        "the interpreter must fault where the verifier would have shed"
+    );
+}
+
+#[test]
+fn hostile_flood_is_shed_while_clean_work_completes() {
+    let spec = ReplaySpec {
+        workload: WorkloadKind::Agent,
+        sessions: 12,
+        conns: 2,
+        tenants: 1,
+        hostile_every: 2,
+        ..ReplaySpec::default()
+    };
+    let report = run_replay(&spec, ServeConfig::default());
+    let sheds = report.sheds();
+    assert_eq!(sheds.get(&ErrCode::VerifyRejected), Some(&6));
+    assert_eq!(sheds.len(), 1, "only verifier sheds expected: {sheds:?}");
+    assert_eq!(report.completed(), 6, "every clean program completes");
+    for s in &report.programs {
+        if s.name.starts_with("hostile-") {
+            assert_eq!(s.shed, Some(ErrCode::VerifyRejected), "{}", s.name);
+            assert_eq!(s.chunks, 0, "{} must stream nothing", s.name);
+        } else {
+            assert_eq!(s.status, Some(SessionStatus::Ok), "{}", s.name);
+        }
+    }
+}
+
+#[test]
+fn admission_cost_hints_reach_the_scheduler() {
+    let spec = ReplaySpec {
+        workload: WorkloadKind::MixedCost,
+        sessions: 8,
+        conns: 2,
+        tenants: 1,
+        ..ReplaySpec::default()
+    };
+    let core = ServerCore::new(
+        standard_kernel(KernelConfig::for_tests()),
+        ServeConfig::default(),
+    );
+    let (report, core) = symphony_serve::replay::run_replay_on(&spec, core);
+    assert_eq!(report.completed(), 8);
+    assert_eq!(
+        core.kernel().cost_hints(),
+        8,
+        "every admitted program installs a static cost hint"
+    );
+
+    // With hints disabled the counter stays at zero.
+    let core = ServerCore::new(
+        standard_kernel(KernelConfig::for_tests()),
+        ServeConfig {
+            cost_hints: false,
+            ..ServeConfig::default()
+        },
+    );
+    let (_, core) = symphony_serve::replay::run_replay_on(&spec, core);
+    assert_eq!(core.kernel().cost_hints(), 0);
 }
