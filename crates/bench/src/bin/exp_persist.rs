@@ -19,6 +19,10 @@ use symphony_bench::fig3::{run_symphony_point_persist, Fig3Config, Scale};
 use symphony_bench::{write_json_with_metrics, Table};
 
 const AGENTS: usize = 24;
+/// Cold-boot agents arrive in waves; the kernel drains the KVFS delta log
+/// to the journal between waves, so the journal grows incrementally the
+/// way a live deployment's would (and compaction has something to reclaim).
+const WAVE: usize = 4;
 
 #[derive(Debug, Clone, Serialize)]
 struct Point {
@@ -146,16 +150,73 @@ fn agent_run(smoke: bool, journal: &std::path::Path, warm: bool) -> Point {
         );
     }
     let mut pids = Vec::new();
-    for i in 0..AGENTS {
-        let at = SimTime::ZERO + SimDuration::from_millis(25 * i as u64);
-        let args = format!("plan step {i}");
-        pids.push(kernel.schedule_process(at, &format!("agent{i}"), &args, agent_lip));
+    if warm {
+        for i in 0..AGENTS {
+            let at = SimTime::ZERO + SimDuration::from_millis(25 * i as u64);
+            let args = format!("plan step {i}");
+            pids.push(kernel.schedule_process(at, &format!("agent{i}"), &args, agent_lip));
+        }
+        kernel.run();
+    } else {
+        // Cold boot persists incrementally: open the journal up front, run
+        // the fleet in waves, and drain the KVFS delta log after each wave.
+        // A deliberately small compaction threshold forces the journal to be
+        // rewritten to its snapshot-equivalent form mid-run, which is what
+        // keeps `journal_bytes` bounded no matter how long the fleet runs.
+        let threshold: u64 = if smoke { 4 * 1024 } else { 16 * 1024 };
+        kernel
+            .open_kv_journal(
+                journal,
+                symphony_kvfs::JournalConfig {
+                    flush_every_bytes: 1024,
+                    compact_threshold_bytes: threshold,
+                },
+            )
+            .expect("open journal");
+        let mut max_bytes = 0u64;
+        for wave in 0..AGENTS.div_ceil(WAVE) {
+            let base = kernel.now();
+            for j in 0..WAVE {
+                let i = wave * WAVE + j;
+                if i >= AGENTS {
+                    break;
+                }
+                let at = base + SimDuration::from_millis(25 * j as u64);
+                let args = format!("plan step {i}");
+                pids.push(kernel.schedule_process(at, &format!("agent{i}"), &args, agent_lip));
+            }
+            kernel.run();
+            kernel.persist_kv_delta().expect("delta flush");
+            let on_disk = std::fs::metadata(journal).map(|m| m.len()).unwrap_or(0);
+            max_bytes = max_bytes.max(on_disk);
+            eprintln!("E13: agent wave {wave}: journal {on_disk} bytes");
+        }
+        // Boundedness: after every drain the journal is at most the
+        // compaction threshold, or one snapshot of live state when a single
+        // snapshot already exceeds the threshold (plus one buffered batch).
+        let snap_path = journal.with_extension("snapshot.tmp");
+        kernel.persist_kv(&snap_path).expect("snapshot write");
+        let snapshot_len = std::fs::metadata(&snap_path).map(|m| m.len()).unwrap_or(0);
+        std::fs::remove_file(&snap_path).ok();
+        let bound = threshold.max(snapshot_len) + threshold;
+        assert!(
+            max_bytes <= bound,
+            "journal must stay bounded under compaction: max {max_bytes} > bound {bound}"
+        );
+        let compactions = kernel
+            .metrics_registry()
+            .counter_value("kvfs.compactions")
+            .unwrap_or(0);
+        assert!(
+            compactions >= 1,
+            "agent fleet must trigger at least one journal compaction"
+        );
+        eprintln!(
+            "E13: agent cold: {compactions} compactions, max journal {max_bytes} bytes \
+             (snapshot {snapshot_len}, threshold {threshold})"
+        );
     }
-    kernel.run();
     let report = kernel.restored().copied();
-    if !warm {
-        kernel.persist_kv(journal).expect("journal write");
-    }
     let (journal_bytes, journal_frames) = journal_growth(journal);
 
     let mut lat = symphony_sim::Series::new();

@@ -20,7 +20,7 @@ use symphony_kvfs::{
 };
 use symphony_model::surrogate::VocabInfo;
 use symphony_model::{ModelConfig, Surrogate, TokenId};
-use symphony_sim::{EventQueue, RetryPolicy, Rng, SimDuration, SimTime, Trace};
+use symphony_sim::{EventQueue, IdSlab, RetryPolicy, Rng, SimDuration, SimTime, Trace};
 use symphony_telemetry::{
     export_chrome_trace, export_chrome_trace_with_flows, latency_bounds_ns, percent_bounds,
     Collector, Counter, EdgeKind, EventBus, EventKind, Gauge, Histogram, MetricsRegistry,
@@ -225,7 +225,7 @@ enum Event {
 struct ThreadState {
     pid: Pid,
     reply_tx: Sender<SysReply>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    handle: Option<crate::lip_pool::JobHandle>,
     status: Option<ExitStatus>,
     join_waiters: Vec<Tid>,
     /// Name of the syscall this thread is currently parked in, for the
@@ -366,6 +366,10 @@ struct KernelMetrics {
     /// Admission-time static cost hints installed on the scheduler
     /// ([`Kernel::set_cost_hint`]).
     cost_hints: Counter,
+    /// Wall-clock DES throughput of the latest [`Kernel::run`]: events
+    /// processed per real second. Observability only — never read back
+    /// into scheduling, so it cannot perturb determinism.
+    events_per_sec: Gauge,
 }
 
 impl KernelMetrics {
@@ -386,6 +390,7 @@ impl KernelMetrics {
             checkpoints: registry.counter("kernel.checkpoints"),
             wal_bytes: registry.gauge("kernel.wal_bytes"),
             cost_hints: registry.counter("sched.cost_hints"),
+            events_per_sec: registry.gauge("sim.events_per_sec"),
         }
     }
 }
@@ -410,15 +415,15 @@ pub struct Kernel {
     /// iterations until they finish, fail or are preempted.
     active: Vec<PendingPred>,
     gpu_busy: bool,
-    pending_batches: BTreeMap<u64, Vec<(Tid, SysReply)>>,
+    pending_batches: IdSlab<Vec<(Tid, SysReply)>>,
     next_batch: u64,
     timer_armed_until: Option<SimTime>,
     // Processes and threads.
-    threads: BTreeMap<u64, ThreadState>,
+    threads: IdSlab<ThreadState>,
     next_tid: u64,
-    procs: BTreeMap<u64, Proc>,
+    procs: IdSlab<Proc>,
     next_pid: u64,
-    records: BTreeMap<u64, ProcessRecord>,
+    records: IdSlab<ProcessRecord>,
     names: BTreeMap<String, Pid>,
     live_threads: usize,
     // Plumbing.
@@ -443,6 +448,9 @@ pub struct Kernel {
     offload_min_latency: SimDuration,
     default_limits: Limits,
     max_batch: usize,
+    /// Open incremental KV journal ([`Kernel::open_kv_journal`]): deltas
+    /// appended by [`Kernel::persist_kv_delta`], bounded by compaction.
+    kv_journal: Option<symphony_kvfs::Journal>,
     // Crash tolerance.
     /// Open write-ahead log (`None` when journalling is disabled).
     wal: Option<WalState>,
@@ -587,14 +595,14 @@ impl Kernel {
             }),
             active: Vec::new(),
             gpu_busy: false,
-            pending_batches: BTreeMap::new(),
+            pending_batches: IdSlab::new(),
             next_batch: 0,
             timer_armed_until: None,
-            threads: BTreeMap::new(),
+            threads: IdSlab::new(),
             next_tid: 1,
-            procs: BTreeMap::new(),
+            procs: IdSlab::new(),
             next_pid: 1,
-            records: BTreeMap::new(),
+            records: IdSlab::new(),
             names: BTreeMap::new(),
             live_threads: 0,
             up_tx,
@@ -633,6 +641,7 @@ impl Kernel {
             offload_min_latency: config.offload_min_latency,
             default_limits: config.default_limits,
             max_batch: config.max_batch,
+            kv_journal: None,
             wal: None,
             replay: None,
             durable_pids: BTreeSet::new(),
@@ -732,6 +741,48 @@ impl Kernel {
         }
         std::fs::write(path, bytes)?;
         Ok(!torn)
+    }
+
+    /// Opens an incremental KV journal at `path`: writes the current store
+    /// as its base snapshot and starts delta tracking. From here on,
+    /// [`Kernel::persist_kv_delta`] appends only what changed, and the
+    /// journal is rewritten snapshot-equivalent whenever it crosses
+    /// `config.compact_threshold_bytes` — so its size is bounded by the
+    /// threshold plus one delta batch, not by history length.
+    pub fn open_kv_journal(
+        &mut self,
+        path: &std::path::Path,
+        config: symphony_kvfs::JournalConfig,
+    ) -> std::io::Result<()> {
+        let snapshot = self.store.journal_bytes();
+        let journal = symphony_kvfs::Journal::create(path, &snapshot, config)?;
+        self.store.enable_delta_log();
+        self.store.set_journal_len_metric(journal.bytes());
+        self.kv_journal = Some(journal);
+        Ok(())
+    }
+
+    /// Appends the store's changes since the last call to the open KV
+    /// journal, flushes them to disk, and compacts when the journal has
+    /// crossed its threshold. Returns `Ok(true)` when a compaction ran;
+    /// a no-op `Ok(false)` without an open journal.
+    pub fn persist_kv_delta(&mut self) -> std::io::Result<bool> {
+        let Some(journal) = self.kv_journal.as_mut() else {
+            return Ok(false);
+        };
+        for rec in self.store.take_delta() {
+            journal.append(&rec)?;
+        }
+        journal.flush()?;
+        let mut compacted = false;
+        if journal.needs_compaction() {
+            let snapshot = self.store.journal_bytes();
+            journal.compact(&snapshot)?;
+            self.store.note_compaction();
+            compacted = true;
+        }
+        self.store.set_journal_len_metric(journal.bytes());
+        Ok(compacted)
     }
 
     /// Spawns a LIP immediately (at the current virtual time) with the
@@ -869,7 +920,7 @@ impl Kernel {
     }
 
     fn mark_durable(&mut self, pid: Pid) {
-        if let Some(p) = self.procs.get_mut(&pid.0) {
+        if let Some(p) = self.procs.get_mut(pid.0) {
             p.durable = true;
         }
         self.durable_pids.insert(pid.0);
@@ -925,13 +976,13 @@ impl Kernel {
     fn start_process(&mut self, pid: Pid, args: String, f: LipFn, forced_tid: Option<Tid>) {
         // `spawn` just inserted the record; a miss would mean the caller
         // passed a foreign pid. Degrade to a no-op instead of panicking.
-        let Some(proc) = self.procs.get_mut(&pid.0) else {
+        let Some(proc) = self.procs.get_mut(pid.0) else {
             debug_assert!(false, "start_process: unknown pid {}", pid.0);
             return;
         };
         proc.args = args.clone();
         if self.bus.is_enabled() {
-            let name = self.records[&pid.0].name.clone();
+            let name = self.records[pid.0].name.clone();
             let at = self.events.now();
             self.bus
                 .emit(at, move || EventKind::ProcessSpawn { pid: pid.0, name });
@@ -940,7 +991,7 @@ impl Kernel {
             Some(t) => self.spawn_thread_with_tid(t, pid, args, f),
             None => self.spawn_thread(pid, args, f),
         };
-        if let Some(proc) = self.procs.get_mut(&pid.0) {
+        if let Some(proc) = self.procs.get_mut(pid.0) {
             proc.main_tid = tid;
         }
         // Journal durable spawns, except re-executions of already-journalled
@@ -952,17 +1003,17 @@ impl Kernel {
                 .is_some_and(|r| r.procs.contains_key(&pid.0));
         if journal_spawn {
             let (name, limits) = {
-                let rec = &self.records[&pid.0];
+                let rec = &self.records[pid.0];
                 let limits = self
                     .procs
-                    .get(&pid.0)
+                    .get(pid.0)
                     .map(|p| p.limits)
                     .unwrap_or(self.default_limits);
                 (rec.name.clone(), limits)
             };
             let args = self
                 .procs
-                .get(&pid.0)
+                .get(pid.0)
                 .map(|p| p.args.clone())
                 .unwrap_or_default();
             self.wal_append(WalRecord::ProcSpawn {
@@ -975,10 +1026,10 @@ impl Kernel {
                 limits,
             });
         }
-        self.trace.record(
+        self.trace.record_with(
             self.events.now(),
             "kernel",
-            format!("spawn pid={} tid={}", pid.0, tid.0),
+            || format!("spawn pid={} tid={}", pid.0, tid.0),
         );
     }
 
@@ -1001,12 +1052,7 @@ impl Kernel {
             self.rng.fork(tid.0),
             self.tokenizer.specials(),
         );
-        let handle = std::thread::Builder::new()
-            .name(format!("lip-{}", tid.0))
-            .stack_size(512 * 1024)
-            .spawn(move || thread_main(ctx, f))
-            // lint:allow(k1): OS thread spawn failing at kernel boot is unrecoverable
-            .expect("spawn LIP thread");
+        let handle = crate::lip_pool::spawn_lip(Box::new(move || thread_main(ctx, f)));
         self.threads.insert(
             tid.0,
             ThreadState {
@@ -1023,10 +1069,10 @@ impl Kernel {
             pid: pid.0,
             tid: tid.0,
         });
-        if let Some(proc) = self.procs.get_mut(&pid.0) {
+        if let Some(proc) = self.procs.get_mut(pid.0) {
             proc.live_threads += 1;
         }
-        if let Some(r) = self.records.get_mut(&pid.0) {
+        if let Some(r) = self.records.get_mut(pid.0) {
             r.usage.threads_spawned += 1;
         }
         self.live_threads += 1;
@@ -1118,7 +1164,7 @@ impl Kernel {
                     continue;
                 }
             }
-            if let Some(p) = self.procs.get_mut(&s.to) {
+            if let Some(p) = self.procs.get_mut(s.to) {
                 p.mailbox.push_back((Pid(s.from), s.data, SimTime::ZERO, 0));
             }
         }
@@ -1128,10 +1174,10 @@ impl Kernel {
             resumed: resumed_u,
             replayed_frames: frames,
         });
-        self.trace.record(
+        self.trace.record_with(
             at,
             "kernel",
-            format!("recovered resumed={resumed} finished={finished} lost={lost}"),
+            || format!("recovered resumed={resumed} finished={finished} lost={lost}"),
         );
         RecoveryReport {
             resumed,
@@ -1362,7 +1408,7 @@ impl Kernel {
         self.bus
             .emit(at, move || EventKind::KernelCrash { boundary });
         self.trace
-            .record(at, "kernel", format!("crash at boundary {boundary}"));
+            .record_with(at, "kernel", || format!("crash at boundary {boundary}"));
         if let Some(w) = self.wal.as_mut() {
             w.pred_buf.clear();
             w.buffered_frames = 0;
@@ -1372,7 +1418,7 @@ impl Kernel {
 
     /// `true` when `pid`'s effectful syscalls are journalled.
     fn is_durable(&self, pid: Pid) -> bool {
-        self.procs.get(&pid.0).is_some_and(|p| p.durable)
+        self.procs.get(pid.0).is_some_and(|p| p.durable)
     }
 
     /// Rebuilds the KV entries a replayed `pred` appended pre-crash, so
@@ -1435,9 +1481,16 @@ impl Kernel {
         self.events.now()
     }
 
+    /// Discrete events processed by the kernel's virtual clock since boot.
+    /// The numerator of the `sim.events_per_sec` throughput metric the
+    /// `exp_bench` harness reports.
+    pub fn events_processed(&self) -> u64 {
+        self.events.events_processed()
+    }
+
     /// The record for a process (live or exited).
     pub fn record(&self, pid: Pid) -> Option<&ProcessRecord> {
-        self.records.get(&pid.0)
+        self.records.get(pid.0)
     }
 
     /// All process records, in PID order.
@@ -1576,6 +1629,9 @@ impl Kernel {
             .values()
             .filter(|r| r.exited_at.is_some())
             .count();
+        // lint:allow(d1): sim.events_per_sec measures real host throughput — the gauge is observation-only and is never read back into simulation state
+        let wall_start = std::time::Instant::now();
+        let events_before = self.events.events_processed();
         loop {
             while let Some((tid, reply)) = self.ready.pop_front() {
                 if self.crashed.is_some() {
@@ -1596,6 +1652,13 @@ impl Kernel {
             }
             self.maybe_checkpoint();
         }
+        let processed = self.events.events_processed() - events_before;
+        let secs = wall_start.elapsed().as_secs_f64();
+        if processed > 0 && secs > 0.0 {
+            self.kmetrics
+                .events_per_sec
+                .set((processed as f64 / secs) as i64);
+        }
         let after: usize = self
             .records
             .values()
@@ -1606,7 +1669,7 @@ impl Kernel {
 
     fn resume(&mut self, tid: Tid, reply: SysReply) {
         let (pid, open) = {
-            let Some(ts) = self.threads.get_mut(&tid.0) else {
+            let Some(ts) = self.threads.get_mut(tid.0) else {
                 return;
             };
             if ts.status.is_some() {
@@ -1648,26 +1711,26 @@ impl Kernel {
                 self.gpu_busy = false;
                 // Results are recorded at launch; an unknown id would mean a
                 // duplicate BatchDone. Drop it rather than panic the kernel.
-                let Some(results) = self.pending_batches.remove(&batch_id) else {
+                let Some(results) = self.pending_batches.remove(batch_id) else {
                     debug_assert!(false, "BatchDone for unknown batch {batch_id}");
                     return;
                 };
                 let now = self.events.now();
                 self.bus.emit(now, || EventKind::BatchEnd { id: batch_id });
-                self.trace.record(
+                self.trace.record_with(
                     now,
                     "infer_sched",
-                    format!("batch_done id={batch_id} n={}", results.len()),
+                    || format!("batch_done id={batch_id} n={}", results.len()),
                 );
                 for (tid, reply) in results {
                     // Token-latency metrics: a delivered distribution is a
                     // decoded token from the process's point of view.
                     if matches!(reply, SysReply::Dists(_)) {
-                        if let Some(ts) = self.threads.get(&tid.0) {
+                        if let Some(ts) = self.threads.get(tid.0) {
                             let pid = ts.pid;
-                            let spawned_at = self.records.get(&pid.0).map(|r| r.spawned_at);
+                            let spawned_at = self.records.get(pid.0).map(|r| r.spawned_at);
                             if let (Some(proc), Some(spawned_at)) =
-                                (self.procs.get_mut(&pid.0), spawned_at)
+                                (self.procs.get_mut(pid.0), spawned_at)
                             {
                                 if !proc.ttft_done {
                                     proc.ttft_done = true;
@@ -1732,7 +1795,7 @@ impl Kernel {
     /// same error, driving the program to a prompt, typed exit. Returns
     /// `false` if the pid is unknown or already finished.
     pub fn cancel_process(&mut self, pid: Pid) -> bool {
-        let Some(proc) = self.procs.get_mut(&pid.0) else {
+        let Some(proc) = self.procs.get_mut(pid.0) else {
             return false;
         };
         if proc.finished || proc.cancelled {
@@ -1740,10 +1803,10 @@ impl Kernel {
         }
         proc.cancelled = true;
         let waiters = std::mem::take(&mut proc.recv_waiters);
-        self.trace.record(
+        self.trace.record_with(
             self.events.now(),
             "kernel",
-            format!("cancel pid={} woke={}", pid.0, waiters.len()),
+            || format!("cancel pid={} woke={}", pid.0, waiters.len()),
         );
         for (w, _seq) in waiters {
             self.complete(w, SysReply::Err(SysError::Cancelled));
@@ -1762,7 +1825,7 @@ impl Kernel {
     /// `pred`s, in-flight I/O, sleeps — already have completions scheduled
     /// and hit the syscall-entry deadline check on their next call).
     fn enforce_deadline(&mut self, pid: Pid) {
-        let Some(proc) = self.procs.get_mut(&pid.0) else {
+        let Some(proc) = self.procs.get_mut(pid.0) else {
             return;
         };
         if proc.finished {
@@ -1776,10 +1839,10 @@ impl Kernel {
             let at = self.events.now();
             self.bus.emit(at, || EventKind::DeadlineHit { pid: pid.0 });
         }
-        self.trace.record(
+        self.trace.record_with(
             self.events.now(),
             "kernel",
-            format!("deadline pid={} woke={}", pid.0, waiters.len()),
+            || format!("deadline pid={} woke={}", pid.0, waiters.len()),
         );
         for (w, _seq) in waiters {
             self.complete(w, SysReply::Err(SysError::DeadlineExceeded));
@@ -1850,19 +1913,16 @@ impl Kernel {
         });
         if self.causal {
             // One scheduler→GPU hop per member: which pooled pred executes
-            // in this batch, and how long it queued.
-            for (k, req) in requests.iter().enumerate() {
-                let (ppid, _, _) = metas[k];
-                let (ptid, penq) = (tids[k], enqueued[k]);
-                let tk = req.tokens.len() as u32;
-                self.bus.emit(now, || EventKind::PredExec {
-                    pid: ppid.0,
-                    tid: ptid.0,
+            // in this batch, and how long it queued. Batched emission —
+            // one reserve and one capacity check for the whole iteration.
+            self.bus
+                .emit_batch(now, requests.len(), |k| EventKind::PredExec {
+                    pid: metas[k].0 .0,
+                    tid: tids[k].0,
                     batch: batch_id,
-                    tokens: tk,
-                    enqueued_at: penq,
+                    tokens: requests[k].tokens.len() as u32,
+                    enqueued_at: enqueued[k],
                 });
-            }
         }
         let cow_delta = self.store.stats().cow_copies - cow_before;
         if cow_delta > 0 {
@@ -1941,10 +2001,10 @@ impl Kernel {
             };
             replies.push((tid, reply));
         }
-        self.trace.record(
+        self.trace.record_with(
             self.events.now(),
             "infer_sched",
-            format!(
+            || format!(
                 "batch_launch id={batch_id} n={} new_tokens={} dur={}",
                 report.requests, report.new_tokens, report.duration
             ),
@@ -2215,18 +2275,18 @@ impl Kernel {
         if self.causal {
             // One scheduler→GPU hop per iteration member (chunked prefills
             // hop once per chunk, which is exactly their service pattern).
-            for (k, &i) in parts.iter().enumerate() {
-                let s = &self.active[i];
-                let (ppid, ptid, penq) = (s.pid.0, s.tid.0, s.enqueued_at);
-                let tk = requests[k].tokens.len() as u32;
-                self.bus.emit(now, || EventKind::PredExec {
-                    pid: ppid,
-                    tid: ptid,
+            // Batched: one reserve/capacity check for the whole iteration.
+            let active = &self.active;
+            self.bus.emit_batch(now, parts.len(), |k| {
+                let s = &active[parts[k]];
+                EventKind::PredExec {
+                    pid: s.pid.0,
+                    tid: s.tid.0,
                     batch: batch_id,
-                    tokens: tk,
-                    enqueued_at: penq,
-                });
-            }
+                    tokens: requests[k].tokens.len() as u32,
+                    enqueued_at: s.enqueued_at,
+                }
+            });
         }
         let cow_delta = self.store.stats().cow_copies - cow_before;
         if cow_delta > 0 {
@@ -2422,10 +2482,10 @@ impl Kernel {
             .disk_pages_used
             .set(self.store.disk_pages_used() as i64);
         let duration = swap_extra + report.duration;
-        self.trace.record(
+        self.trace.record_with(
             now,
             "infer_sched",
-            format!(
+            || format!(
                 "iter_launch id={batch_id} n={} new_tokens={} dur={duration}",
                 report.requests, report.new_tokens
             ),
@@ -2458,7 +2518,7 @@ impl Kernel {
     }
 
     fn owner_of(&self, tid: Tid) -> Option<(Pid, OwnerId)> {
-        let pid = self.threads.get(&tid.0)?.pid;
+        let pid = self.threads.get(tid.0)?.pid;
         Some((pid, OwnerId(pid.0)))
     }
 
@@ -2487,7 +2547,7 @@ impl Kernel {
             tid: tid.0,
             name: sys_name,
         });
-        if let Some(ts) = self.threads.get_mut(&tid.0) {
+        if let Some(ts) = self.threads.get_mut(tid.0) {
             ts.open_syscall = Some(sys_name);
         }
         // Fails the syscall with a typed error when a bookkeeping lookup
@@ -2506,9 +2566,9 @@ impl Kernel {
 
         // Global syscall accounting and limit.
         let (syscalls_so_far, max_syscalls) = {
-            let rec = sys!(self.records.get_mut(&pid.0), "process record missing");
+            let rec = sys!(self.records.get_mut(pid.0), "process record missing");
             rec.usage.syscalls += 1;
-            (rec.usage.syscalls, self.procs[&pid.0].limits.max_syscalls)
+            (rec.usage.syscalls, self.procs[pid.0].limits.max_syscalls)
         };
         if let Some(max) = max_syscalls {
             if syscalls_so_far > max {
@@ -2517,9 +2577,9 @@ impl Kernel {
             }
         }
         // Wall-clock deadline: once past it, every syscall fails.
-        if let Some(t) = self.procs[&pid.0].deadline_at {
+        if let Some(t) = self.procs[pid.0].deadline_at {
             if self.events.now() >= t {
-                let proc = sys!(self.procs.get_mut(&pid.0), "process missing");
+                let proc = sys!(self.procs.get_mut(pid.0), "process missing");
                 if !proc.deadline_hit {
                     proc.deadline_hit = true;
                     self.res_counters.deadline_kills.inc();
@@ -2531,7 +2591,7 @@ impl Kernel {
             }
         }
         // Cancellation: like a deadline hit, once set every syscall fails.
-        if self.procs[&pid.0].cancelled {
+        if self.procs[pid.0].cancelled {
             self.complete(tid, SysReply::Err(SysError::Cancelled));
             return;
         }
@@ -2563,8 +2623,8 @@ impl Kernel {
                         return;
                     }
                 }
-                let limit = self.procs[&pid.0].limits.max_pred_tokens;
-                let rec = sys!(self.records.get_mut(&pid.0), "process record missing");
+                let limit = self.procs[pid.0].limits.max_pred_tokens;
+                let rec = sys!(self.records.get_mut(pid.0), "process record missing");
                 rec.usage.pred_calls += 1;
                 rec.usage.pred_tokens += tokens.len() as u64;
                 if let Some(max) = limit {
@@ -2573,10 +2633,10 @@ impl Kernel {
                         return;
                     }
                 }
-                self.trace.record(
+                self.trace.record_with(
                     self.events.now(),
                     "kernel",
-                    format!("pred tid={} n={}", tid.0, tokens.len()),
+                    || format!("pred tid={} n={}", tid.0, tokens.len()),
                 );
                 let n_tokens = tokens.len() as u32;
                 let pool = self.pred_queue_len() as u32;
@@ -2586,7 +2646,7 @@ impl Kernel {
                     pool,
                 });
                 let seq = {
-                    let p = sys!(self.procs.get_mut(&pid.0), "process missing");
+                    let p = sys!(self.procs.get_mut(pid.0), "process missing");
                     let s = p.seqs.pred;
                     p.seqs.pred += 1;
                     s
@@ -2609,7 +2669,7 @@ impl Kernel {
                         }
                     }
                 }
-                let critical = self.procs[&pid.0].main_tid == tid;
+                let critical = self.procs[pid.0].main_tid == tid;
                 let pending = PendingPred {
                     tid,
                     req: PredRequest {
@@ -2778,7 +2838,7 @@ impl Kernel {
                 self.events.schedule(at, Event::Resume(tid, SysReply::Unit));
             }
             Syscall::Spawn { f } => {
-                let proc = &self.procs[&pid.0];
+                let proc = &self.procs[pid.0];
                 if let Some(max) = proc.limits.max_threads {
                     if proc.live_threads >= max {
                         self.complete(tid, SysReply::Err(SysError::LimitExceeded("threads")));
@@ -2786,7 +2846,7 @@ impl Kernel {
                     }
                 }
                 // Sibling threads inherit the process's args string.
-                let args = self.procs[&pid.0].args.clone();
+                let args = self.procs[pid.0].args.clone();
                 let new_tid = self.spawn_thread(pid, args, f);
                 if self.causal {
                     self.bus.emit(sys_at, || EventKind::CausalEdge {
@@ -2800,7 +2860,7 @@ impl Kernel {
                 }
                 self.complete(tid, SysReply::NewTid(new_tid));
             }
-            Syscall::Join { tid: target } => match self.threads.get_mut(&target.0) {
+            Syscall::Join { tid: target } => match self.threads.get_mut(target.0) {
                 None => self.complete(tid, SysReply::Err(SysError::NotFound)),
                 Some(ts) => match &ts.status {
                     Some(status) => {
@@ -2811,9 +2871,9 @@ impl Kernel {
                 },
             },
             Syscall::CallTool { name, args } => {
-                let proc = sys!(self.procs.get_mut(&pid.0), "process missing");
+                let proc = sys!(self.procs.get_mut(pid.0), "process missing");
                 if let Some(max) = proc.limits.max_tool_calls {
-                    if self.records[&pid.0].usage.tool_calls >= max {
+                    if self.records[pid.0].usage.tool_calls >= max {
                         self.complete(tid, SysReply::Err(SysError::LimitExceeded("tool_calls")));
                         return;
                     }
@@ -2824,11 +2884,11 @@ impl Kernel {
                     self.complete(tid, SysReply::Err(SysError::NoSuchTool(name)));
                     return;
                 }
-                sys!(self.records.get_mut(&pid.0), "process record missing")
+                sys!(self.records.get_mut(pid.0), "process record missing")
                     .usage
                     .tool_calls += 1;
                 let seq = {
-                    let p = sys!(self.procs.get_mut(&pid.0), "process missing");
+                    let p = sys!(self.procs.get_mut(pid.0), "process missing");
                     let s = p.seqs.tool;
                     p.seqs.tool += 1;
                     s
@@ -2856,10 +2916,10 @@ impl Kernel {
                                 );
                             }
                         }
-                        self.trace.record(
+                        self.trace.record_with(
                             now,
                             "io",
-                            format!("tool={} tid={} replayed", name, tid.0),
+                            || format!("tool={} tid={} replayed", name, tid.0),
                         );
                         let reply = match rec.result {
                             Ok(s) => SysReply::Text(s),
@@ -2876,10 +2936,10 @@ impl Kernel {
                     match bank.admit(&name, now) {
                         BreakerVerdict::Allow | BreakerVerdict::AllowTrial => {}
                         BreakerVerdict::Reject => {
-                            self.trace.record(
+                            self.trace.record_with(
                                 now,
                                 "io",
-                                format!("tool={} tid={} breaker_open", name, tid.0),
+                                || format!("tool={} tid={} breaker_open", name, tid.0),
                             );
                             if self.bus.is_enabled() {
                                 let tool = name.clone();
@@ -2910,7 +2970,7 @@ impl Kernel {
                     .retry_policy(&name)
                     .or(self.tool_retry)
                     .unwrap_or_default();
-                let timeout = self.procs[&pid.0].limits.tool_timeout;
+                let timeout = self.procs[pid.0].limits.tool_timeout;
                 // All attempts are planned synchronously: the virtual time
                 // the call occupies is the sum of per-attempt charges
                 // (latency clamped to the timeout) plus backoff delays, and
@@ -2980,10 +3040,10 @@ impl Kernel {
                         self.bus.emit(now, || EventKind::BreakerTrip { tool });
                     }
                 }
-                self.trace.record(
+                self.trace.record_with(
                     now,
                     "io",
-                    format!(
+                    || format!(
                         "tool={} tid={} attempts={} latency={}",
                         name,
                         tid.0,
@@ -3030,7 +3090,7 @@ impl Kernel {
             }
             Syscall::SendMsg { to, data } => {
                 let seq = {
-                    let p = sys!(self.procs.get_mut(&pid.0), "process missing");
+                    let p = sys!(self.procs.get_mut(pid.0), "process missing");
                     let s = p.seqs.send;
                     p.seqs.send += 1;
                     s
@@ -3059,7 +3119,7 @@ impl Kernel {
                 // sender's replay needs the result; the receiver's mailbox
                 // rebuild needs the payload.
                 let journal = self.is_durable(pid) || self.is_durable(to);
-                match self.procs.get(&to.0) {
+                match self.procs.get(to.0) {
                     Some(target) if !target.finished => {}
                     _ => {
                         if journal {
@@ -3082,10 +3142,10 @@ impl Kernel {
                 // resilient LIPs need acks/timeouts, which the chaos tests
                 // exercise.
                 if self.injector.ipc_send() {
-                    self.trace.record(
+                    self.trace.record_with(
                         self.events.now(),
                         "kernel",
-                        format!("ipc_drop from={} to={}", pid.0, to.0),
+                        || format!("ipc_drop from={} to={}", pid.0, to.0),
                     );
                     self.bus.emit(sys_at, || EventKind::IpcDrop {
                         from: pid.0,
@@ -3106,7 +3166,7 @@ impl Kernel {
                     return;
                 }
                 let waiter = {
-                    let target = sys!(self.procs.get_mut(&to.0), "ipc target missing");
+                    let target = sys!(self.procs.get_mut(to.0), "ipc target missing");
                     match target.recv_waiters.pop_front() {
                         Some(w) => Some(w),
                         None => {
@@ -3153,7 +3213,7 @@ impl Kernel {
             }
             Syscall::Recv => {
                 let seq = {
-                    let p = sys!(self.procs.get_mut(&pid.0), "process missing");
+                    let p = sys!(self.procs.get_mut(pid.0), "process missing");
                     let s = p.seqs.recv;
                     p.seqs.recv += 1;
                     s
@@ -3177,7 +3237,7 @@ impl Kernel {
                     }
                 }
                 let delivered = {
-                    let proc = sys!(self.procs.get_mut(&pid.0), "process missing");
+                    let proc = sys!(self.procs.get_mut(pid.0), "process missing");
                     match proc.mailbox.pop_front() {
                         Some(m) => Some(m),
                         None => {
@@ -3213,7 +3273,7 @@ impl Kernel {
             }
             Syscall::LookupProcess { name } => {
                 let seq = {
-                    let p = sys!(self.procs.get_mut(&pid.0), "process missing");
+                    let p = sys!(self.procs.get_mut(pid.0), "process missing");
                     let s = p.seqs.lookup;
                     p.seqs.lookup += 1;
                     s
@@ -3234,7 +3294,7 @@ impl Kernel {
                     .names
                     .get(&name)
                     .copied()
-                    .filter(|p| self.procs.get(&p.0).is_some_and(|pr| !pr.finished));
+                    .filter(|p| self.procs.get(p.0).is_some_and(|pr| !pr.finished));
                 if self.is_durable(pid) {
                     self.wal_append(WalRecord::Lookup {
                         at: sys_at,
@@ -3250,7 +3310,7 @@ impl Kernel {
                 self.events.schedule(at, Event::Resume(tid, SysReply::Unit));
             }
             Syscall::Emit { text } => {
-                sys!(self.records.get_mut(&pid.0), "process record missing")
+                sys!(self.records.get_mut(pid.0), "process record missing")
                     .output
                     .push_str(&text);
                 if self.session_sink.is_some() {
@@ -3265,7 +3325,7 @@ impl Kernel {
             }
             Syscall::EmitTokens { tokens } => {
                 let text = self.tokenizer.decode(&tokens);
-                let rec = sys!(self.records.get_mut(&pid.0), "process record missing");
+                let rec = sys!(self.records.get_mut(pid.0), "process record missing");
                 rec.output.push_str(&text);
                 rec.usage.emitted_tokens += tokens.len() as u64;
                 if self.session_sink.is_some() {
@@ -3289,7 +3349,7 @@ impl Kernel {
             }
             Syscall::Now => {
                 let seq = {
-                    let p = sys!(self.procs.get_mut(&pid.0), "process missing");
+                    let p = sys!(self.procs.get_mut(pid.0), "process missing");
                     let s = p.seqs.now;
                     p.seqs.now += 1;
                     s
@@ -3326,7 +3386,7 @@ impl Kernel {
     // ---- I/O with KV offload (§4.3) ------------------------------------------------
 
     fn begin_io(&mut self, pid: Pid, latency: SimDuration) {
-        let Some(proc) = self.procs.get_mut(&pid.0) else {
+        let Some(proc) = self.procs.get_mut(pid.0) else {
             debug_assert!(false, "begin_io: unknown pid {}", pid.0);
             return;
         };
@@ -3345,7 +3405,7 @@ impl Kernel {
             .collect();
         for f in victims {
             if self.store.swap_out(f, owner).is_ok() {
-                if let Some(proc) = self.procs.get_mut(&pid.0) {
+                if let Some(proc) = self.procs.get_mut(pid.0) {
                     proc.offloaded.push(f);
                 }
                 let at = self.events.now();
@@ -3354,13 +3414,13 @@ impl Kernel {
                     file: f.0,
                 });
                 self.trace
-                    .record(at, "io", format!("offload pid={} file={}", pid.0, f.0));
+                    .record_with(at, "io", || format!("offload pid={} file={}", pid.0, f.0));
             }
         }
     }
 
     fn finish_io(&mut self, tid: Tid, result: Result<String, SysError>, issued_at: SimTime) {
-        let Some(ts) = self.threads.get(&tid.0) else {
+        let Some(ts) = self.threads.get(tid.0) else {
             return;
         };
         let pid = ts.pid;
@@ -3379,7 +3439,7 @@ impl Kernel {
         }
         // A missing process record still must not swallow the reply: skip
         // the offload bookkeeping but deliver the result to the thread.
-        let Some(proc) = self.procs.get_mut(&pid.0) else {
+        let Some(proc) = self.procs.get_mut(pid.0) else {
             debug_assert!(false, "finish_io: unknown pid {}", pid.0);
             let reply = match result {
                 Ok(s) => SysReply::Text(s),
@@ -3397,7 +3457,7 @@ impl Kernel {
         if underflow {
             self.kmetrics.io_waiting_underflow.inc();
         }
-        let proc = match self.procs.get_mut(&pid.0) {
+        let proc = match self.procs.get_mut(pid.0) {
             Some(p) => p,
             None => return,
         };
@@ -3413,10 +3473,10 @@ impl Kernel {
                     let at = self.events.now();
                     self.bus
                         .emit(at, || EventKind::FaultInjected { site: "kv.restore" });
-                    self.trace.record(
+                    self.trace.record_with(
                         at,
                         "io",
-                        format!("restore_fault pid={} file={}", pid.0, f.0),
+                        || format!("restore_fault pid={} file={}", pid.0, f.0),
                     );
                     continue;
                 }
@@ -3440,10 +3500,10 @@ impl Kernel {
                 pid: pid.0,
                 tokens: restore_tokens as u64,
             });
-            self.trace.record(
+            self.trace.record_with(
                 at,
                 "io",
-                format!("restore pid={} tokens={restore_tokens}", pid.0),
+                || format!("restore pid={} tokens={restore_tokens}", pid.0),
             );
             self.events
                 .schedule(self.events.now() + cost, Event::Resume(tid, reply));
@@ -3458,7 +3518,7 @@ impl Kernel {
         let (pid, waiters, handle) = {
             // An exit from a thread the kernel never tracked has nothing to
             // clean up; the count is only decremented on a real exit.
-            let Some(ts) = self.threads.get_mut(&tid.0) else {
+            let Some(ts) = self.threads.get_mut(tid.0) else {
                 debug_assert!(false, "exit from unknown tid {}", tid.0);
                 return;
             };
@@ -3471,13 +3531,13 @@ impl Kernel {
         };
         self.live_threads -= 1;
         if let Some(h) = handle {
-            let _ = h.join();
+            h.join();
         }
         for w in waiters {
             if self.causal {
                 // Join edge: this thread's exit unblocks the joiner.
                 let at = self.events.now();
-                let dst_pid = self.threads.get(&w.0).map(|t| t.pid.0).unwrap_or(pid.0);
+                let dst_pid = self.threads.get(w.0).map(|t| t.pid.0).unwrap_or(pid.0);
                 self.bus.emit(at, || EventKind::CausalEdge {
                     edge: EdgeKind::Join,
                     src_pid: pid.0,
@@ -3489,7 +3549,7 @@ impl Kernel {
             }
             self.complete(w, SysReply::Joined(status.clone()));
         }
-        let Some(proc) = self.procs.get_mut(&pid.0) else {
+        let Some(proc) = self.procs.get_mut(pid.0) else {
             debug_assert!(false, "exit for unknown pid {}", pid.0);
             return;
         };
@@ -3497,7 +3557,7 @@ impl Kernel {
         let is_main = proc.main_tid == tid;
         let process_done = proc.live_threads == 0;
         if is_main {
-            if let Some(rec) = self.records.get_mut(&pid.0) {
+            if let Some(rec) = self.records.get_mut(pid.0) {
                 rec.status = status.clone();
             }
         }
@@ -3508,10 +3568,10 @@ impl Kernel {
             tid: tid.0,
             ok,
         });
-        self.trace.record(
+        self.trace.record_with(
             at,
             "kernel",
-            format!("exit tid={} pid={} ok={}", tid.0, pid.0, status.is_ok()),
+            || format!("exit tid={} pid={} ok={}", tid.0, pid.0, status.is_ok()),
         );
         if process_done {
             self.finalize_process(pid);
@@ -3535,12 +3595,12 @@ impl Kernel {
         for f in victims {
             let _ = self.store.remove(f, OwnerId::ADMIN);
         }
-        if let Some(proc) = self.procs.get_mut(&pid.0) {
+        if let Some(proc) = self.procs.get_mut(pid.0) {
             proc.finished = true;
             proc.mailbox.clear();
         }
         let now = self.events.now();
-        let Some(rec) = self.records.get_mut(&pid.0) else {
+        let Some(rec) = self.records.get_mut(pid.0) else {
             debug_assert!(false, "finalize for unknown pid {}", pid.0);
             return;
         };
@@ -3565,7 +3625,7 @@ impl Kernel {
         self.bus
             .emit(now, || EventKind::ProcessExit { pid: pid.0, ok });
         if self.session_sink.is_some() {
-            let (status, usage) = match self.records.get(&pid.0) {
+            let (status, usage) = match self.records.get(pid.0) {
                 Some(rec) => (rec.status.clone(), rec.usage),
                 None => return,
             };
@@ -3577,7 +3637,7 @@ impl Kernel {
             });
         }
         self.trace
-            .record(now, "kernel", format!("reap pid={}", pid.0));
+            .record_with(now, "kernel", || format!("reap pid={}", pid.0));
     }
 }
 
@@ -3585,16 +3645,16 @@ impl Drop for Kernel {
     fn drop(&mut self) {
         // Unblock every parked LIP thread (their recv fails once the reply
         // sender drops), then join the OS threads.
-        let threads = std::mem::take(&mut self.threads);
+        let mut threads = std::mem::take(&mut self.threads);
         let mut handles = Vec::new();
-        for (_, ts) in threads {
+        for (_, ts) in threads.drain() {
             drop(ts.reply_tx);
             if let Some(h) = ts.handle {
                 handles.push(h);
             }
         }
         for h in handles {
-            let _ = h.join();
+            h.join();
         }
     }
 }

@@ -61,6 +61,7 @@
 
 pub mod faults;
 pub mod kernel;
+mod lip_pool;
 pub mod resilience;
 pub mod sampling;
 pub mod sched;

@@ -8,9 +8,9 @@
 //! policy that sizes the wait from the observed `pred` arrival rate
 //! (a Poisson-process view of syscall arrivals).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
-use symphony_sim::{SimDuration, SimTime};
+use symphony_sim::{IdSlab, SimDuration, SimTime};
 
 /// When to launch a pooled batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -281,11 +281,22 @@ impl Default for MlfqConfig {
 pub struct ProgramQueue<T> {
     discipline: QueueDiscipline,
     levels: Vec<VecDeque<T>>,
-    /// Accumulated critical-path service (tokens) per program id.
-    service: BTreeMap<u64, u64>,
-    /// Static service estimate per program id, added to observed service
-    /// when picking a level.
-    hints: BTreeMap<u64, u64>,
+    /// Per-program ladder state, slab-indexed by program id. The critical
+    /// level is cached and recomputed only when service or hints change, so
+    /// the dispatch path (`level_for`/`push`/`pop`) does no map walking.
+    programs: IdSlab<ProgState>,
+}
+
+/// Cached MLFQ ladder state for one program.
+#[derive(Debug, Default, Clone, Copy)]
+struct ProgState {
+    /// Accumulated critical-path service (tokens).
+    service: u64,
+    /// Static service estimate added to observed service when picking a
+    /// level; `None` when no hint was installed.
+    hint: Option<u64>,
+    /// Ladder level implied by `service + hint` (critical-path entries).
+    level: usize,
 }
 
 impl<T> ProgramQueue<T> {
@@ -300,8 +311,36 @@ impl<T> ProgramQueue<T> {
         ProgramQueue {
             discipline,
             levels: (0..n).map(|_| VecDeque::new()).collect(),
-            service: BTreeMap::new(),
-            hints: BTreeMap::new(),
+            programs: IdSlab::new(),
+        }
+    }
+
+    /// Walks the geometric ladder for a total service figure. Runs only when
+    /// a program's service or hint changes; dispatch reads the cached result.
+    fn ladder_level(&self, total_service: u64) -> usize {
+        match self.discipline {
+            QueueDiscipline::Fifo => 0,
+            QueueDiscipline::Mlfq(cfg) => {
+                let mut level = 0usize;
+                let mut bound = cfg.quantum_tokens.max(1);
+                while total_service >= bound && level + 1 < cfg.levels.max(1) {
+                    level += 1;
+                    bound = bound.saturating_mul(2);
+                }
+                level
+            }
+        }
+    }
+
+    /// Recomputes and caches the ladder level after a state change.
+    fn refresh_level(&mut self, pid: u64) {
+        let Some(p) = self.programs.get(pid) else {
+            return;
+        };
+        let total = p.service.saturating_add(p.hint.unwrap_or(0));
+        let level = self.ladder_level(total);
+        if let Some(p) = self.programs.get_mut(pid) {
+            p.level = level;
         }
     }
 
@@ -315,23 +354,14 @@ impl<T> ProgramQueue<T> {
         self.levels.iter().all(VecDeque::is_empty)
     }
 
-    /// The level an entry from `pid` would queue at right now.
+    /// The level an entry from `pid` would queue at right now. O(1): reads
+    /// the level cached at the last `charge`/`set_static_hint` for the
+    /// program.
     pub fn level_for(&self, pid: u64, critical: bool) -> usize {
         match self.discipline {
             QueueDiscipline::Fifo => 0,
-            QueueDiscipline::Mlfq(cfg) => {
-                let service = self
-                    .service
-                    .get(&pid)
-                    .copied()
-                    .unwrap_or(0)
-                    .saturating_add(self.hints.get(&pid).copied().unwrap_or(0));
-                let mut level = 0usize;
-                let mut bound = cfg.quantum_tokens.max(1);
-                while service >= bound && level + 1 < cfg.levels.max(1) {
-                    level += 1;
-                    bound = bound.saturating_mul(2);
-                }
+            QueueDiscipline::Mlfq(_) => {
+                let level = self.programs.get(pid).map(|p| p.level).unwrap_or(0);
                 // Speculative/background preds yield to critical-path work.
                 if critical {
                     level
@@ -364,13 +394,19 @@ impl<T> ProgramQueue<T> {
     /// down the ladder.
     pub fn charge(&mut self, pid: u64, critical: bool, tokens: u64) {
         if critical {
-            *self.service.entry(pid).or_insert(0) += tokens;
+            if self.programs.get(pid).is_none() {
+                self.programs.insert(pid, ProgState::default());
+            }
+            if let Some(p) = self.programs.get_mut(pid) {
+                p.service += tokens;
+            }
+            self.refresh_level(pid);
         }
     }
 
     /// Accumulated critical-path service for a program.
     pub fn service_of(&self, pid: u64) -> u64 {
-        self.service.get(&pid).copied().unwrap_or(0)
+        self.programs.get(pid).map(|p| p.service).unwrap_or(0)
     }
 
     /// Installs an admission-time cost hint for `pid`. `Some(tokens)` is
@@ -389,19 +425,24 @@ impl<T> ProgramQueue<T> {
             }
             (None, QueueDiscipline::Fifo) => 0,
         };
-        self.hints.insert(pid, hint);
+        if self.programs.get(pid).is_none() {
+            self.programs.insert(pid, ProgState::default());
+        }
+        if let Some(p) = self.programs.get_mut(pid) {
+            p.hint = Some(hint);
+        }
+        self.refresh_level(pid);
     }
 
     /// The static cost hint currently installed for a program, if any.
     pub fn static_hint_of(&self, pid: u64) -> Option<u64> {
-        self.hints.get(&pid).copied()
+        self.programs.get(pid).and_then(|p| p.hint)
     }
 
     /// Drops the service record (and any static hint) of a finished
     /// program.
     pub fn forget(&mut self, pid: u64) {
-        self.service.remove(&pid);
-        self.hints.remove(&pid);
+        self.programs.remove(pid);
     }
 }
 
@@ -719,6 +760,69 @@ mod tests {
         q.forget(3);
         assert_eq!(q.static_hint_of(3), None);
         assert_eq!(q.level_for(3, true), 0);
+    }
+
+    #[test]
+    fn mlfq_cached_levels_match_fresh_ladder_walk() {
+        // The slab caches each program's ladder level at mutation time; this
+        // pins the cache against a from-scratch ladder walk over every
+        // (service, hint) state a randomized op sequence produces.
+        let cfg = MlfqConfig {
+            levels: 5,
+            quantum_tokens: 64,
+        };
+        let fresh_level = |service: u64, hint: u64| -> usize {
+            let total = service.saturating_add(hint);
+            let mut level = 0usize;
+            let mut bound = cfg.quantum_tokens.max(1);
+            while total >= bound && level + 1 < cfg.levels {
+                level += 1;
+                bound = bound.saturating_mul(2);
+            }
+            level
+        };
+        let mut q: ProgramQueue<u64> = ProgramQueue::new(QueueDiscipline::Mlfq(cfg));
+        let mut reference: std::collections::BTreeMap<u64, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        let mut x = 0x2545F491_4F6C_DD1Du64;
+        for _ in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let pid = x % 17;
+            match (x >> 8) % 4 {
+                0 => {
+                    let tokens = (x >> 16) % 200;
+                    q.charge(pid, true, tokens);
+                    reference.entry(pid).or_default().0 += tokens;
+                }
+                1 => {
+                    let hint = if (x >> 16) % 3 == 0 {
+                        None
+                    } else {
+                        Some((x >> 16) % 500)
+                    };
+                    q.set_static_hint(pid, hint);
+                    let eff = hint.unwrap_or_else(|| {
+                        cfg.quantum_tokens * (1u64 << (cfg.levels as u32 - 1))
+                    });
+                    reference.entry(pid).or_default().1 = eff;
+                }
+                2 => {
+                    q.forget(pid);
+                    reference.remove(&pid);
+                }
+                _ => {}
+            }
+            for check in 0..17u64 {
+                let (service, hint) = reference.get(&check).copied().unwrap_or((0, 0));
+                assert_eq!(
+                    q.level_for(check, true),
+                    fresh_level(service, hint),
+                    "cached level drifted for pid {check} (service={service} hint={hint})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -443,6 +443,151 @@ pub fn frame_counts(
     Ok(counts)
 }
 
+/// Byte length of a framed [`Record::End`]: tag + length + CRC, no payload.
+const END_FRAME_LEN: u64 = 9;
+
+/// Tuning for an on-disk [`Journal`] handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// Buffered record bytes that trigger an automatic [`Journal::flush`]
+    /// from inside [`Journal::append`] — the periodic write worker. Small
+    /// deltas coalesce in memory; a flush writes them in one syscall pair.
+    pub flush_every_bytes: usize,
+    /// Total journal size (disk + buffered) at which
+    /// [`Journal::needs_compaction`] reports `true`.
+    pub compact_threshold_bytes: u64,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            flush_every_bytes: 8 * 1024,
+            compact_threshold_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// An appendable on-disk journal: a base snapshot plus flushed delta
+/// batches, bounded by threshold-triggered compaction.
+///
+/// Every flush *unseals* the file (strips the trailing [`Record::End`]
+/// frame), appends the buffered frames, and reseals with a fresh `End` —
+/// so every crash window leaves either the previous sealed journal or a
+/// torn tail that [`read_journal`] truncates back to a valid record
+/// prefix. [`Journal::compact`] rewrites the whole file as a
+/// snapshot-equivalent stream via a sibling temp file and an atomic
+/// rename: a crash before the rename leaves the old journal untouched.
+#[derive(Debug)]
+pub struct Journal {
+    path: std::path::PathBuf,
+    config: JournalConfig,
+    /// Framed records not yet written to disk.
+    pending: Vec<u8>,
+    /// Sealed on-disk length, including the trailing `End` frame.
+    disk_len: u64,
+    compactions: u64,
+}
+
+impl Journal {
+    /// Creates (or truncates) the journal at `path` with `snapshot` — a
+    /// complete sealed stream from [`JournalWriter::finish`] or
+    /// `KvStore::journal_bytes` — as its base.
+    pub fn create(
+        path: &std::path::Path,
+        snapshot: &[u8],
+        config: JournalConfig,
+    ) -> std::io::Result<Journal> {
+        std::fs::write(path, snapshot)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            config,
+            pending: Vec::new(),
+            disk_len: snapshot.len() as u64,
+            compactions: 0,
+        })
+    }
+
+    /// Buffers one framed record, flushing when the buffer crosses
+    /// [`JournalConfig::flush_every_bytes`].
+    pub fn append(&mut self, rec: &Record) -> std::io::Result<()> {
+        let mut payload = Vec::new();
+        encode_payload(rec, &mut payload);
+        append_frame(&mut self.pending, record_tag(rec), &payload);
+        if self.pending.len() >= self.config.flush_every_bytes {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Writes buffered records to disk: unseal (drop the `End` frame),
+    /// append, reseal. A no-op with an empty buffer.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        use std::io::{Seek, SeekFrom, Write};
+        let mut f = std::fs::OpenOptions::new().write(true).open(&self.path)?;
+        f.set_len(self.disk_len - END_FRAME_LEN)?;
+        f.seek(SeekFrom::End(0))?;
+        f.write_all(&self.pending)?;
+        let mut end = Vec::new();
+        append_frame(&mut end, TAG_END, &[]);
+        f.write_all(&end)?;
+        self.disk_len += self.pending.len() as u64;
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Journal size: sealed bytes on disk plus the unflushed buffer.
+    pub fn bytes(&self) -> u64 {
+        self.disk_len + self.pending.len() as u64
+    }
+
+    /// `true` once [`Journal::bytes`] reaches the compaction threshold.
+    pub fn needs_compaction(&self) -> bool {
+        self.bytes() >= self.config.compact_threshold_bytes
+    }
+
+    /// Rewrites the journal as `snapshot` (which must describe the store
+    /// state the journal's records replay to, so buffered records are
+    /// subsumed and dropped). Crash-safe: the snapshot lands in a sibling
+    /// temp file first and replaces the journal with one atomic rename.
+    pub fn compact(&mut self, snapshot: &[u8]) -> std::io::Result<()> {
+        let tmp = self.tmp_path();
+        std::fs::write(&tmp, snapshot)?;
+        std::fs::rename(&tmp, &self.path)?;
+        self.disk_len = snapshot.len() as u64;
+        self.pending.clear();
+        self.compactions += 1;
+        Ok(())
+    }
+
+    /// Fault-injection twin of [`Journal::compact`]: writes the temp file
+    /// and "crashes" before the rename. The journal on disk is untouched
+    /// and the handle's accounting is unchanged — chaos tests call this to
+    /// prove a mid-compaction crash cannot lose the old journal.
+    #[doc(hidden)]
+    pub fn compact_crash_before_rename(&mut self, snapshot: &[u8]) -> std::io::Result<()> {
+        std::fs::write(self.tmp_path(), snapshot)
+    }
+
+    fn tmp_path(&self) -> std::path::PathBuf {
+        let mut name = self.path.file_name().unwrap_or_default().to_os_string();
+        name.push(".compact");
+        self.path.with_file_name(name)
+    }
+
+    /// Compactions performed over this handle's lifetime.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// The journal's on-disk path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
 /// What a journal restore recovered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RestoreReport {
@@ -622,6 +767,110 @@ mod tests {
             assert!(prefix.len() <= frames.len());
             assert_eq!(prefix[..], frames[..prefix.len()], "prefix at {cut}");
         }
+    }
+
+    #[test]
+    fn journal_handle_appends_and_reseals() {
+        let dir = std::env::temp_dir().join("symj_handle_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("appends.journal");
+        let base = JournalWriter::new(&header()).finish();
+        let mut j = Journal::create(
+            &path,
+            &base,
+            JournalConfig {
+                flush_every_bytes: 1, // flush on every append
+                compact_threshold_bytes: u64::MAX,
+            },
+        )
+        .unwrap();
+        for r in sample_records() {
+            j.append(&r).unwrap();
+            // Every post-flush state is a sealed, complete journal.
+            let bytes = std::fs::read(&path).unwrap();
+            assert_eq!(bytes.len() as u64, j.bytes());
+            let (_, _, torn) = read_journal(&bytes).unwrap();
+            assert!(!torn);
+        }
+        let (h, records, torn) = read_journal(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(h, header());
+        assert!(!torn);
+        assert_eq!(records, sample_records());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_handle_buffers_until_flush_threshold() {
+        let dir = std::env::temp_dir().join("symj_handle_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("buffers.journal");
+        let base = JournalWriter::new(&header()).finish();
+        let mut j = Journal::create(
+            &path,
+            &base,
+            JournalConfig {
+                flush_every_bytes: 1 << 20,
+                compact_threshold_bytes: u64::MAX,
+            },
+        )
+        .unwrap();
+        j.append(&Record::Quota {
+            owner: 1,
+            limit: Some(4),
+        })
+        .unwrap();
+        // Unflushed: disk still holds only the sealed base snapshot.
+        assert_eq!(std::fs::read(&path).unwrap(), base);
+        assert!(j.bytes() > base.len() as u64);
+        j.flush().unwrap();
+        let (_, records, torn) = read_journal(&std::fs::read(&path).unwrap()).unwrap();
+        assert!(!torn);
+        assert_eq!(records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_compaction_replaces_file_atomically() {
+        let dir = std::env::temp_dir().join("symj_handle_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("compacts.journal");
+        let base = JournalWriter::new(&header()).finish();
+        let mut j = Journal::create(
+            &path,
+            &base,
+            JournalConfig {
+                flush_every_bytes: 1,
+                compact_threshold_bytes: 128,
+            },
+        )
+        .unwrap();
+        for r in sample_records() {
+            j.append(&r).unwrap();
+        }
+        assert!(j.needs_compaction());
+        // "Snapshot" here is any complete sealed stream — smaller than the
+        // threshold, so compaction actually clears the trigger.
+        let mut w = JournalWriter::new(&header());
+        w.append(&Record::Quota {
+            owner: 9,
+            limit: None,
+        });
+        let snap = w.finish();
+        assert!((snap.len() as u64) < 128, "snapshot must fit under the threshold");
+
+        // Crash before the rename: old journal bytes intact and valid.
+        let before = std::fs::read(&path).unwrap();
+        j.compact_crash_before_rename(&snap).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        assert_eq!(j.compactions(), 0);
+
+        // Real compaction: the file is exactly the snapshot.
+        j.compact(&snap).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), snap);
+        assert_eq!(j.bytes(), snap.len() as u64);
+        assert_eq!(j.compactions(), 1);
+        assert!(!j.needs_compaction());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

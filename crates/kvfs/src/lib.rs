@@ -51,7 +51,10 @@ pub mod page;
 pub mod store;
 
 pub use error::KvError;
-pub use journal::{append_frame, read_frames, JournalHeader, JournalWriter, Record, RestoreReport};
+pub use journal::{
+    append_frame, read_frames, Journal, JournalConfig, JournalHeader, JournalWriter, Record,
+    RestoreReport,
+};
 pub use page::{KvEntry, PageId, Tier, PAGE_TOKENS_DEFAULT};
 pub use store::{
     FileId, FileStat, KvStats, KvStore, KvStoreConfig, Mode, OwnerId, Residency, SwapReport,

@@ -76,6 +76,11 @@ pub(crate) struct PagePool {
     gpu_used: usize,
     cpu_used: usize,
     disk_used: usize,
+    /// Pages whose content or tier changed since the last
+    /// [`PagePool::take_dirty`] drain. `None` (the default) disables
+    /// tracking entirely so the hot paths pay only an `Option` check;
+    /// the store enables it when a delta journal is opened.
+    dirty: Option<std::collections::BTreeSet<u32>>,
 }
 
 impl PagePool {
@@ -96,6 +101,38 @@ impl PagePool {
             gpu_used: 0,
             cpu_used: 0,
             disk_used: 0,
+            dirty: None,
+        }
+    }
+
+    /// Starts tracking content/tier changes for delta journalling.
+    pub(crate) fn enable_dirty_tracking(&mut self) {
+        self.dirty = Some(std::collections::BTreeSet::new());
+    }
+
+    /// Drains the dirty set, returning the still-live page ids in
+    /// ascending order. Empty when tracking is disabled.
+    pub(crate) fn take_dirty(&mut self) -> Vec<u32> {
+        match self.dirty.as_mut() {
+            Some(d) => {
+                let drained = std::mem::take(d);
+                drained
+                    .into_iter()
+                    .filter(|&i| {
+                        (i as usize) < self.slots.len() && self.slots[i as usize].is_some()
+                    })
+                    .collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Marks a page dirty for the next delta drain (no-op while disabled).
+    /// Content mutations that bypass `alloc`/`migrate`/`copy_entries_into`
+    /// — direct `page_mut(..).entries` edits in the store — must call this.
+    pub(crate) fn mark_dirty(&mut self, id: PageId) {
+        if let Some(d) = self.dirty.as_mut() {
+            d.insert(id.0);
         }
     }
 
@@ -170,6 +207,7 @@ impl PagePool {
             self.slots.push(Some(page));
             PageId((self.slots.len() - 1) as u32)
         };
+        self.mark_dirty(id);
         Ok(id)
     }
 
@@ -193,6 +231,11 @@ impl PagePool {
         self.slots[id.0 as usize] = None;
         self.free.push(id.0);
         self.sub_used(tier);
+        if let Some(d) = self.dirty.as_mut() {
+            // A freed slot has no content to journal; if it is reallocated
+            // later, `alloc` re-marks it.
+            d.remove(&id.0);
+        }
     }
 
     /// Moves a page between tiers; returns the number of tokens moved.
@@ -208,7 +251,9 @@ impl PagePool {
         self.add_used(to);
         let page = self.page_mut(id);
         page.tier = to;
-        Ok(page.entries.len())
+        let moved = page.entries.len();
+        self.mark_dirty(id);
+        Ok(moved)
     }
 
     /// Installs a page with a known id, content and refcount — journal
@@ -291,6 +336,27 @@ impl PagePool {
         self.slots[id.0 as usize]
             .as_mut()
             .expect("dangling page id") // lint:allow(k1): internal id, see above
+    }
+
+    /// Copies `src`'s entries into `dst` in place (copy-on-write divergence).
+    /// Splits the slot borrow so the hot CoW path copies entry data exactly
+    /// once, with no intermediate `Vec` allocation.
+    pub(crate) fn copy_entries_into(&mut self, src: PageId, dst: PageId) {
+        debug_assert_ne!(src, dst, "CoW copy onto the source page");
+        let (a, b) = (src.0 as usize, dst.0 as usize);
+        let (src_slot, dst_slot) = if a < b {
+            let (l, r) = self.slots.split_at_mut(b);
+            (&l[a], &mut r[0])
+        } else {
+            let (l, r) = self.slots.split_at_mut(a);
+            (&r[0], &mut l[b])
+        };
+        // Same invariant as `page`/`page_mut`: ids are kernel-internal.
+        let src_page = src_slot.as_ref().expect("dangling page id"); // lint:allow(k1): internal id
+        let dst_page = dst_slot.as_mut().expect("dangling page id"); // lint:allow(k1): internal id
+        dst_page.entries.clear();
+        dst_page.entries.extend_from_slice(&src_page.entries);
+        self.mark_dirty(dst);
     }
 
     /// Number of live pages (for invariant checks).

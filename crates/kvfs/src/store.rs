@@ -202,6 +202,7 @@ struct KvCounters {
     disk_loaded_tokens: Counter,
     cow_copies: Counter,
     copied_entries: Counter,
+    compactions: Counter,
     journal_bytes: Gauge,
     journal_frames_page_write: Gauge,
     journal_frames_file_meta: Gauge,
@@ -219,6 +220,7 @@ impl KvCounters {
             disk_loaded_tokens: registry.counter("kvfs.disk_loaded_tokens"),
             cow_copies: registry.counter("kvfs.cow_copies"),
             copied_entries: registry.counter("kvfs.copied_entries"),
+            compactions: registry.counter("kvfs.compactions"),
             journal_bytes: registry.gauge("kvfs.journal_bytes"),
             journal_frames_page_write: registry.gauge("kvfs.journal_frames.page_write"),
             journal_frames_file_meta: registry.gauge("kvfs.journal_frames.file_meta"),
@@ -247,6 +249,26 @@ impl SwapReport {
     }
 }
 
+/// Change tracking for incremental journal persistence.
+///
+/// The dirty sets say *which* live entities changed since the last
+/// [`KvStore::take_delta`] drain; the shadow maps remember the namespace,
+/// live-file set, and quota limits as the journal last described them, so
+/// the drain can emit a structural diff (removes, unlinks, links, quota
+/// changes) instead of logging every operation. Entities born and removed
+/// between drains never touch the diff at all.
+#[derive(Debug, Default)]
+struct DeltaLog {
+    /// Live file ids whose metadata changed since the last drain.
+    dirty_files: std::collections::BTreeSet<u64>,
+    /// Live file ids as of the last drain.
+    shadow_files: std::collections::BTreeSet<u64>,
+    /// Namespace as of the last drain.
+    shadow_namespace: BTreeMap<String, u64>,
+    /// Per-owner quota limits as of the last drain.
+    shadow_quotas: BTreeMap<u64, Option<u64>>,
+}
+
 /// The KV file store.
 #[derive(Debug)]
 pub struct KvStore {
@@ -258,6 +280,10 @@ pub struct KvStore {
     access_clock: u64,
     bytes_per_token: u64,
     counters: KvCounters,
+    /// `Some` while an incremental journal is attached (see
+    /// [`KvStore::enable_delta_log`]); `None` keeps every mutation path at
+    /// its original cost.
+    delta: Option<DeltaLog>,
 }
 
 impl KvStore {
@@ -284,6 +310,7 @@ impl KvStore {
             access_clock: 0,
             bytes_per_token: config.bytes_per_token,
             counters: KvCounters::register(registry),
+            delta: None,
         }
     }
 
@@ -385,6 +412,11 @@ impl KvStore {
     }
 
     fn meta_mut(&mut self, id: FileId) -> Result<&mut FileMeta, KvError> {
+        // Every metadata mutation flows through here (or `touch`), which is
+        // what makes the delta log's dirty-file set complete.
+        if let Some(d) = self.delta.as_mut() {
+            d.dirty_files.insert(id.0);
+        }
         self.files.get_mut(&id.0).ok_or(KvError::NotFound)
     }
 
@@ -413,6 +445,10 @@ impl KvStore {
         let clock = self.access_clock;
         if let Some(m) = self.files.get_mut(&id.0) {
             m.last_access = clock;
+            // `last_access` is journalled state: reads dirty the file too.
+            if let Some(d) = self.delta.as_mut() {
+                d.dirty_files.insert(id.0);
+            }
         }
     }
 
@@ -666,8 +702,7 @@ impl KvStore {
         if cow_pages == 1 {
             let old = *self.meta(id)?.pages.last().ok_or(KvError::BadRange)?;
             let copy = self.pool.alloc(Tier::Gpu)?;
-            let entries_copy = self.pool.page(old).entries.clone();
-            self.pool.page_mut(copy).entries = entries_copy;
+            self.pool.copy_entries_into(old, copy);
             self.pool.release(old);
             *self
                 .meta_mut(id)?
@@ -685,6 +720,7 @@ impl KvStore {
                 .page_mut(tail)
                 .entries
                 .extend_from_slice(&remaining[..take]);
+            self.pool.mark_dirty(tail);
             remaining = &remaining[take..];
         }
         while !remaining.is_empty() {
@@ -731,14 +767,14 @@ impl KvStore {
             if let Some(&last) = self.meta(id)?.pages.last() {
                 if self.pool.page(last).refcount > 1 {
                     let copy = self.pool.alloc(Tier::Gpu)?;
-                    let entries = self.pool.page(last).entries.clone();
-                    self.pool.page_mut(copy).entries = entries;
+                    self.pool.copy_entries_into(last, copy);
                     self.pool.release(last);
                     *self.meta_mut(id)?.pages.last_mut().ok_or(KvError::BadRange)? = copy;
                     self.counters.cow_copies.inc();
                 }
                 let last = *self.meta(id)?.pages.last().ok_or(KvError::BadRange)?;
                 self.pool.page_mut(last).entries.truncate(within);
+                self.pool.mark_dirty(last);
             }
         }
         self.meta_mut(id)?.len = new_len;
@@ -755,8 +791,10 @@ impl KvStore {
     /// fork a shared prefix "without duplicating the actual tensors".
     pub fn fork(&mut self, id: FileId, caller: OwnerId) -> Result<FileId, KvError> {
         self.check_read(id, caller)?;
-        let pages = self.meta(id)?.pages.clone();
-        let len = self.meta(id)?.len;
+        let (pages, len) = {
+            let m = self.meta(id)?;
+            (m.pages.clone(), m.len)
+        };
         self.charge(caller, pages.len())?;
         for &p in &pages {
             self.pool.retain(p);
@@ -901,15 +939,18 @@ impl KvStore {
         if self.meta(id)?.pinned {
             return Err(KvError::Pinned);
         }
-        let pages = self.meta(id)?.pages.clone();
+        // Split borrow: the page table is read-only while the pool migrates,
+        // so the per-call `pages.clone()` this path used to do is unneeded.
+        let (files, pool) = (&self.files, &mut self.pool);
+        let m = files.get(&id.0).ok_or(KvError::NotFound)?;
         let mut report = SwapReport::default();
-        for p in pages {
-            if self.pool.page(p).tier != Tier::Gpu {
+        for &p in &m.pages {
+            if pool.page(p).tier != Tier::Gpu {
                 continue;
             }
-            match self.pool.migrate(p, Tier::Cpu) {
+            match pool.migrate(p, Tier::Cpu) {
                 Ok(n) => report.dram_tokens += n,
-                Err(KvError::NoCpuMemory) => match self.pool.migrate(p, Tier::Disk) {
+                Err(KvError::NoCpuMemory) => match pool.migrate(p, Tier::Disk) {
                     Ok(n) => report.disk_tokens += n,
                     Err(KvError::NoDiskMemory) => return Err(KvError::NoCpuMemory),
                     Err(e) => return Err(e),
@@ -931,15 +972,16 @@ impl KvStore {
     /// — a demoted pinned file keeps all its pages and its pin.
     pub fn demote_to_disk(&mut self, id: FileId, caller: OwnerId) -> Result<SwapReport, KvError> {
         self.check_write(id, caller)?;
-        let pages = self.meta(id)?.pages.clone();
+        let (files, pool) = (&self.files, &mut self.pool);
+        let m = files.get(&id.0).ok_or(KvError::NotFound)?;
         let mut report = SwapReport::default();
         let mut left_gpu = 0usize;
-        for p in pages {
-            let from = self.pool.page(p).tier;
+        for &p in &m.pages {
+            let from = pool.page(p).tier;
             if from == Tier::Disk {
                 continue;
             }
-            let n = self.pool.migrate(p, Tier::Disk)?;
+            let n = pool.migrate(p, Tier::Disk)?;
             if from == Tier::Gpu {
                 left_gpu += n;
             }
@@ -956,11 +998,12 @@ impl KvStore {
     /// counts (disk pages cross the NVMe lane, DRAM pages cross PCIe).
     pub fn swap_in(&mut self, id: FileId, caller: OwnerId) -> Result<SwapReport, KvError> {
         self.check_write(id, caller)?;
-        let pages = self.meta(id)?.pages.clone();
+        let (files, pool) = (&self.files, &mut self.pool);
+        let m = files.get(&id.0).ok_or(KvError::NotFound)?;
         let mut report = SwapReport::default();
-        for p in pages {
-            let from = self.pool.page(p).tier;
-            let n = self.pool.migrate(p, Tier::Gpu)?;
+        for &p in &m.pages {
+            let from = pool.page(p).tier;
+            let n = pool.migrate(p, Tier::Gpu)?;
             match from {
                 Tier::Disk => report.disk_tokens += n,
                 Tier::Cpu | Tier::Gpu => report.dram_tokens += n,
@@ -981,37 +1024,167 @@ impl KvStore {
     /// `None` when no file is evictable. Deterministic: ties on
     /// `last_access` break by file id.
     pub fn evict_lru(&mut self, exclude: &[FileId]) -> Option<(FileId, SwapReport)> {
+        // Scan the file table directly instead of materialising a full
+        // `list_files()` stat vector: this runs on the preemption hot path.
+        // A file with any GPU page is exactly the old `Gpu | Mixed`
+        // residency filter.
+        let pool = &self.pool;
         let victim = self
-            .list_files()
-            .into_iter()
-            .filter(|s| {
-                !s.pinned
-                    && s.locked_by.is_none()
-                    && matches!(s.residency, Residency::Gpu | Residency::Mixed)
-                    && !exclude.contains(&s.id)
+            .files
+            .iter()
+            .filter(|&(id, m)| {
+                !m.pinned
+                    && m.lock.is_none()
+                    && !exclude.contains(&FileId(*id))
+                    && m.pages.iter().any(|&p| pool.page(p).tier == Tier::Gpu)
             })
-            .min_by_key(|s| (s.last_access, s.id))?;
+            .min_by_key(|&(id, m)| (m.last_access, *id))
+            .map(|(&id, _)| FileId(id))?;
         // The victim just passed the evictability filter, so `swap_out`
         // should succeed; if it does not, report "nothing evictable"
         // rather than panicking mid-preemption (lint rule k1).
-        let moved = self.swap_out(victim.id, OwnerId::ADMIN).ok()?;
-        Some((victim.id, moved))
+        let moved = self.swap_out(victim, OwnerId::ADMIN).ok()?;
+        Some((victim, moved))
     }
 
     /// Releases every lock held by `owner` (kernel cleanup when a process
     /// exits or crashes). Returns the number of locks released.
     pub fn release_locks(&mut self, owner: OwnerId) -> usize {
         let mut released = 0;
-        for m in self.files.values_mut() {
+        for (id, m) in self.files.iter_mut() {
             if m.lock == Some(owner) {
                 m.lock = None;
                 released += 1;
+                if let Some(d) = self.delta.as_mut() {
+                    d.dirty_files.insert(*id);
+                }
             }
         }
         released
     }
 
     // ---- persistence -----------------------------------------------------------
+
+    /// Starts incremental change tracking for delta journalling. Call at
+    /// the moment the journal's base snapshot is taken: from here on,
+    /// [`KvStore::take_delta`] returns records that replay the store's
+    /// changes on top of that snapshot. Idempotent-ish only in the sense
+    /// that re-enabling resets tracking to "nothing changed since now".
+    pub fn enable_delta_log(&mut self) {
+        self.pool.enable_dirty_tracking();
+        let mut d = DeltaLog::default();
+        self.reset_delta_shadow(&mut d);
+        self.delta = Some(d);
+    }
+
+    fn reset_delta_shadow(&self, d: &mut DeltaLog) {
+        d.dirty_files.clear();
+        d.shadow_files = self.files.keys().copied().collect();
+        d.shadow_namespace = self
+            .namespace
+            .iter()
+            .map(|(p, id)| (p.clone(), id.0))
+            .collect();
+        d.shadow_quotas = self
+            .quotas
+            .iter()
+            .map(|(o, q)| (o.0, q.limit_pages.map(|l| l as u64)))
+            .collect();
+    }
+
+    /// Drains the changes since the last drain (or since
+    /// [`KvStore::enable_delta_log`]) as an ordered record batch that,
+    /// appended to the journal, replays to the store's current state:
+    /// dirty pages, dirty file metadata, then a structural diff against
+    /// the shadow state — removes, unlinks, links, quota changes — and a
+    /// trailing [`Record::PoolState`] so append-only histories restore
+    /// with byte-identical allocator state. Returns an empty batch when
+    /// nothing changed or tracking is disabled.
+    pub fn take_delta(&mut self) -> Vec<Record> {
+        let Some(mut d) = self.delta.take() else {
+            return Vec::new();
+        };
+        let mut recs = Vec::new();
+        for p in self.pool.take_dirty() {
+            let page = self.pool.page(crate::page::PageId(p));
+            recs.push(Record::PageWrite {
+                page: p,
+                tier: page.tier,
+                entries: page.entries.clone(),
+            });
+        }
+        for &id in &d.dirty_files {
+            let Some(m) = self.files.get(&id) else {
+                continue; // dirtied, then removed: the diff below covers it
+            };
+            recs.push(Record::FileMeta {
+                id,
+                owner: m.owner.0,
+                len: m.len as u64,
+                read_all: m.mode.read_all,
+                write_all: m.mode.write_all,
+                pinned: m.pinned,
+                lock: m.lock.map(|o| o.0),
+                last_access: m.last_access,
+                pages: m.pages.iter().map(|p| p.0).collect(),
+            });
+        }
+        // Structural diff. Removes come first (replay drops a removed
+        // file's namespace entries itself), then unlinks of surviving
+        // stale paths, then links — so a re-pointed path never collides.
+        let mut removed = std::collections::BTreeSet::new();
+        for &id in &d.shadow_files {
+            if !self.files.contains_key(&id) {
+                recs.push(Record::Remove { file: id });
+                removed.insert(id);
+            }
+        }
+        for (path, &old_id) in &d.shadow_namespace {
+            let stale = self.namespace.get(path).is_none_or(|cur| cur.0 != old_id);
+            if stale && !removed.contains(&old_id) {
+                recs.push(Record::Unlink { path: path.clone() });
+            }
+        }
+        for (path, id) in &self.namespace {
+            if d.shadow_namespace.get(path) != Some(&id.0) {
+                recs.push(Record::Link {
+                    path: path.clone(),
+                    id: id.0,
+                });
+            }
+        }
+        for (owner, q) in &self.quotas {
+            let limit = q.limit_pages.map(|l| l as u64);
+            if d.shadow_quotas.get(&owner.0).copied().unwrap_or(None) != limit {
+                recs.push(Record::Quota {
+                    owner: owner.0,
+                    limit,
+                });
+            }
+        }
+        if !recs.is_empty() {
+            recs.push(Record::PoolState {
+                slots_len: self.pool.slots_len() as u32,
+                free: self.pool.free_list().to_vec(),
+            });
+        }
+        self.reset_delta_shadow(&mut d);
+        self.delta = Some(d);
+        recs
+    }
+
+    /// Bumps the `kvfs.compactions` counter (the kernel calls this when
+    /// its journal handle compacts).
+    pub fn note_compaction(&self) {
+        self.counters.compactions.inc();
+    }
+
+    /// Points the `kvfs.journal_bytes` gauge at an externally-managed
+    /// journal's size (delta journals grow between snapshots, so the
+    /// snapshot-sized value set by [`KvStore::journal_bytes`] goes stale).
+    pub fn set_journal_len_metric(&self, bytes: u64) {
+        self.counters.journal_bytes.set(bytes as i64);
+    }
 
     /// Serialises the whole store as a journal record sequence: every live
     /// page, every file's metadata, every namespace link, every quota
@@ -1353,7 +1526,12 @@ impl KvStore {
             store.quotas.entry(owner).or_default().limit_pages = limit;
         }
         store.next_file = header.next_file.max(max_file + 1);
-        store.access_clock = header.access_clock;
+        // Delta batches appended after the base snapshot carry access times
+        // newer than the base header's clock; never let the clock run
+        // behind a restored `last_access` or post-restore touches would
+        // reuse timestamps and scramble LRU ordering.
+        let max_access = store.files.values().map(|m| m.last_access).max().unwrap_or(0);
+        store.access_clock = header.access_clock.max(max_access);
 
         // Adopt the recorded free-slot order only when it still exactly
         // describes the restored pool; otherwise rebuild canonically.

@@ -11,9 +11,18 @@
 //! 2. **Torn tail chaos** — the snapshot bytes are cut at every possible
 //!    length; replay must never panic, must flag the tear with the typed
 //!    `KvError::JournalTorn` detail, and must restore a consistent prefix.
+//! 3. **Delta equivalence** — the same op sequence run with the delta log
+//!    enabled, drained in batches through the production [`Journal`] file
+//!    handle, must restore to the same observable state as the live store.
+//! 4. **Compaction** — rewriting any journal prefix to its
+//!    snapshot-equivalent form must restore byte-identically at every
+//!    truncation point, and a crash before the atomic rename must leave
+//!    the old journal untouched and valid.
 
 use proptest::prelude::*;
-use symphony_kvfs::{FileId, KvEntry, KvError, KvStore, KvStoreConfig, OwnerId};
+use symphony_kvfs::{
+    FileId, Journal, JournalConfig, KvEntry, KvError, KvStore, KvStoreConfig, OwnerId,
+};
 use symphony_model::CtxFingerprint;
 use symphony_telemetry::MetricsRegistry;
 
@@ -64,91 +73,98 @@ fn config() -> KvStoreConfig {
     }
 }
 
+/// Applies one op to `store`, maintaining the live-file list and token
+/// counter exactly the way [`build_store`] does.
+fn apply_op(store: &mut KvStore, live: &mut Vec<FileId>, next_token: &mut u32, op: &Op) {
+    let admin = OwnerId::ADMIN;
+    match *op {
+        Op::Create { owner } => {
+            if let Ok(f) = store.create(OwnerId(owner)) {
+                live.push(f);
+            }
+        }
+        Op::Append { file, count } => {
+            if let Some(&f) = live.get(file % live.len().max(1)) {
+                let new: Vec<KvEntry> =
+                    (0..count as u32).map(|i| entry(*next_token + i)).collect();
+                *next_token += count as u32;
+                let _ = store.swap_in(f, admin);
+                let _ = store.append(f, admin, &new);
+            }
+        }
+        Op::Fork { file, owner } => {
+            if let Some(&f) = live.get(file % live.len().max(1)) {
+                if let Ok(g) = store.fork(f, OwnerId(owner)) {
+                    live.push(g);
+                }
+            }
+        }
+        Op::Remove { file } => {
+            if !live.is_empty() {
+                let f = live.remove(file % live.len());
+                let _ = store.remove(f, admin);
+            }
+        }
+        Op::Truncate { file, frac } => {
+            if let Some(&f) = live.get(file % live.len().max(1)) {
+                if let Ok(len) = store.len(f) {
+                    let _ = store.swap_in(f, admin);
+                    let _ = store.truncate(f, admin, (len as f64 * frac) as usize);
+                }
+            }
+        }
+        Op::Link { file, path } => {
+            if let Some(&f) = live.get(file % live.len().max(1)) {
+                let _ = store.link(f, &format!("p/{path}"), admin);
+            }
+        }
+        Op::Unlink { path } => {
+            let _ = store.unlink(&format!("p/{path}"), admin);
+        }
+        Op::Pin { file } => {
+            if let Some(&f) = live.get(file % live.len().max(1)) {
+                let _ = store.pin(f, admin);
+            }
+        }
+        Op::SwapOut { file } => {
+            if let Some(&f) = live.get(file % live.len().max(1)) {
+                let _ = store.swap_out(f, admin);
+            }
+        }
+        Op::Demote { file } => {
+            if let Some(&f) = live.get(file % live.len().max(1)) {
+                let _ = store.demote_to_disk(f, admin);
+            }
+        }
+        Op::Lock { file } => {
+            if let Some(&f) = live.get(file % live.len().max(1)) {
+                if let Ok(owner) = store.stat(f).map(|s| s.owner) {
+                    let _ = store.lock(f, owner);
+                }
+            }
+        }
+        Op::Quota { owner, limit } => {
+            // Only raiseable floors: never set a limit below current
+            // usage, or later ops would fail for quota reasons the
+            // shadowing below does not track.
+            let used = store.quota_used(OwnerId(owner));
+            store.set_quota(OwnerId(owner), Some(limit.max(used).max(32)));
+        }
+    }
+    store.verify().unwrap();
+}
+
 /// Runs the op sequence and returns the resulting store plus live file ids.
 fn build_store(ops: &[Op]) -> (KvStore, Vec<FileId>) {
-    let admin = OwnerId::ADMIN;
     let mut store = KvStore::new(config());
     let mut live: Vec<FileId> = Vec::new();
     let mut next_token = 0u32;
     for op in ops {
-        match *op {
-            Op::Create { owner } => {
-                if let Ok(f) = store.create(OwnerId(owner)) {
-                    live.push(f);
-                }
-            }
-            Op::Append { file, count } => {
-                if let Some(&f) = live.get(file % live.len().max(1)) {
-                    let new: Vec<KvEntry> =
-                        (0..count as u32).map(|i| entry(next_token + i)).collect();
-                    next_token += count as u32;
-                    let _ = store.swap_in(f, admin);
-                    let _ = store.append(f, admin, &new);
-                }
-            }
-            Op::Fork { file, owner } => {
-                if let Some(&f) = live.get(file % live.len().max(1)) {
-                    if let Ok(g) = store.fork(f, OwnerId(owner)) {
-                        live.push(g);
-                    }
-                }
-            }
-            Op::Remove { file } => {
-                if !live.is_empty() {
-                    let f = live.remove(file % live.len());
-                    let _ = store.remove(f, admin);
-                }
-            }
-            Op::Truncate { file, frac } => {
-                if let Some(&f) = live.get(file % live.len().max(1)) {
-                    if let Ok(len) = store.len(f) {
-                        let _ = store.swap_in(f, admin);
-                        let _ = store.truncate(f, admin, (len as f64 * frac) as usize);
-                    }
-                }
-            }
-            Op::Link { file, path } => {
-                if let Some(&f) = live.get(file % live.len().max(1)) {
-                    let _ = store.link(f, &format!("p/{path}"), admin);
-                }
-            }
-            Op::Unlink { path } => {
-                let _ = store.unlink(&format!("p/{path}"), admin);
-            }
-            Op::Pin { file } => {
-                if let Some(&f) = live.get(file % live.len().max(1)) {
-                    let _ = store.pin(f, admin);
-                }
-            }
-            Op::SwapOut { file } => {
-                if let Some(&f) = live.get(file % live.len().max(1)) {
-                    let _ = store.swap_out(f, admin);
-                }
-            }
-            Op::Demote { file } => {
-                if let Some(&f) = live.get(file % live.len().max(1)) {
-                    let _ = store.demote_to_disk(f, admin);
-                }
-            }
-            Op::Lock { file } => {
-                if let Some(&f) = live.get(file % live.len().max(1)) {
-                    if let Ok(owner) = store.stat(f).map(|s| s.owner) {
-                        let _ = store.lock(f, owner);
-                    }
-                }
-            }
-            Op::Quota { owner, limit } => {
-                // Only raiseable floors: never set a limit below current
-                // usage, or later ops would fail for quota reasons the
-                // shadowing below does not track.
-                let used = store.quota_used(OwnerId(owner));
-                store.set_quota(OwnerId(owner), Some(limit.max(used).max(32)));
-            }
-        }
-        store.verify().unwrap();
+        apply_op(&mut store, &mut live, &mut next_token, op);
     }
     (store, live)
 }
+
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -230,4 +246,179 @@ proptest! {
             KvStore::restore_from_journal_bytes(config(), &registry, &bytes).unwrap();
         prop_assert_eq!(report.torn, None);
     }
+}
+
+/// Builds a journal the way a live kernel does: base snapshot written at
+/// open, then the delta log drained and appended every `batch` ops through
+/// the production [`Journal`] file handle. Returns the final store, its
+/// live file ids, and the on-disk journal bytes.
+fn build_delta_journal(ops: &[Op], batch: usize, tag: &str) -> (KvStore, Vec<FileId>, Vec<u8>) {
+    let path = std::env::temp_dir().join(format!(
+        "symj_prop_{tag}_{}_{:?}.journal",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let mut store = KvStore::new(config());
+    store.enable_delta_log();
+    let base = store.journal_bytes();
+    let mut journal = Journal::create(
+        &path,
+        &base,
+        JournalConfig {
+            flush_every_bytes: usize::MAX,
+            compact_threshold_bytes: u64::MAX,
+        },
+    )
+    .unwrap();
+    let mut live = Vec::new();
+    let mut next_token = 0u32;
+    for (k, op) in ops.iter().enumerate() {
+        apply_op(&mut store, &mut live, &mut next_token, op);
+        if (k + 1) % batch == 0 {
+            for rec in store.take_delta() {
+                journal.append(&rec).unwrap();
+            }
+            journal.flush().unwrap();
+        }
+    }
+    for rec in store.take_delta() {
+        journal.append(&rec).unwrap();
+    }
+    journal.flush().unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    (store, live, bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn delta_journal_restores_live_state(
+        ops in proptest::collection::vec(op_strategy(), 1..40)
+    ) {
+        let (store, live, bytes) = build_delta_journal(&ops, 5, "delta");
+        let (restored, report) =
+            KvStore::restore_from_journal_bytes(config(), &MetricsRegistry::new(), &bytes)
+                .unwrap();
+        prop_assert_eq!(report.torn, None);
+        restored.verify().unwrap();
+        prop_assert_eq!(restored.gpu_pages_used(), store.gpu_pages_used());
+        prop_assert_eq!(restored.cpu_pages_used(), store.cpu_pages_used());
+        prop_assert_eq!(restored.disk_pages_used(), store.disk_pages_used());
+        prop_assert_eq!(restored.live_pages(), store.live_pages());
+        for f in live {
+            let a = store.stat(f).unwrap();
+            let b = restored.stat(f).unwrap();
+            prop_assert_eq!(a.owner, b.owner);
+            prop_assert_eq!(a.len, b.len);
+            prop_assert_eq!(a.pages, b.pages);
+            prop_assert_eq!(a.pinned, b.pinned);
+            prop_assert_eq!(a.locked_by, b.locked_by);
+            prop_assert_eq!(a.residency, b.residency);
+            prop_assert_eq!(a.last_access, b.last_access);
+            prop_assert_eq!(a.links, b.links);
+            prop_assert_eq!(
+                restored.read_all_unchecked(f).unwrap(),
+                store.read_all_unchecked(f).unwrap()
+            );
+            prop_assert_eq!(store.quota_used(a.owner), restored.quota_used(a.owner));
+        }
+    }
+}
+
+proptest! {
+    // Every truncation point restores three times (prefix, compact,
+    // recompact), so keep the op sequences short.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn compaction_is_restore_identical_at_every_cut(
+        ops in proptest::collection::vec(op_strategy(), 1..12)
+    ) {
+        let (_store, _live, bytes) = build_delta_journal(&ops, 3, "cut");
+        let registry = MetricsRegistry::new();
+        for cut in 0..=bytes.len() {
+            // A prefix too short even for the header has nothing to
+            // compact; every other cut restores to *some* consistent
+            // store, and compaction is defined as that store's canonical
+            // snapshot.
+            let Ok((prefix, _)) =
+                KvStore::restore_from_journal_bytes(config(), &registry, &bytes[..cut])
+            else {
+                continue;
+            };
+            let compacted = prefix.journal_bytes();
+            let (recovered, report) =
+                KvStore::restore_from_journal_bytes(config(), &registry, &compacted)
+                    .unwrap();
+            prop_assert_eq!(report.torn, None, "compacted journal must be whole (cut {})", cut);
+            recovered.verify().unwrap();
+            // Byte identity: restoring the compacted journal reproduces
+            // the exact store the uncompacted prefix restored to.
+            prop_assert_eq!(
+                recovered.journal_bytes(),
+                compacted,
+                "compact→restore must be a fixed point (cut {})",
+                cut
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_mid_compaction_preserves_the_old_journal() {
+    let path = std::env::temp_dir().join(format!(
+        "symj_prop_crash_{}.journal",
+        std::process::id()
+    ));
+    let admin = OwnerId::ADMIN;
+    let mut store = KvStore::new(config());
+    store.enable_delta_log();
+    let base = store.journal_bytes();
+    let mut journal = Journal::create(
+        &path,
+        &base,
+        JournalConfig {
+            flush_every_bytes: usize::MAX,
+            compact_threshold_bytes: 1,
+        },
+    )
+    .unwrap();
+    let f = store.create(admin).unwrap();
+    store.append(f, admin, &[entry(1), entry(2), entry(3)]).unwrap();
+    store.link(f, "p/crash", admin).unwrap();
+    for rec in store.take_delta() {
+        journal.append(&rec).unwrap();
+    }
+    journal.flush().unwrap();
+    let before = std::fs::read(&path).unwrap();
+    assert!(journal.needs_compaction(), "threshold of 1 byte must trip");
+
+    // Crash after writing the temp file but before the atomic rename:
+    // the live journal is byte-for-byte untouched and still restores.
+    journal.compact_crash_before_rename(&store.journal_bytes()).unwrap();
+    assert_eq!(std::fs::read(&path).unwrap(), before, "old journal must survive the crash");
+    let (recovered, report) =
+        KvStore::restore_from_journal_bytes(config(), &MetricsRegistry::new(), &before).unwrap();
+    assert_eq!(report.torn, None);
+    assert_eq!(recovered.read_all_unchecked(f).unwrap().len(), 3);
+
+    // The real compaction lands atomically and restores identically.
+    let snap = store.journal_bytes();
+    journal.compact(&snap).unwrap();
+    assert_eq!(std::fs::read(&path).unwrap(), snap);
+    let (rec2, rep2) =
+        KvStore::restore_from_journal_bytes(config(), &MetricsRegistry::new(), &snap).unwrap();
+    assert_eq!(rep2.torn, None);
+    assert_eq!(
+        rec2.read_all_unchecked(f).unwrap(),
+        store.read_all_unchecked(f).unwrap()
+    );
+    std::fs::remove_file(&path).ok();
+    let tmp = path.with_file_name(format!(
+        "{}.compact",
+        path.file_name().unwrap().to_string_lossy()
+    ));
+    std::fs::remove_file(tmp).ok();
 }

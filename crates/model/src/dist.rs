@@ -65,6 +65,37 @@ impl Dist {
         }
     }
 
+    /// [`Dist::from_weights`] for callers that guarantee unique tokens and
+    /// finite non-negative weights (the surrogate's generator, which draws
+    /// from a dedup'd candidate set). Skips the per-entry validation pass —
+    /// the dominant cost on the model hot path — but performs the *same*
+    /// normalisation arithmetic in the same order, so the result is
+    /// bit-identical to the validating constructor.
+    pub(crate) fn from_weights_trusted(
+        mut entries: Vec<(TokenId, f64)>,
+        tail_weight: f64,
+        tail_tokens: u32,
+    ) -> Self {
+        debug_assert!(!entries.is_empty());
+        let mut total = 0.0;
+        for &(_, w) in &entries {
+            debug_assert!(w.is_finite() && w >= 0.0);
+            total += w;
+        }
+        let tail_weight = if tail_tokens == 0 { 0.0 } else { tail_weight };
+        total += tail_weight;
+        debug_assert!(total > 0.0);
+        for e in &mut entries {
+            e.1 /= total;
+        }
+        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN prob").then(a.0.cmp(&b.0)));
+        Dist {
+            entries,
+            tail_mass: tail_weight / total,
+            tail_tokens,
+        }
+    }
+
     /// Reassembles a distribution from the exact parts a previous
     /// [`Dist::entries`] / [`Dist::tail_mass`] / [`Dist::tail_tokens`]
     /// reported, without re-normalising. [`Dist::from_weights`] divides by

@@ -39,6 +39,9 @@ pub struct Surrogate {
     seed: u64,
     vocab: VocabInfo,
     fingerprinter: Fingerprinter,
+    /// `(i+1)^-1.3` for each candidate rank — `powf` hoisted out of
+    /// [`Surrogate::next_dist`], which runs once per generated token.
+    zipf: [f64; CANDIDATES],
 }
 
 /// Number of explicit candidates per distribution.
@@ -66,11 +69,16 @@ impl Surrogate {
             content_tokens: config.vocab_size - 1,
             eos: config.vocab_size - 1,
         };
+        let mut zipf = [0.0; CANDIDATES];
+        for (i, z) in zipf.iter_mut().enumerate() {
+            *z = ((i + 1) as f64).powf(-1.3);
+        }
         Surrogate {
             config,
             seed,
             vocab,
             fingerprinter: Fingerprinter::new(seed),
+            zipf,
         }
     }
 
@@ -115,26 +123,28 @@ impl Surrogate {
         let gate_open = unit(mix(h0 ^ 0x0E05_0E05_0E05_0E05)) < p_gate;
 
         let mut entries: Vec<(TokenId, f64)> = Vec::with_capacity(CANDIDATES + 1);
-        let mut used = std::collections::BTreeSet::new();
+        // Candidate sets are tiny (25 tokens), so dedup by linear scan over
+        // the tokens picked so far — no allocation on the per-token path.
+        let mut used = [0 as TokenId; CANDIDATES + 1];
         if gate_open {
             entries.push((self.vocab.eos, 10.0));
-            used.insert(self.vocab.eos);
         } else {
             // A faint EOS presence so sampled decoding can terminate early.
             entries.push((self.vocab.eos, 0.02));
-            used.insert(self.vocab.eos);
         }
+        used[0] = self.vocab.eos;
 
         let mut h = h0;
         for i in 0..CANDIDATES {
             h = mix(h ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let mut tok = (h % self.vocab.content_tokens as u64) as TokenId;
-            while !used.insert(tok) {
+            while used[..=i].contains(&tok) {
                 tok = (tok + 1) % self.vocab.content_tokens;
             }
+            used[i + 1] = tok;
             // Zipf-like decay with multiplicative jitter.
             let jitter = 0.5 + unit(mix(h ^ 0xA5A5_A5A5_A5A5_A5A5));
-            let w = ((i + 1) as f64).powf(-1.3) * jitter;
+            let w = self.zipf[i] * jitter;
             entries.push((tok, w));
         }
 
@@ -146,7 +156,8 @@ impl Surrogate {
         // normalisation.
         let entry_total: f64 = entries.iter().map(|&(_, w)| w).sum();
         let tail_weight = entry_total * TAIL_MASS / (1.0 - TAIL_MASS);
-        Dist::from_weights(entries, tail_weight, tail_tokens)
+        // Tokens are unique by construction; skip `from_weights` validation.
+        Dist::from_weights_trusted(entries, tail_weight, tail_tokens)
     }
 
     /// Convenience: fold a prompt into a fingerprint starting at `origin`.

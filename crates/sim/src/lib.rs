@@ -31,6 +31,7 @@ pub mod events;
 pub mod frame;
 pub mod retry;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -39,6 +40,7 @@ pub use dist::{Categorical, Exponential, LogNormal, Pareto, PoissonProcess, Zipf
 pub use events::EventQueue;
 pub use retry::RetryPolicy;
 pub use rng::Rng;
+pub use slab::IdSlab;
 pub use stats::{Histogram, OnlineStats, Series};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry};

@@ -60,6 +60,24 @@ impl Trace {
         }
     }
 
+    /// Appends an entry, building the message lazily: `message()` only runs
+    /// when recording is enabled. Hot paths use this so a disabled trace
+    /// costs a branch instead of a `format!` allocation per event.
+    pub fn record_with<F: FnOnce() -> String>(
+        &mut self,
+        at: SimTime,
+        component: &'static str,
+        message: F,
+    ) {
+        if self.enabled {
+            self.entries.push(TraceEntry {
+                at,
+                component,
+                message: message(),
+            });
+        }
+    }
+
     /// All recorded entries.
     pub fn entries(&self) -> &[TraceEntry] {
         &self.entries

@@ -189,8 +189,11 @@ fn generate_impl(item: &Item) -> TokenStream {
                 if i > 0 {
                     body.push_str("out.push(',');\n");
                 }
+                // Raw identifiers (`r#macro`) keep the escape for the field
+                // access but name the JSON key without it.
+                let key = f.strip_prefix("r#").unwrap_or(f);
                 body.push_str(&format!(
-                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                    "out.push_str(\"\\\"{key}\\\":\");\n\
                      serde::Serialize::serialize_json(&self.{f}, out);\n"
                 ));
             }
